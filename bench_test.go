@@ -1,0 +1,467 @@
+package mcauth
+
+// The benchmark harness regenerates every figure of the paper's evaluation
+// section (Figures 3-10, one benchmark each), runs the ablation studies
+// DESIGN.md calls out, and measures the raw cryptographic throughput that
+// motivates signature amortization in the first place. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"mcauth/internal/analysis"
+	"mcauth/internal/construct"
+	"mcauth/internal/crypto"
+	"mcauth/internal/delay"
+	"mcauth/internal/depgraph"
+	"mcauth/internal/experiments"
+	"mcauth/internal/loss"
+	"mcauth/internal/netsim"
+	"mcauth/internal/scheme"
+	"mcauth/internal/scheme/augchain"
+	"mcauth/internal/scheme/authtree"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/scheme/rohatgi"
+	"mcauth/internal/scheme/signeach"
+	"mcauth/internal/scheme/tesla"
+	"mcauth/internal/stats"
+	"mcauth/internal/stream"
+	"mcauth/internal/transport"
+)
+
+// --- Figures -------------------------------------------------------------
+
+func BenchmarkFig3TESLADelaySurface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3Series(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4TESLADisclosureSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4Series(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5AugmentedChainAB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5Series(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6AugmentedChainFixedLevel1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6Series(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7EMSSMD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7Series(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8SchemeComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8aSeries(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig8bSeries(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9CloseUp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9Series(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10OverheadDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10Series(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationEdgeBudget sweeps the overhead<->robustness tradeoff of
+// Section 3.1: q_min as the per-packet hash budget m grows.
+func BenchmarkAblationEdgeBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for m := 1; m <= 6; m++ {
+			if _, err := (analysis.EMSS{N: 1000, M: m, D: 1, P: 0.3}).QMin(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Report the tradeoff once.
+	b.StopTimer()
+	if b.N > 0 {
+		for m := 1; m <= 6; m++ {
+			qmin, err := analysis.EMSS{N: 1000, M: m, D: 1, P: 0.3}.QMin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("m=%d (edges/pkt≈%d): q_min=%.4f", m, m, qmin)
+		}
+	}
+}
+
+// BenchmarkAblationDelayConstraint compares EMSS with the receiver-delay
+// knob d capped small vs spread wide, at equal edge budget.
+func BenchmarkAblationDelayConstraint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int{1, 10, 100, 400} {
+			if _, err := (analysis.EMSS{N: 1000, M: 2, D: d, P: 0.3}).QMin(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPathDiversity measures the Equation (1) bound spread
+// (best-case disjoint vs worst-case overlapping paths) against the exact
+// value on a mid-size EMSS graph.
+func BenchmarkAblationPathDiversity(b *testing.B) {
+	s, err := emss.New(emss.Config{N: 18, M: 2, D: 1}, crypto.NewSignerFromString("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 2; v <= g.N(); v++ {
+			if _, err := g.AuthProbBounds(v, 0.3, 10000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationRecurrenceVsExact compares the cost (and, via -v, the
+// values) of the paper's recurrence against the exact Markov evaluator.
+func BenchmarkAblationRecurrenceVsExact(b *testing.B) {
+	b.Run("recurrence", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (analysis.EMSS{N: 1000, M: 2, D: 1, P: 0.3}).QMin(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("markov-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (analysis.MarkovExact{N: 1000, Offsets: []int{1, 2}, P: 0.3}).QMin(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationConstructors compares the Section 5 builders' costs.
+func BenchmarkAblationConstructors(b *testing.B) {
+	c := construct.Constraint{N: 100, P: 0.2, TargetQMin: 0.9, MaxOutDegree: 6}
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := construct.Greedy(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("policy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := construct.PolicySearch(c, 8, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("probabilistic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := construct.Probabilistic(c, stats.NewRNG(uint64(i)+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Scheme throughput ----------------------------------------------------
+
+func benchPayloads(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		out[i][0] = byte(i)
+	}
+	return out
+}
+
+func benchScheme(b *testing.B, name string) scheme.Scheme {
+	b.Helper()
+	signer := crypto.NewSignerFromString("bench")
+	var (
+		s   scheme.Scheme
+		err error
+	)
+	const n = 128
+	switch name {
+	case "rohatgi":
+		s, err = rohatgi.New(n, signer)
+	case "emss":
+		s, err = emss.New(emss.Config{N: n, M: 2, D: 1}, signer)
+	case "augchain":
+		s, err = augchain.New(augchain.Config{N: n, A: 3, B: 3}, signer)
+	case "authtree":
+		s, err = authtree.New(n, signer)
+	case "signeach":
+		s, err = signeach.New(n, signer)
+	case "tesla":
+		s, err = tesla.New(tesla.Config{
+			N: n, Lag: 4, Interval: time.Millisecond,
+			Start: time.Unix(0, 0), Seed: []byte("bench"),
+		}, signer)
+	default:
+		b.Fatalf("unknown scheme %q", name)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkAuthenticate measures sender-side cost per 128-packet block —
+// the amortization argument in CPU terms: sign-each pays 128 signatures
+// where the chained schemes pay one.
+func BenchmarkAuthenticate(b *testing.B) {
+	for _, name := range []string{"rohatgi", "emss", "augchain", "authtree", "signeach", "tesla"} {
+		b.Run(name, func(b *testing.B) {
+			s := benchScheme(b, name)
+			payloads := benchPayloads(s.BlockSize(), 512)
+			b.SetBytes(int64(s.BlockSize() * 512))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Authenticate(uint64(i), payloads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerify measures receiver-side cost per block with in-order
+// delivery and no loss.
+func BenchmarkVerify(b *testing.B) {
+	for _, name := range []string{"rohatgi", "emss", "augchain", "authtree", "signeach", "tesla"} {
+		b.Run(name, func(b *testing.B) {
+			s := benchScheme(b, name)
+			payloads := benchPayloads(s.BlockSize(), 512)
+			pkts, err := s.Authenticate(1, payloads)
+			if err != nil {
+				b.Fatal(err)
+			}
+			at := make([]time.Time, len(pkts))
+			for w := range pkts {
+				at[w] = time.Unix(0, 0).Add(time.Duration(w)*time.Millisecond + time.Microsecond)
+			}
+			b.SetBytes(int64(s.BlockSize() * 512))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := s.NewVerifier()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for w, p := range pkts {
+					if _, err := v.Ingest(p, at[w]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireEncode measures packet serialization.
+func BenchmarkWireEncode(b *testing.B) {
+	s := benchScheme(b, "emss")
+	pkts, err := s.Authenticate(1, benchPayloads(s.BlockSize(), 512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pkts {
+			if _, err := p.Encode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Analysis machinery ----------------------------------------------------
+
+// BenchmarkMonteCarloAuthProb measures graph Monte-Carlo estimation
+// (n=100, 1000 trials).
+func BenchmarkMonteCarloAuthProb(b *testing.B) {
+	s, err := emss.New(emss.Config{N: 100, M: 2, D: 1}, crypto.NewSignerFromString("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.MonteCarloAuthProb(depgraph.BernoulliPattern(0.2), 1000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactAuthProb measures exhaustive enumeration at n=18.
+func BenchmarkExactAuthProb(b *testing.B) {
+	s, err := emss.New(emss.Config{N: 18, M: 2, D: 1}, crypto.NewSignerFromString("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ExactAuthProb(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimBlock measures a full multicast simulation (50 receivers,
+// 100-packet EMSS block).
+func BenchmarkNetsimBlock(b *testing.B) {
+	s, err := emss.New(emss.Config{N: 100, M: 2, D: 1}, crypto.NewSignerFromString("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := loss.NewBernoulli(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payloads := benchPayloads(100, 256)
+	cfg := netsim.Config{
+		Receivers:    50,
+		Loss:         model,
+		Delay:        delay.Constant{D: time.Millisecond},
+		SendInterval: time.Millisecond,
+		Start:        time.Unix(0, 0),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := netsim.Run(s, cfg, uint64(i), payloads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamPipeline measures the full session layer: chop messages
+// into blocks, authenticate, serialize, deserialize, demultiplex, verify.
+func BenchmarkStreamPipeline(b *testing.B) {
+	s := benchScheme(b, "emss")
+	const messages = 512 // 4 blocks of 128
+	payload := make([]byte, 256)
+	b.SetBytes(int64(messages * len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snd, err := stream.NewSender(s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rcv, err := stream.NewReceiver(s, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		authenticated := 0
+		for m := 0; m < messages; m++ {
+			pkts, err := snd.Push(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range pkts {
+				wire, err := p.Encode()
+				if err != nil {
+					b.Fatal(err)
+				}
+				events, err := rcv.IngestWire(wire, time.Unix(0, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				authenticated += len(events)
+			}
+		}
+		if authenticated != messages {
+			b.Fatalf("authenticated %d, want %d", authenticated, messages)
+		}
+	}
+}
+
+// BenchmarkFrameRoundTrip measures the byte-stream transport framing.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	s := benchScheme(b, "emss")
+	pkts, err := s.Authenticate(1, benchPayloads(s.BlockSize(), 512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		fw := transport.NewFrameWriter(&buf)
+		for _, p := range pkts {
+			if err := fw.WritePacket(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fr := transport.NewFrameReader(&buf)
+		for range pkts {
+			if _, err := fr.ReadPacket(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExperimentEndToEnd renders every registered experiment once per
+// iteration (the full `mcfig -all` workload).
+func BenchmarkExperimentEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			if e.ID == "validate" || e.ID == "burst" {
+				continue // dominated by their own benchmarks above
+			}
+			if err := e.Run(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

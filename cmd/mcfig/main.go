@@ -1,0 +1,62 @@
+// Command mcfig regenerates the paper's figures and this repository's
+// extension experiments as text tables.
+//
+// Usage:
+//
+//	mcfig -list
+//	mcfig -fig fig8
+//	mcfig -all
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcauth/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcfig", flag.ContinueOnError)
+	var (
+		figID   = fs.String("fig", "", "experiment ID to run (see -list)")
+		listAll = fs.Bool("list", false, "list available experiments")
+		runAll  = fs.Bool("all", false, "run every experiment")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *listAll:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	case *runAll:
+		for _, e := range experiments.All() {
+			if err := e.Run(os.Stdout); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	case *figID != "":
+		e, ok := experiments.Get(*figID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; available: %s",
+				*figID, strings.Join(experiments.IDs(), ", "))
+		}
+		return e.Run(os.Stdout)
+	default:
+		return errors.New("one of -fig, -all or -list is required")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Error("unknown figure should fail")
+	}
+	if err := run(nil); err == nil {
+		t.Error("no mode should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

@@ -1,0 +1,196 @@
+// Command mcgraph dumps a scheme's dependence-graph: its static metrics
+// (overhead, delay, buffers — the paper's Section 3 quantities), optional
+// per-packet authentication probabilities, and Graphviz DOT output.
+//
+// Usage:
+//
+//	mcgraph -scheme emss -n 20 -m 2 -d 1 -p 0.2
+//	mcgraph -scheme augchain -n 21 -a 3 -b 3 -dot > ac.dot
+//	mcgraph -scheme emss -n 20 -export > design.json   # export, hand-edit...
+//	mcgraph -topo design.json -q                       # ...and re-analyze
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"mcauth/internal/construct"
+	"mcauth/internal/crypto"
+	"mcauth/internal/depgraph"
+	"mcauth/internal/scheme"
+	"mcauth/internal/scheme/augchain"
+	"mcauth/internal/scheme/authtree"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/scheme/rohatgi"
+	"mcauth/internal/scheme/signeach"
+	"mcauth/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcgraph", flag.ContinueOnError)
+	var (
+		schemeName = fs.String("scheme", "emss", "scheme: rohatgi|emss|augchain|authtree|signeach")
+		n          = fs.Int("n", 20, "block size")
+		m          = fs.Int("m", 2, "EMSS m")
+		d          = fs.Int("d", 1, "EMSS d")
+		a          = fs.Int("a", 3, "augmented chain a")
+		b          = fs.Int("b", 3, "augmented chain b")
+		p          = fs.Float64("p", 0.1, "loss probability for q_i estimation")
+		dot        = fs.Bool("dot", false, "emit Graphviz DOT instead of metrics")
+		topoPath   = fs.String("topo", "", "load a custom topology from a JSON file instead of -scheme")
+		export     = fs.Bool("export", false, "emit the topology as JSON instead of metrics")
+		pruneTo    = fs.Float64("prune", 0, "prune redundant edges while keeping q_min above this target (uses -p as the design loss rate)")
+		perPacket  = fs.Bool("q", false, "print per-packet q_i (exact for n<=22, Monte-Carlo beyond)")
+		trials     = fs.Int("trials", 20000, "Monte-Carlo trials for large blocks")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	signer := crypto.NewSignerFromString("mcgraph")
+	var (
+		s   scheme.Scheme
+		err error
+	)
+	if *topoPath != "" {
+		f, err := os.Open(*topoPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		topo, err := scheme.LoadTopology(f)
+		if err != nil {
+			return err
+		}
+		s, err = scheme.NewChained(topo, signer)
+		if err != nil {
+			return err
+		}
+		if s, err = maybePrune(s, signer, *pruneTo, *p); err != nil {
+			return err
+		}
+		return report(s, *dot, *export, *perPacket, *p, *trials)
+	}
+	switch *schemeName {
+	case "rohatgi":
+		s, err = rohatgi.New(*n, signer)
+	case "emss":
+		s, err = emss.New(emss.Config{N: *n, M: *m, D: *d}, signer)
+	case "augchain":
+		s, err = augchain.New(augchain.Config{N: *n, A: *a, B: *b}, signer)
+	case "authtree":
+		s, err = authtree.New(*n, signer)
+	case "signeach":
+		s, err = signeach.New(*n, signer)
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+	if err != nil {
+		return err
+	}
+	if s, err = maybePrune(s, signer, *pruneTo, *p); err != nil {
+		return err
+	}
+	return report(s, *dot, *export, *perPacket, *p, *trials)
+}
+
+// maybePrune applies the Section 5 redundant-edge pruning pass when a
+// target is given, rebuilding the scheme from the slimmed topology.
+func maybePrune(s scheme.Scheme, signer crypto.Signer, target, p float64) (scheme.Scheme, error) {
+	if target == 0 {
+		return s, nil
+	}
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	plan, removed, err := construct.Prune(g, construct.Constraint{
+		N:          g.N(),
+		P:          p,
+		TargetQMin: target,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Met {
+		return nil, fmt.Errorf("graph cannot meet q_min >= %v at p=%v (achieves %v)", target, p, plan.QMin)
+	}
+	fmt.Fprintf(os.Stderr, "pruned %d redundant edges (q_min %.4f >= %.4f)\n", removed, plan.QMin, target)
+	return scheme.NewChained(scheme.Topology{
+		Name:  s.Name() + "+pruned",
+		N:     plan.Graph.N(),
+		Root:  plan.Graph.Root(),
+		Edges: plan.Graph.Edges(),
+	}, signer)
+}
+
+// report renders the selected view of the scheme's graph.
+func report(s scheme.Scheme, dot, export, perPacket bool, p float64, trials int) error {
+	g, err := s.Graph()
+	if err != nil {
+		return err
+	}
+	if dot {
+		return g.WriteDOT(os.Stdout, s.Name())
+	}
+	if export {
+		topo, err := scheme.TopologyOf(s)
+		if err != nil {
+			return err
+		}
+		return scheme.SaveTopology(os.Stdout, topo)
+	}
+
+	metrics, err := g.ComputeMetrics(depgraph.DefaultSizes())
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "scheme\t%s\n", s.Name())
+	fmt.Fprintf(w, "vertices / edges\t%d / %d\n", metrics.N, metrics.Edges)
+	fmt.Fprintf(w, "root (P_sign)\t%d\n", g.Root())
+	fmt.Fprintf(w, "avg hashes per packet\t%.3f\n", metrics.AvgHashesPerPkt)
+	fmt.Fprintf(w, "max hashes per packet\t%d\n", metrics.MaxHashesPerPkt)
+	fmt.Fprintf(w, "overhead (bytes/pkt)\t%.1f\n", metrics.OverheadBytes)
+	fmt.Fprintf(w, "max receiver delay (slots)\t%d\n", metrics.MaxDelaySlots)
+	fmt.Fprintf(w, "hash buffer (pkts)\t%d\n", metrics.HashBufferPkts)
+	fmt.Fprintf(w, "message buffer (pkts)\t%d\n", metrics.MsgBufferPkts)
+	fmt.Fprintf(w, "unreachable vertices\t%d\n", metrics.UnreachableCount)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if !perPacket {
+		return nil
+	}
+
+	var res depgraph.AuthResult
+	if g.N() <= 22 {
+		res, err = g.ExactAuthProb(p)
+	} else {
+		res, err = g.MonteCarloAuthProb(depgraph.BernoulliPattern(p), trials, stats.NewRNG(1))
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nper-packet q_i at p=%.3f (q_min=%.4f):\n", p, res.QMin)
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "packet\tq_i\tshortest path\tdisjoint paths")
+	dists := g.ShortestPathLengths()
+	for i := 1; i <= g.N(); i++ {
+		k, err := g.VertexDisjointPaths(i)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "P%d\t%.4f\t%d\t%d\n", i, res.Q[i], dists[i], k)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunMetricsAllSchemes(t *testing.T) {
+	for _, name := range []string{"rohatgi", "emss", "augchain", "authtree", "signeach"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if err := run([]string{"-scheme", name, "-n", "12", "-q"}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	if err := run([]string{"-scheme", "emss", "-n", "8", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExportImportPrune(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	// Export to a file by temporarily redirecting stdout.
+	old := os.Stdout
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	err = run([]string{"-scheme", "emss", "-n", "20", "-m", "3", "-export"})
+	os.Stdout = old
+	if closeErr := f.Close(); closeErr != nil {
+		t.Fatal(closeErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topo", path, "-p", "0.2", "-prune", "0.9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scheme", "nope"}); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+	if err := run([]string{"-topo", "/does/not/exist.json"}); err == nil {
+		t.Error("missing topology file should fail")
+	}
+	if err := run([]string{"-scheme", "rohatgi", "-n", "20", "-p", "0.5", "-prune", "0.99"}); err == nil {
+		t.Error("unmeetable prune target should fail")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

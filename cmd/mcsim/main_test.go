@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunSchemes(t *testing.T) {
+	for _, name := range []string{"rohatgi", "emss", "augchain", "authtree", "signeach", "tesla"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			err := run([]string{
+				"-scheme", name, "-n", "16", "-p", "0.2",
+				"-receivers", "10", "-seed", "3",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunBurstAndLateJoin(t *testing.T) {
+	err := run([]string{
+		"-scheme", "augchain", "-n", "17", "-p", "0.1", "-burst", "3",
+		"-receivers", "10", "-latejoin", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scheme", "nope"}); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-scheme", "emss", "-n", "2", "-m", "5"}); err == nil {
+		t.Error("invalid EMSS parameters should fail")
+	}
+}

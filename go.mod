@@ -1,0 +1,3 @@
+module mcauth
+
+go 1.22

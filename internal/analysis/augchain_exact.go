@@ -1,0 +1,162 @@
+package analysis
+
+import "fmt"
+
+// AugChainExact computes the *exact* per-packet authentication probability
+// of the augmented chain C_{a,b} under i.i.d. loss — the counterpart of
+// MarkovExact for the two-level topology, with no independence
+// approximation.
+//
+// Method: the first-level chain is the periodic process
+// V(x) = R(x) ∧ (V(x-1) ∨ V(x-a)) evaluated exactly by tracking the joint
+// distribution of the trailing a chain-verifiability bits; the DP also
+// yields the joint law of (V(x), V(x+1)) for every segment. An inserted
+// packet (x, y) is verifiable iff it is received and either its segment's
+// chain packet is verifiable, or the whole run of inserted packets
+// (x, y+1..b) survives to a verifiable next chain packet:
+//
+//	q(x,y) = P(V(x)) + P(¬V(x) ∧ V(x+1)) · (1-p)^(b-y)
+//
+// which is exact because inserted-packet receptions are independent of the
+// chain bits under i.i.d. loss.
+//
+// The block must end on a chain-packet boundary (n ≡ 1 mod b+1, see
+// AlignN); unaligned tails would leave dangling inserted packets whose
+// exact treatment differs from any real deployment.
+type AugChainExact struct {
+	N int
+	A int
+	B int
+	P float64
+}
+
+// Validate checks the parameters.
+func (c AugChainExact) Validate() error {
+	base := AugChain{N: c.N, A: c.A, B: c.B, P: c.P}
+	if err := base.Validate(); err != nil {
+		return err
+	}
+	if (c.N-1)%(c.B+1) != 0 {
+		return fmt.Errorf("analysis: exact augmented chain needs n ≡ 1 mod b+1 (got n=%d, b=%d); use AlignN", c.N, c.B)
+	}
+	if c.A > maxMarkovWindow {
+		return fmt.Errorf("analysis: chain window %d exceeds limit %d", c.A, maxMarkovWindow)
+	}
+	return nil
+}
+
+// Q evaluates the exact probabilities, indexed like AugChain (reversed
+// linear order, signature packet = 1).
+func (c AugChainExact) Q() (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	segments := (c.N-1)/(c.B+1) + 1 // chain packets x = 0..segments-1
+	res := newResult(c.N)
+	index := func(x, y int) int { return x*(c.B+1) + y + 1 }
+	recv := 1 - c.P
+
+	// Chain-level DP over x = 1..segments-1 (x = 0 is the root).
+	// State: bit j holds V(x-j) for the a most recent chain packets.
+	// Boundary: V(x) = R(x) for x <= a (direct root edges).
+	window := c.A
+	states := 1 << window
+	mask := states - 1
+	dist := make([]float64, states)
+
+	// pVCur[x] = P(V(x)); pNotCurAndNext[x] = P(¬V(x) ∧ V(x+1)).
+	pVCur := make([]float64, segments)
+	pNotCurAndNext := make([]float64, segments)
+	pVCur[0] = 1
+	res.Q[index(0, 0)] = 1
+
+	boundary := c.A
+	if boundary > segments-1 {
+		boundary = segments - 1
+	}
+	// Initialize the window with the boundary chain packets x = 1..a
+	// (independent Bernoulli). Track P(V) along the way.
+	for s := 0; s < states; s++ {
+		prob := 1.0
+		for j := 0; j < window; j++ {
+			x := boundary - j
+			bit := s&(1<<j) != 0
+			switch {
+			case x >= 1 && bit:
+				prob *= recv
+			case x >= 1 && !bit:
+				prob *= c.P
+			case x < 1 && bit:
+				// Slot for the root (or before it): pin to 1.
+				prob *= 1
+			default:
+				prob = 0
+			}
+		}
+		dist[s] = prob
+	}
+	for x := 1; x <= boundary; x++ {
+		pVCur[x] = recv
+		res.Q[index(x, 0)] = 1
+	}
+
+	next := make([]float64, states)
+	for x := boundary + 1; x < segments; x++ {
+		for s := range next {
+			next[s] = 0
+		}
+		var pv float64           // P(V(x))
+		var pNotPrevAndV float64 // P(¬V(x-1) ∧ V(x))
+		for s, prob := range dist {
+			if prob == 0 {
+				continue
+			}
+			prev1 := s&1 != 0            // V(x-1)
+			prevA := s&(1<<(c.A-1)) != 0 // V(x-a)
+			reachable := prev1 || prevA
+			if reachable {
+				pv += prob * recv
+				if !prev1 {
+					pNotPrevAndV += prob * recv
+				}
+				next[(s<<1|1)&mask] += prob * recv
+				next[(s<<1)&mask] += prob * c.P
+			} else {
+				next[(s<<1)&mask] += prob
+			}
+		}
+		pVCur[x] = pv
+		pNotCurAndNext[x-1] = pNotPrevAndV
+		res.Q[index(x, 0)] = pv / recv
+		dist, next = next, dist
+	}
+	// Boundary joints: for x < boundary, V(x+1) = R(x+1) independent of
+	// V(x), so P(¬V(x) ∧ V(x+1)) factorizes.
+	for x := 0; x < boundary; x++ {
+		pNotCurAndNext[x] = (1 - pVCur[x]) * recv
+	}
+	// The root's successor: P(¬V(0)) = 0, handled by pVCur[0] = 1 above
+	// (pNotCurAndNext[0] stays correct: (1-1)*recv = 0 when boundary>0).
+
+	// Inserted packets.
+	for x := 0; x < segments-1; x++ {
+		for y := 1; y <= c.B; y++ {
+			escape := pNotCurAndNext[x]
+			for k := 0; k < c.B-y; k++ {
+				escape *= recv
+			}
+			res.Q[index(x, y)] = pVCur[x] + escape
+		}
+	}
+	res.finalize()
+	return res, nil
+}
+
+// QMin returns the exact minimum authentication probability.
+func (c AugChainExact) QMin() (float64, error) {
+	res, err := c.Q()
+	if err != nil {
+		return 0, err
+	}
+	return res.QMin, nil
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import "testing"
+
+func TestAugChainExactValidation(t *testing.T) {
+	bad := []AugChainExact{
+		{N: 13, A: 0, B: 2, P: 0.1},
+		{N: 12, A: 2, B: 2, P: 0.1},  // unaligned: (12-1) % 3 != 0
+		{N: 13, A: 2, B: 2, P: 1.5},  // bad p
+		{N: 52, A: 17, B: 2, P: 0.1}, // window too wide
+	}
+	for _, c := range bad {
+		if _, err := c.Q(); err == nil {
+			t.Errorf("config %+v should fail", c)
+		}
+	}
+}
+
+func TestAugChainExactNoLoss(t *testing.T) {
+	res, err := AugChainExact{N: 31, A: 3, B: 2, P: 0}.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QMin != 1 {
+		t.Errorf("QMin at p=0 = %v, want 1", res.QMin)
+	}
+}
+
+func TestAugChainExactRecurrenceUpperBounds(t *testing.T) {
+	for _, p := range []float64{0.1, 0.3, 0.5} {
+		exact, err := AugChainExact{N: 301, A: 3, B: 2, P: p}.Q()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := AugChain{N: 301, A: 3, B: 2, P: p}.Q()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skip segment 0's inserted packets: the recurrence discounts
+		// the root's reception there (see the augchain scheme tests).
+		for i := 4; i <= 301; i++ {
+			if exact.Q[i] > rec.Q[i]+1e-9 {
+				t.Errorf("p=%v index %d: exact %v exceeds recurrence %v",
+					p, i, exact.Q[i], rec.Q[i])
+			}
+		}
+	}
+}
+
+func TestAugChainExactDecaysWithDepth(t *testing.T) {
+	// Like E_{2,1}, the exact chain has an absorbing failure state, so
+	// q_min decays with block size while the recurrence plateaus.
+	shallow, err := AugChainExact{N: 91, A: 3, B: 2, P: 0.3}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := AugChainExact{N: 901, A: 3, B: 2, P: 0.3}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep >= shallow {
+		t.Errorf("exact q_min should decay with n: %v vs %v", deep, shallow)
+	}
+	rec, err := AugChain{N: 901, A: 3, B: 2, P: 0.3}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec <= deep {
+		t.Errorf("recurrence %v should exceed exact %v at depth", rec, deep)
+	}
+}

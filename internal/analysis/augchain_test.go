@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAugChainValidation(t *testing.T) {
+	cases := []AugChain{
+		{N: 100, A: 0, B: 3, P: 0.1},
+		{N: 100, A: 3, B: 0, P: 0.1},
+		{N: 100, A: 3, B: 3, P: 1.5},
+		{N: 3, A: 3, B: 3, P: 0.1}, // n < b+2
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should fail", c)
+		}
+	}
+}
+
+func TestAugChainIndexing(t *testing.T) {
+	c := AugChain{N: 17, A: 2, B: 3, P: 0.1}
+	if got := c.index(0, 0); got != 1 {
+		t.Errorf("index(0,0) = %d, want 1 (signature packet)", got)
+	}
+	if got := c.index(1, 0); got != 5 {
+		t.Errorf("index(1,0) = %d, want 5", got)
+	}
+	if got := c.index(1, 2); got != 7 {
+		t.Errorf("index(1,2) = %d, want 7", got)
+	}
+	if !c.exists(4, 0) { // index 17
+		t.Error("index 17 should exist")
+	}
+	if c.exists(4, 1) { // index 18 > 17
+		t.Error("index 18 should not exist")
+	}
+	if got := c.Segments(); got != 5 {
+		t.Errorf("Segments = %d, want 5", got)
+	}
+}
+
+func TestAugChainChainPacketsNearSignature(t *testing.T) {
+	c := AugChain{N: 100, A: 3, B: 3, P: 0.5}
+	res, err := c.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain packets x <= a are directly covered by the signature packet.
+	for x := 0; x <= 3; x++ {
+		if got := res.Q[c.index(x, 0)]; got != 1 {
+			t.Errorf("chain packet x=%d q = %v, want 1", x, got)
+		}
+	}
+	// A later chain packet must be below 1 at p=0.5.
+	if got := res.Q[c.index(10, 0)]; got >= 1 {
+		t.Errorf("chain packet x=10 q = %v, want < 1", got)
+	}
+}
+
+func TestAugChainNoLoss(t *testing.T) {
+	qmin, err := AugChain{N: 200, A: 3, B: 3, P: 0}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qmin != 1 {
+		t.Errorf("QMin at p=0 = %v, want 1", qmin)
+	}
+}
+
+func TestAugChainMonotoneInP(t *testing.T) {
+	prev := 1.0
+	for _, p := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		qmin, err := AugChain{N: 500, A: 3, B: 3, P: p}.QMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qmin > prev+1e-12 {
+			t.Errorf("QMin increased with p=%v", p)
+		}
+		prev = qmin
+	}
+}
+
+func TestAugChainQMinRisesWithA(t *testing.T) {
+	// Paper, Figure 5: q_min drops when a decreases (fixed n).
+	p := 0.3
+	prev := -1.0
+	for _, a := range []int{1, 2, 4, 8} {
+		qmin, err := AugChain{N: 1000, A: a, B: 3, P: p}.QMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qmin < prev-1e-9 {
+			t.Errorf("QMin fell when a rose to %d", a)
+		}
+		prev = qmin
+	}
+}
+
+func TestAugChainQMinRisesWithBFixedN(t *testing.T) {
+	// Paper, Figure 5: for fixed block size n, increasing b shortens the
+	// first-level chain, so q_min rises.
+	p := 0.3
+	prev := -1.0
+	for _, b := range []int{1, 3, 7, 15} {
+		qmin, err := AugChain{N: 1000, A: 3, B: b, P: p}.QMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qmin < prev-1e-9 {
+			t.Errorf("QMin fell when b rose to %d (fixed n)", b)
+		}
+		prev = qmin
+	}
+}
+
+func TestAugChainInsensitiveToBFixedLevel1(t *testing.T) {
+	// Paper, Figure 6: with the first-level length fixed (n grows with
+	// b), q_min barely moves once b is larger than a small value.
+	p := 0.3
+	level1 := 100
+	var qmins []float64
+	for _, b := range []int{2, 4, 8, 16} {
+		n := NForLevel1Length(level1, b)
+		qmin, err := AugChain{N: n, A: 3, B: b, P: p}.QMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qmins = append(qmins, qmin)
+	}
+	for i := 1; i < len(qmins); i++ {
+		if math.Abs(qmins[i]-qmins[0]) > 0.02 {
+			t.Errorf("QMin varies with b under fixed level-1 length: %v", qmins)
+		}
+	}
+}
+
+func TestNForLevel1Length(t *testing.T) {
+	// level1 chain packets at indices 1, b+2, 2(b+1)+1, ...
+	if got := NForLevel1Length(5, 3); got != 17 {
+		t.Errorf("NForLevel1Length(5,3) = %d, want 17", got)
+	}
+	c := AugChain{N: NForLevel1Length(5, 3), A: 2, B: 3, P: 0.1}
+	if got := c.Segments(); got != 5 {
+		t.Errorf("Segments = %d, want 5", got)
+	}
+}
+
+func TestAugChainSimilarToEMSSE21(t *testing.T) {
+	// Paper, Figures 8-9: AC C_{3,3} and EMSS E_{2,1} perform very
+	// similarly (both link each packet to two others). Use a block that
+	// ends on a chain-packet boundary (n = 250*(b+1)+1) so the last
+	// segment is not dangling.
+	for _, p := range []float64{0.1, 0.3} {
+		ac, err := AugChain{N: 1001, A: 3, B: 3, P: p}.QMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		emss, err := EMSS{N: 1000, M: 2, D: 1, P: p}.QMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ac-emss) > 0.1 {
+			t.Errorf("p=%v: AC %v vs EMSS %v diverge", p, ac, emss)
+		}
+	}
+}
+
+func TestAugChainRangeProperty(t *testing.T) {
+	for _, c := range []AugChain{
+		{N: 50, A: 1, B: 1, P: 0.5},
+		{N: 51, A: 5, B: 4, P: 0.9},
+		{N: 52, A: 2, B: 9, P: 0.2},
+	} {
+		res, err := c.Q()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= c.N; i++ {
+			if res.Q[i] < 0 || res.Q[i] > 1 || math.IsNaN(res.Q[i]) {
+				t.Fatalf("config %+v: Q[%d] = %v", c, i, res.Q[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+
+	"mcauth/internal/loss"
+)
+
+// MarkovExactBursty computes the exact per-packet authentication
+// probability of a positive-offset periodic topology under *bursty*
+// (Gilbert-Elliott) loss — the paper's Section 6 future work ("extend the
+// derivations to other loss models like the m-state Markov model") solved
+// analytically for m = 2: the joint process (channel state, verifiability
+// of the trailing max-offset window) is itself a Markov chain, tracked
+// exactly.
+//
+// Indexing caveat: the verifiability recurrence runs in reversed
+// (signature-first) order while channel correlation follows send order.
+// Every 2-state Markov chain is reversible, so the loss process is
+// statistically identical read in either direction and the evaluation is
+// exact. The chain is conditioned on the signature packet being received
+// (the paper's standing assumption), which tilts the initial channel state
+// toward the good state.
+type MarkovExactBursty struct {
+	N       int
+	Offsets []int
+	Channel loss.GilbertElliott
+}
+
+// Validate checks the parameters.
+func (c MarkovExactBursty) Validate() error {
+	base := MarkovExact{N: c.N, Offsets: c.Offsets, P: 0}
+	if err := base.Validate(); err != nil {
+		return err
+	}
+	if _, err := loss.NewGilbertElliott(
+		c.Channel.PGoodToBad, c.Channel.PBadToGood, c.Channel.PGood, c.Channel.PBad,
+	); err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	return nil
+}
+
+// Q evaluates the exact authentication probabilities under the bursty
+// channel.
+func (c MarkovExactBursty) Q() (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	maxA := 0
+	for _, a := range c.Offsets {
+		if a > maxA {
+			maxA = a
+		}
+	}
+	res := newResult(c.N)
+	boundary := maxA + 1
+	if boundary > c.N {
+		boundary = c.N
+	}
+	for i := 1; i <= boundary; i++ {
+		res.Q[i] = 1
+	}
+	if c.N <= boundary {
+		res.finalize()
+		return res, nil
+	}
+
+	const nStates = 2 // 0 = good, 1 = bad
+	lossProb := [nStates]float64{c.Channel.PGood, c.Channel.PBad}
+	trans := [nStates][nStates]float64{
+		{1 - c.Channel.PGoodToBad, c.Channel.PGoodToBad},
+		{c.Channel.PBadToGood, 1 - c.Channel.PBadToGood},
+	}
+	windowStates := 1 << maxA
+	mask := windowStates - 1
+	size := nStates * windowStates
+	idx := func(ch, w int) int { return ch*windowStates + w }
+
+	// Initial distribution at the root (reversed index 1): stationary
+	// channel conditioned on the root being received.
+	dist := make([]float64, size)
+	piBad := c.Channel.StationaryBad()
+	norm := (1-piBad)*(1-lossProb[0]) + piBad*(1-lossProb[1])
+	if norm <= 0 {
+		return Result{}, fmt.Errorf("analysis: channel never delivers the signature packet")
+	}
+	dist[idx(0, 0)] = (1 - piBad) * (1 - lossProb[0]) / norm
+	dist[idx(1, 0)] = piBad * (1 - lossProb[1]) / norm
+
+	next := make([]float64, size)
+	step := func(collectQ bool, reachable func(w int) bool) float64 {
+		for s := range next {
+			next[s] = 0
+		}
+		var num, den float64
+		for ch := 0; ch < nStates; ch++ {
+			for w := 0; w < windowStates; w++ {
+				prob := dist[idx(ch, w)]
+				if prob == 0 {
+					continue
+				}
+				reach := reachable(w)
+				for chNext := 0; chNext < nStates; chNext++ {
+					pTrans := prob * trans[ch][chNext]
+					if pTrans == 0 {
+						continue
+					}
+					pRecv := 1 - lossProb[chNext]
+					if collectQ {
+						den += pTrans * pRecv
+						if reach {
+							num += pTrans * pRecv
+						}
+					}
+					newBit := 0
+					if reach {
+						newBit = 1
+					}
+					// Received and reachable -> verifiable.
+					next[idx(chNext, (w<<1|newBit)&mask)] += pTrans * pRecv
+					// Lost (or unreachable): bit 0.
+					next[idx(chNext, (w<<1)&mask)] += pTrans * (1 - pRecv)
+				}
+			}
+		}
+		dist, next = next, dist
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+
+	// Boundary indices 2..boundary: verifiable iff received (direct root
+	// edges), so the "reachable" predicate is constant true and the new
+	// window bit equals the reception outcome.
+	alwaysReachable := func(int) bool { return true }
+	for i := 2; i <= boundary; i++ {
+		step(false, alwaysReachable)
+	}
+	// Beyond the boundary: reachability depends on the window.
+	reachableFromWindow := func(w int) bool {
+		for _, a := range c.Offsets {
+			if w&(1<<(a-1)) != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for i := boundary + 1; i <= c.N; i++ {
+		res.Q[i] = step(true, reachableFromWindow)
+	}
+	res.finalize()
+	return res, nil
+}
+
+// QMin returns the exact minimum authentication probability under the
+// bursty channel.
+func (c MarkovExactBursty) QMin() (float64, error) {
+	res, err := c.Q()
+	if err != nil {
+		return 0, err
+	}
+	return res.QMin, nil
+}

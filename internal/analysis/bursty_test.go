@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"mcauth/internal/loss"
+	"mcauth/internal/stats"
+)
+
+// monteCarloReversedE21 estimates per-reversed-index q_i of E_{2,1} by
+// simulating the channel in send order (rejecting samples that lose the
+// signature packet, i.e. exact conditioning) and running the verifiability
+// process in reversed order.
+func monteCarloReversedE21(t *testing.T, n int, ch loss.GilbertElliott) []float64 {
+	t.Helper()
+	rng := stats.NewRNG(99)
+	recvCount := make([]int, n+1)
+	verCount := make([]int, n+1)
+	const wantSamples = 60000
+	for accepted := 0; accepted < wantSamples; {
+		sent := ch.Sample(rng, n) // send-order reception flags
+		if !sent[n] {
+			continue // signature packet lost: outside the conditioning
+		}
+		accepted++
+		// reversed index i corresponds to send index n+1-i.
+		recv := func(rev int) bool { return sent[n+1-rev] }
+		v := make([]bool, n+1)
+		v[1] = true
+		for i := 2; i <= n; i++ {
+			if i <= 3 {
+				v[i] = recv(i)
+			} else {
+				v[i] = recv(i) && (v[i-1] || v[i-2])
+			}
+		}
+		for i := 2; i <= n; i++ {
+			if recv(i) {
+				recvCount[i]++
+				if v[i] {
+					verCount[i]++
+				}
+			}
+		}
+	}
+	q := make([]float64, n+1)
+	for i := 2; i <= n; i++ {
+		if recvCount[i] > 0 {
+			q[i] = float64(verCount[i]) / float64(recvCount[i])
+		}
+	}
+	q[1] = 1
+	return q
+}
+
+// degenerateChannel behaves exactly like i.i.d. loss at rate p.
+func degenerateChannel(p float64) loss.GilbertElliott {
+	return loss.GilbertElliott{PGoodToBad: 0.5, PBadToGood: 0.5, PGood: p, PBad: p}
+}
+
+func TestBurstyDegenerateMatchesIID(t *testing.T) {
+	for _, p := range []float64{0.1, 0.3, 0.5} {
+		iid, err := MarkovExact{N: 80, Offsets: []int{1, 2}, P: p}.Q()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bursty, err := MarkovExactBursty{
+			N: 80, Offsets: []int{1, 2}, Channel: degenerateChannel(p),
+		}.Q()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 80; i++ {
+			if math.Abs(iid.Q[i]-bursty.Q[i]) > 1e-12 {
+				t.Errorf("p=%v Q[%d]: iid %v vs degenerate-bursty %v", p, i, iid.Q[i], bursty.Q[i])
+			}
+		}
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	bad := []MarkovExactBursty{
+		{N: 0, Offsets: []int{1}, Channel: degenerateChannel(0.1)},
+		{N: 10, Offsets: nil, Channel: degenerateChannel(0.1)},
+		{N: 10, Offsets: []int{-1}, Channel: degenerateChannel(0.1)},
+		{N: 10, Offsets: []int{1}, Channel: loss.GilbertElliott{PGoodToBad: 2}},
+	}
+	for _, c := range bad {
+		if _, err := c.Q(); err == nil {
+			t.Errorf("config %+v should fail", c)
+		}
+	}
+}
+
+// geChain builds a Gilbert-Elliott channel with mean burst length bl and
+// stationary loss rate.
+func geChain(t *testing.T, rate, burstLen float64) loss.GilbertElliott {
+	t.Helper()
+	pBadToGood := 1 / burstLen
+	pGoodToBad := rate * pBadToGood / (1 - rate)
+	ge, err := loss.NewGilbertElliott(pGoodToBad, pBadToGood, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ge
+}
+
+func TestBurstinessCrushesE21(t *testing.T) {
+	// At equal loss rate, lengthening bursts past 1 must slash the exact
+	// E_{2,1} q_min (two consecutive losses sever the chain), while
+	// isolated single losses (burst length exactly 1 under PBad=1 and
+	// immediate recovery) are harmless.
+	iidRate := 0.1
+	single, err := MarkovExactBursty{
+		N: 200, Offsets: []int{1, 2}, Channel: geChain(t, iidRate, 1),
+	}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single < 0.999 {
+		t.Errorf("isolated single losses should be harmless: qmin %v", single)
+	}
+	burst2, err := MarkovExactBursty{
+		N: 200, Offsets: []int{1, 2}, Channel: geChain(t, iidRate, 2),
+	}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burst2 > 0.5*single {
+		t.Errorf("mean-burst-2 should crush E21: %v vs %v", burst2, single)
+	}
+}
+
+func TestBurstySpreadOffsetsResist(t *testing.T) {
+	// Spreading the hash copies (d > burst length) restores burst
+	// tolerance: the two carriers are never both inside one burst.
+	ge := geChain(t, 0.1, 2)
+	tight, err := MarkovExactBursty{N: 200, Offsets: []int{1, 2}, Channel: ge}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := MarkovExactBursty{N: 200, Offsets: []int{1, 8}, Channel: ge}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread <= tight {
+		t.Errorf("spread offsets (%v) should beat tight ones (%v) under bursts", spread, tight)
+	}
+}
+
+func TestBurstyMatchesMonteCarloOnGraph(t *testing.T) {
+	// Cross-check the analytic evaluator against Monte-Carlo simulation
+	// of the same loss process over the EMSS dependence graph.
+	// (The pattern samples in send order; the 2-state chain is
+	// reversible, so the reversed-order evaluation matches.)
+	n := 24
+	ge := geChain(t, 0.15, 3)
+	exact, err := MarkovExactBursty{N: n, Offsets: []int{1, 2}, Channel: ge}.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := monteCarloReversedE21(t, n, ge)
+	for rev := 2; rev <= n; rev++ {
+		if math.Abs(exact.Q[rev]-mc[rev]) > 0.02 {
+			t.Errorf("reversed %d: exact %v vs MC %v", rev, exact.Q[rev], mc[rev])
+		}
+	}
+}

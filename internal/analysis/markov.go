@@ -1,0 +1,147 @@
+package analysis
+
+import "fmt"
+
+// MarkovExact computes the *exact* per-packet authentication probability of
+// a positive-offset periodic topology under i.i.d. loss, by tracking the
+// joint distribution of the verifiability of the last max(Offsets) packets
+// as a Markov chain.
+//
+// The paper's recurrence (Equation 9) multiplies per-path survival terms as
+// if they were independent, but the verifiability events V_{i-a} of nearby
+// packets are positively correlated (they share upstream paths), so the
+// recurrence overestimates q_i — increasingly so far from the signature
+// packet. In fact the exact process has an absorbing failure state: for
+// E_{2,1}, two consecutive unverifiable packets break the chain for the
+// remainder of the block, so the exact q_i decays to zero geometrically
+// while the recurrence converges to a positive fixed point. MarkovExact
+// quantifies that gap (see EXPERIMENTS.md); the recurrence remains the
+// paper's model and is what the figures reproduce.
+//
+// Boundary semantics match the runnable constructions: the signature packet
+// directly carries the hashes of the first max(Offsets) packets after it,
+// so V_i = R_i (verifiable iff received) for reversed indices
+// i <= max(Offsets)+1, and q_i = 1 there.
+type MarkovExact struct {
+	N       int
+	Offsets []int
+	P       float64
+}
+
+// maxMarkovWindow caps the state space at 2^16 states.
+const maxMarkovWindow = 16
+
+// Validate checks the parameters.
+func (c MarkovExact) Validate() error {
+	if err := validateNP(c.N, c.P); err != nil {
+		return err
+	}
+	if len(c.Offsets) == 0 {
+		return fmt.Errorf("analysis: markov evaluator needs at least one offset")
+	}
+	seen := make(map[int]bool, len(c.Offsets))
+	maxA := 0
+	for _, a := range c.Offsets {
+		if a < 1 {
+			return fmt.Errorf("analysis: markov evaluator requires positive offsets, got %d", a)
+		}
+		if seen[a] {
+			return fmt.Errorf("analysis: duplicate offset %d", a)
+		}
+		seen[a] = true
+		if a > maxA {
+			maxA = a
+		}
+	}
+	if maxA > maxMarkovWindow {
+		return fmt.Errorf("analysis: markov window %d exceeds limit %d", maxA, maxMarkovWindow)
+	}
+	return nil
+}
+
+// Q evaluates the exact authentication probabilities.
+func (c MarkovExact) Q() (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	maxA := 0
+	for _, a := range c.Offsets {
+		if a > maxA {
+			maxA = a
+		}
+	}
+	res := newResult(c.N)
+	boundary := maxA + 1
+	if boundary > c.N {
+		boundary = c.N
+	}
+	for i := 1; i <= boundary; i++ {
+		res.Q[i] = 1
+	}
+	if c.N <= boundary {
+		res.finalize()
+		return res, nil
+	}
+
+	// State: bit j (0-based) holds V_{i-1-j} after processing index i.
+	// After the boundary (i = maxA+1), the window covers indices
+	// boundary .. boundary-maxA+1 = 2 .. maxA+1, each verifiable iff
+	// received: independent Bernoulli(1-p). (Index 1 is the signature
+	// packet, outside the window since V_1 = 1 plays no role beyond the
+	// boundary given the direct root edges.)
+	states := 1 << maxA
+	mask := states - 1
+	dist := make([]float64, states)
+	recv := 1 - c.P
+	for s := 0; s < states; s++ {
+		prob := 1.0
+		for j := 0; j < maxA; j++ {
+			if s&(1<<j) != 0 {
+				prob *= recv
+			} else {
+				prob *= c.P
+			}
+		}
+		dist[s] = prob
+	}
+
+	next := make([]float64, states)
+	for i := boundary + 1; i <= c.N; i++ {
+		for s := range next {
+			next[s] = 0
+		}
+		var qi float64
+		for s, prob := range dist {
+			if prob == 0 {
+				continue
+			}
+			reachable := false
+			for _, a := range c.Offsets {
+				if s&(1<<(a-1)) != 0 {
+					reachable = true
+					break
+				}
+			}
+			if reachable {
+				qi += prob
+				next[(s<<1|1)&mask] += prob * recv
+				next[(s<<1)&mask] += prob * c.P
+			} else {
+				next[(s<<1)&mask] += prob
+			}
+		}
+		res.Q[i] = qi
+		dist, next = next, dist
+	}
+	res.finalize()
+	return res, nil
+}
+
+// QMin returns the exact minimum authentication probability.
+func (c MarkovExact) QMin() (float64, error) {
+	res, err := c.Q()
+	if err != nil {
+		return 0, err
+	}
+	return res.QMin, nil
+}

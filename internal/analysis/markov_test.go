@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMarkovValidation(t *testing.T) {
+	cases := []MarkovExact{
+		{N: 10, Offsets: nil, P: 0.1},
+		{N: 10, Offsets: []int{0}, P: 0.1},
+		{N: 10, Offsets: []int{-2}, P: 0.1},
+		{N: 10, Offsets: []int{1, 1}, P: 0.1},
+		{N: 10, Offsets: []int{17}, P: 0.1},
+		{N: 10, Offsets: []int{1}, P: -1},
+	}
+	for _, c := range cases {
+		if _, err := c.Q(); err == nil {
+			t.Errorf("config %+v should fail", c)
+		}
+	}
+}
+
+func TestMarkovSingleOffsetIsChain(t *testing.T) {
+	// With A = {1} the exact process is the Rohatgi chain and the
+	// recurrence is exact (a single path has no correlation to ignore).
+	n, p := 20, 0.3
+	exact, err := MarkovExact{N: n, Offsets: []int{1}, P: p}.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i <= n; i++ {
+		want := math.Pow(1-p, float64(i-2))
+		if math.Abs(exact.Q[i]-want) > 1e-12 {
+			t.Errorf("Q[%d] = %v, want %v", i, exact.Q[i], want)
+		}
+	}
+}
+
+func TestMarkovMatchesBruteForceE21(t *testing.T) {
+	// Brute-force the E_{2,1} verifiability process over all loss
+	// patterns for a small block and compare exactly.
+	n, p := 14, 0.3
+	exact, err := MarkovExact{N: n, Offsets: []int{1, 2}, P: p}.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: indices 2..n lossy, V(1)=1, V(i)=R(i) for i<=3,
+	// V(i)=R(i)&&(V(i-1)||V(i-2)) beyond.
+	sumQ := make([]float64, n+1)
+	patterns := 1 << (n - 1)
+	for mask := 0; mask < patterns; mask++ {
+		prob := 1.0
+		recvd := make([]bool, n+1)
+		recvd[1] = true
+		for i := 2; i <= n; i++ {
+			if mask&(1<<(i-2)) != 0 {
+				recvd[i] = true
+				prob *= 1 - p
+			} else {
+				prob *= p
+			}
+		}
+		v := make([]bool, n+1)
+		v[1] = true
+		for i := 2; i <= n; i++ {
+			if i <= 3 {
+				v[i] = recvd[i]
+			} else {
+				v[i] = recvd[i] && (v[i-1] || v[i-2])
+			}
+		}
+		for i := 2; i <= n; i++ {
+			if v[i] {
+				sumQ[i] += prob
+			}
+		}
+	}
+	for i := 4; i <= n; i++ {
+		want := sumQ[i] / (1 - p) // condition on R(i)
+		if math.Abs(exact.Q[i]-want) > 1e-12 {
+			t.Errorf("Q[%d] = %v, brute force %v", i, exact.Q[i], want)
+		}
+	}
+}
+
+func TestRecurrenceUpperBoundsMarkovExact(t *testing.T) {
+	// The verifiability events feeding each packet are positively
+	// correlated, so the independence-assuming recurrence (Equation 9)
+	// must upper-bound the exact probability everywhere.
+	for _, offsets := range [][]int{{1, 2}, {1, 3}, {2, 4}, {1, 2, 3}} {
+		for _, p := range []float64{0.1, 0.3, 0.5} {
+			rec, err := Periodic{N: 100, Offsets: offsets, P: p}.Q()
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := MarkovExact{N: 100, Offsets: offsets, P: p}.Q()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 100; i++ {
+				if exact.Q[i] > rec.Q[i]+1e-9 {
+					t.Errorf("offsets %v p=%v: exact Q[%d]=%v exceeds recurrence %v",
+						offsets, p, i, exact.Q[i], rec.Q[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMarkovAbsorptionDecay(t *testing.T) {
+	// The exact E_{2,1} process has an absorbing failure state (two
+	// consecutive unverifiable packets): q_i must decay toward 0 with
+	// depth, unlike the recurrence's positive fixed point.
+	deep, err := MarkovExact{N: 2000, Offsets: []int{1, 2}, P: 0.3}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep > 0.01 {
+		t.Errorf("exact QMin(n=2000) = %v, want near 0 (absorption)", deep)
+	}
+	rec, err := Periodic{N: 2000, Offsets: []int{1, 2}, P: 0.3}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec < 0.5 {
+		t.Errorf("recurrence QMin = %v, expected positive fixed point", rec)
+	}
+}
+
+func TestMarkovNoLoss(t *testing.T) {
+	res, err := MarkovExact{N: 50, Offsets: []int{1, 2}, P: 0}.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QMin != 1 {
+		t.Errorf("QMin at p=0 = %v, want 1", res.QMin)
+	}
+}
+
+func TestMarkovSmallBlockAllBoundary(t *testing.T) {
+	res, err := MarkovExact{N: 3, Offsets: []int{1, 2, 3, 4}, P: 0.5}.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if res.Q[i] != 1 {
+			t.Errorf("Q[%d] = %v, want 1 (all within boundary)", i, res.Q[i])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package construct
+
+import (
+	"fmt"
+
+	"mcauth/internal/depgraph"
+)
+
+// Online is a streaming construction for the common case Section 5 raises:
+// "the number of packets in a block over a fixed period of time is normally
+// not fixed and online constructions are necessary". The sender appends
+// packets one at a time; each new packet carries the hashes of the packets
+// sent d, 2d, ..., m*d positions earlier (all already known), and the block
+// is cut at an arbitrary point by signing the final packet, which also
+// absorbs the hashes of any packets whose future carriers never got sent.
+//
+// Finalize's graph is identical to the offline E_{m,d} topology for the
+// same n — the uniform policy is exactly what makes online construction
+// possible.
+type Online struct {
+	m, d int
+	n    int
+}
+
+// NewOnline creates a streaming builder with policy parameters m and d.
+func NewOnline(m, d int) (*Online, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("construct: online m=%d must be >= 1", m)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("construct: online d=%d must be >= 1", d)
+	}
+	return &Online{m: m, d: d}, nil
+}
+
+// Append registers the next packet and returns its (1-based) send index
+// together with the indices of the earlier packets whose hashes it must
+// carry.
+func (o *Online) Append() (index int, carries []int) {
+	o.n++
+	for k := 1; k <= o.m; k++ {
+		if target := o.n - k*o.d; target >= 1 {
+			carries = append(carries, target)
+		}
+	}
+	return o.n, carries
+}
+
+// Len returns the number of packets appended so far.
+func (o *Online) Len() int { return o.n }
+
+// Finalize cuts the block: the last appended packet becomes the signature
+// packet, additionally absorbing the hashes of every packet whose carriers
+// fall beyond the block. It returns the block's dependence-graph. At least
+// two packets must have been appended.
+func (o *Online) Finalize() (*depgraph.Graph, error) {
+	if o.n < 2 {
+		return nil, fmt.Errorf("construct: online block has %d packets, need >= 2", o.n)
+	}
+	g, err := depgraph.New(o.n, o.n)
+	if err != nil {
+		return nil, err
+	}
+	for v := 1; v < o.n; v++ {
+		for k := 1; k <= o.m; k++ {
+			carrier := v + k*o.d
+			if carrier > o.n {
+				carrier = o.n // the signature packet absorbs it
+			}
+			if carrier != v && !g.HasEdge(carrier, v) {
+				if err := g.AddEdge(carrier, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,79 @@
+package construct
+
+import (
+	"fmt"
+
+	"mcauth/internal/depgraph"
+)
+
+// Prune removes redundant edges from a graph while keeping every vertex's
+// approximate authentication probability at or above the target — the
+// "minimize the total number of edges subject to a q_min constraint"
+// objective of Section 5, applied as a post-pass to any construction
+// (including hand-designed or probabilistic graphs, which tend to
+// over-provision).
+//
+// The pass is greedy: edges are repeatedly scanned in deterministic order
+// and an edge is dropped whenever the graph still meets the constraint
+// without it; the scan repeats until a fixed point. Reachability from the
+// root is preserved (a removal that disconnects a vertex drives its q to 0
+// and is rejected by the constraint check, for any target > 0).
+func Prune(g *depgraph.Graph, c Constraint) (Plan, int, error) {
+	if err := c.Validate(); err != nil {
+		return Plan{}, 0, err
+	}
+	if g == nil {
+		return Plan{}, 0, fmt.Errorf("construct: nil graph")
+	}
+	if g.N() != c.N {
+		return Plan{}, 0, fmt.Errorf("construct: graph has %d vertices, constraint says %d", g.N(), c.N)
+	}
+	work := g.Clone()
+	meets := func() (bool, error) {
+		q, err := ApproxQ(work, c.P)
+		if err != nil {
+			return false, err
+		}
+		return minQ(q, work.Root()) >= c.TargetQMin, nil
+	}
+	ok, err := meets()
+	if err != nil {
+		return Plan{}, 0, err
+	}
+	if !ok {
+		// Nothing to prune from an infeasible starting point; report
+		// it honestly.
+		plan, err := newPlan(work, c.P, c.TargetQMin)
+		return plan, 0, err
+	}
+	removed := 0
+	for {
+		removedThisPass := 0
+		for _, e := range work.Edges() {
+			if err := work.RemoveEdge(e[0], e[1]); err != nil {
+				return Plan{}, 0, err
+			}
+			ok, err := meets()
+			if err != nil {
+				return Plan{}, 0, err
+			}
+			if ok {
+				removed++
+				removedThisPass++
+				continue
+			}
+			// The edge is load-bearing: restore it.
+			if err := work.AddEdge(e[0], e[1]); err != nil {
+				return Plan{}, 0, err
+			}
+		}
+		if removedThisPass == 0 {
+			break
+		}
+	}
+	plan, err := newPlan(work, c.P, c.TargetQMin)
+	if err != nil {
+		return Plan{}, 0, err
+	}
+	return plan, removed, nil
+}

@@ -1,0 +1,135 @@
+package construct
+
+import (
+	"testing"
+
+	"mcauth/internal/depgraph"
+	"mcauth/internal/stats"
+)
+
+func TestRemoveEdge(t *testing.T) {
+	g, err := depgraph.New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(1, 3)
+	if err := g.RemoveEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 3) || g.NumEdges() != 1 {
+		t.Error("edge not removed")
+	}
+	if err := g.RemoveEdge(1, 3); err == nil {
+		t.Error("removing missing edge should fail")
+	}
+	// Removal must not disturb other adjacency.
+	if !g.HasEdge(1, 2) {
+		t.Error("unrelated edge disturbed")
+	}
+}
+
+func TestPruneShrinksOverProvisionedGraph(t *testing.T) {
+	c := Constraint{N: 40, P: 0.2, TargetQMin: 0.85}
+	plan, rho, err := Probabilistic(c, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Met {
+		t.Fatalf("probabilistic plan (rho=%v) infeasible", rho)
+	}
+	before := plan.Graph.NumEdges()
+	pruned, removed, err := Prune(plan.Graph, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pruned.Met {
+		t.Fatalf("pruning broke the constraint: qmin %v", pruned.QMin)
+	}
+	if removed == 0 || pruned.Graph.NumEdges() >= before {
+		t.Errorf("pruning removed %d edges (before %d, after %d)",
+			removed, before, pruned.Graph.NumEdges())
+	}
+	if err := pruned.Graph.Validate(); err != nil {
+		t.Errorf("pruned graph invalid: %v", err)
+	}
+	// The original graph is untouched.
+	if plan.Graph.NumEdges() != before {
+		t.Error("Prune mutated its input")
+	}
+}
+
+func TestPruneIsFixedPointForTightGraphs(t *testing.T) {
+	// A minimal chain at a loose target still needs every edge for
+	// reachability: nothing is removable.
+	c := Constraint{N: 10, P: 0, TargetQMin: 0.5}
+	g, err := policyGraph(10, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, removed, err := Prune(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Errorf("removed %d edges from a minimal chain", removed)
+	}
+	if pruned.Graph.NumEdges() != 9 {
+		t.Errorf("edges = %d, want 9", pruned.Graph.NumEdges())
+	}
+}
+
+func TestPruneInfeasibleStart(t *testing.T) {
+	// A bare chain at p=0.3 cannot meet 0.9; Prune reports it unmet and
+	// removes nothing.
+	c := Constraint{N: 20, P: 0.3, TargetQMin: 0.9}
+	g, err := policyGraph(20, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, removed, err := Prune(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Met || removed != 0 {
+		t.Errorf("infeasible start: met=%v removed=%d", plan.Met, removed)
+	}
+}
+
+func TestPruneValidation(t *testing.T) {
+	c := Constraint{N: 10, P: 0.1, TargetQMin: 0.9}
+	if _, _, err := Prune(nil, c); err == nil {
+		t.Error("nil graph should fail")
+	}
+	g, err := policyGraph(5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Prune(g, c); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	if _, _, err := Prune(g, Constraint{N: 5, P: -1, TargetQMin: 0.5}); err == nil {
+		t.Error("invalid constraint should fail")
+	}
+}
+
+func TestPrunePolicyGraphDropsClampDuplicates(t *testing.T) {
+	// An m=3 policy at a target m=2 satisfies: pruning should strip
+	// roughly a third of the edges.
+	c := Constraint{N: 60, P: 0.1, TargetQMin: 0.9}
+	g, err := policyGraph(60, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.NumEdges()
+	pruned, removed, err := Prune(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pruned.Met {
+		t.Fatalf("pruned plan unmet: %v", pruned.QMin)
+	}
+	if removed < before/5 {
+		t.Errorf("only %d of %d edges pruned; expected substantial savings", removed, before)
+	}
+}

@@ -1,0 +1,32 @@
+package depgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. The root (signature)
+// vertex is drawn as a double circle; edge labels are the sequence-number
+// differences of Definition 1.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "dependence_graph"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  P%d [shape=doublecircle, label=\"P%d (sign)\"];\n", g.root, g.root)
+	for v := 1; v <= g.n; v++ {
+		if v != g.root {
+			fmt.Fprintf(&b, "  P%d;\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  P%d -> P%d [label=\"%d\"];\n", e[0], e[1], e[0]-e[1])
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

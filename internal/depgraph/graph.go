@@ -1,0 +1,319 @@
+// Package depgraph implements the paper's central abstraction: the
+// dependence-graph of a multicast authentication scheme (Definition 1).
+//
+// A dependence-graph G = (V, E, L) is an acyclic labeled directed graph
+// whose vertices are the packets P_1..P_n of a block (indexed in send
+// order), with a distinguished root vertex P_sign where the digital
+// signature applies. An edge (P_i, P_j) means P_i ↪ P_j: if P_i can be
+// authenticated by a receiver then P_j can also be authenticated using the
+// information carried by P_i (in hash-chained schemes, P_i carries the hash
+// of P_j). The label on edge (P_i, P_j) is the sequence-number difference
+// i - j. Every vertex must be reachable from the root, otherwise the packet
+// cannot be authenticated even without loss.
+//
+// From this structure the package derives the paper's metrics:
+// authentication probability (exact, Monte-Carlo and bounded forms),
+// communication overhead (Equations 2-3), deterministic receiver delay
+// (Equation 4) and receiver buffer sizes.
+package depgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common validation errors.
+var (
+	ErrNotRooted = errors.New("depgraph: some vertex is unreachable from the root")
+	ErrCyclic    = errors.New("depgraph: graph contains a cycle")
+)
+
+// Graph is a dependence-graph over packets 1..n. The zero value is not
+// usable; construct with New.
+type Graph struct {
+	n    int
+	root int
+	out  [][]int // out[i] lists j with edge i -> j, sorted
+	in   [][]int // in[j] lists i with edge i -> j, sorted
+	set  map[int64]struct{}
+	m    int // number of edges
+}
+
+// New creates an empty dependence-graph over packets 1..n with the given
+// root vertex (the packet the signature applies to, usually 1 or n).
+func New(n, root int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("depgraph: block size %d must be >= 1", n)
+	}
+	if root < 1 || root > n {
+		return nil, fmt.Errorf("depgraph: root %d out of [1,%d]", root, n)
+	}
+	return &Graph{
+		n:    n,
+		root: root,
+		out:  make([][]int, n+1),
+		in:   make([][]int, n+1),
+		set:  make(map[int64]struct{}),
+	}, nil
+}
+
+// N returns the number of packets in the block.
+func (g *Graph) N() int { return g.n }
+
+// Root returns the index of P_sign.
+func (g *Graph) Root() int { return g.root }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.m }
+
+func edgeKey(from, to int) int64 {
+	return int64(from)<<32 | int64(uint32(to))
+}
+
+// AddEdge inserts the dependence edge from -> to (packet `from` carries the
+// authentication information for packet `to`). It rejects out-of-range
+// endpoints, self-loops, duplicate edges, and edges into the root (nothing
+// authenticates P_sign except the signature itself).
+func (g *Graph) AddEdge(from, to int) error {
+	if from < 1 || from > g.n {
+		return fmt.Errorf("depgraph: edge source %d out of [1,%d]", from, g.n)
+	}
+	if to < 1 || to > g.n {
+		return fmt.Errorf("depgraph: edge target %d out of [1,%d]", to, g.n)
+	}
+	if from == to {
+		return fmt.Errorf("depgraph: self-loop on vertex %d", from)
+	}
+	if to == g.root {
+		return fmt.Errorf("depgraph: edge into root %d (the root is authenticated by the signature)", g.root)
+	}
+	key := edgeKey(from, to)
+	if _, dup := g.set[key]; dup {
+		return fmt.Errorf("depgraph: duplicate edge %d -> %d", from, to)
+	}
+	g.set[key] = struct{}{}
+	g.out[from] = insertSorted(g.out[from], to)
+	g.in[to] = insertSorted(g.in[to], from)
+	g.m++
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code paths where the edge is known
+// valid by construction; it panics on error. Scheme builders validate their
+// parameters up front and then use this.
+func (g *Graph) MustAddEdge(from, to int) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the edge from -> to; it fails if the edge does not
+// exist. Used by the Section 5 optimizers to prune redundant edges.
+func (g *Graph) RemoveEdge(from, to int) error {
+	key := edgeKey(from, to)
+	if _, ok := g.set[key]; !ok {
+		return fmt.Errorf("depgraph: no edge %d -> %d", from, to)
+	}
+	delete(g.set, key)
+	g.out[from] = removeSorted(g.out[from], to)
+	g.in[to] = removeSorted(g.in[to], from)
+	g.m--
+	return nil
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	return append(s[:i], s[i+1:]...)
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// HasEdge reports whether the edge from -> to exists.
+func (g *Graph) HasEdge(from, to int) bool {
+	_, ok := g.set[edgeKey(from, to)]
+	return ok
+}
+
+// Label returns the label i - j of edge (P_i, P_j). It returns an error if
+// the edge does not exist.
+func (g *Graph) Label(from, to int) (int, error) {
+	if !g.HasEdge(from, to) {
+		return 0, fmt.Errorf("depgraph: no edge %d -> %d", from, to)
+	}
+	return from - to, nil
+}
+
+// OutDegree returns the out-degree of P_i: the number of hashes (or keys)
+// the packet carries (Equation 2).
+func (g *Graph) OutDegree(i int) int { return len(g.out[i]) }
+
+// InDegree returns the in-degree of P_i: how many packets carry
+// authentication information for it.
+func (g *Graph) InDegree(i int) int { return len(g.in[i]) }
+
+// OutNeighbors returns a copy of the targets of edges out of i, ascending.
+func (g *Graph) OutNeighbors(i int) []int {
+	return append([]int(nil), g.out[i]...)
+}
+
+// InNeighbors returns a copy of the sources of edges into i, ascending.
+func (g *Graph) InNeighbors(i int) []int {
+	return append([]int(nil), g.in[i]...)
+}
+
+// Edges returns all edges as [2]int{from, to} pairs in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	edges := make([][2]int, 0, g.m)
+	for from := 1; from <= g.n; from++ {
+		for _, to := range g.out[from] {
+			edges = append(edges, [2]int{from, to})
+		}
+	}
+	return edges
+}
+
+// Validate checks the two structural requirements of Definition 1: the
+// graph is acyclic, and every vertex is reachable from the root.
+func (g *Graph) Validate() error {
+	if err := g.checkAcyclic(); err != nil {
+		return err
+	}
+	reach := g.reachableFromRoot()
+	for v := 1; v <= g.n; v++ {
+		if !reach[v] {
+			return fmt.Errorf("%w: vertex %d", ErrNotRooted, v)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) checkAcyclic() error {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int8, g.n+1)
+	// Iterative DFS to avoid stack growth on deep chains.
+	type frame struct {
+		v    int
+		next int
+	}
+	for start := 1; start <= g.n; start++ {
+		if state[start] != unvisited {
+			continue
+		}
+		stack := []frame{{v: start}}
+		state[start] = inStack
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.out[f.v]) {
+				w := g.out[f.v][f.next]
+				f.next++
+				switch state[w] {
+				case inStack:
+					return fmt.Errorf("%w: back edge %d -> %d", ErrCyclic, f.v, w)
+				case unvisited:
+					state[w] = inStack
+					stack = append(stack, frame{v: w})
+				}
+				continue
+			}
+			state[f.v] = done
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+func (g *Graph) reachableFromRoot() []bool {
+	reach := make([]bool, g.n+1)
+	reach[g.root] = true
+	queue := []int{g.root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.out[v] {
+			if !reach[w] {
+				reach[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return reach
+}
+
+// Unreachable returns the vertices that cannot be authenticated even
+// without loss (no path from the root). Probabilistic constructions
+// (Section 5) may produce a few such vertices.
+func (g *Graph) Unreachable() []int {
+	reach := g.reachableFromRoot()
+	var out []int
+	for v := 1; v <= g.n; v++ {
+		if !reach[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TopoFromRoot returns the reachable vertices in a topological order
+// starting at the root (every edge goes from an earlier to a later position
+// in the returned slice). It fails if the graph is cyclic.
+func (g *Graph) TopoFromRoot() ([]int, error) {
+	if err := g.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	reach := g.reachableFromRoot()
+	indeg := make([]int, g.n+1)
+	for v := 1; v <= g.n; v++ {
+		if !reach[v] {
+			continue
+		}
+		for _, w := range g.out[v] {
+			indeg[w]++
+		}
+	}
+	var queue []int
+	queue = append(queue, g.root)
+	order := make([]int, 0, g.n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order, nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:    g.n,
+		root: g.root,
+		out:  make([][]int, g.n+1),
+		in:   make([][]int, g.n+1),
+		set:  make(map[int64]struct{}, len(g.set)),
+		m:    g.m,
+	}
+	for i := 1; i <= g.n; i++ {
+		c.out[i] = append([]int(nil), g.out[i]...)
+		c.in[i] = append([]int(nil), g.in[i]...)
+	}
+	for k := range g.set {
+		c.set[k] = struct{}{}
+	}
+	return c
+}

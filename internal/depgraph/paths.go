@@ -1,0 +1,231 @@
+package depgraph
+
+import (
+	"fmt"
+	"math"
+)
+
+// ShortestPathLengths returns, for each vertex, the number of *interior*
+// vertices on the shortest path from the root (excluding both the root and
+// the target), or -1 for unreachable vertices. This is the min|θ_1(i)| of
+// Equation (1): the fewest packets whose survival suffices to authenticate
+// P_i, given that P_sign and P_i themselves are present.
+func (g *Graph) ShortestPathLengths() []int {
+	dist := make([]int, g.n+1)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[g.root] = 0
+	queue := []int{g.root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.out[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	// dist counts edges; interior vertices on the path = edges - 1.
+	for v := 1; v <= g.n; v++ {
+		if v == g.root {
+			dist[v] = 0
+			continue
+		}
+		if dist[v] > 0 {
+			dist[v]--
+		}
+	}
+	return dist
+}
+
+// PathEnumeration is the result of enumerating root->target paths.
+type PathEnumeration struct {
+	// Paths lists each path as its sequence of vertices from root to
+	// target inclusive.
+	Paths [][]int
+	// Complete is true when every path was enumerated (the limit was not
+	// hit); only then are the Equation (1) bounds derived from this
+	// enumeration sound.
+	Complete bool
+}
+
+// EnumeratePaths lists up to limit distinct simple paths from the root to
+// target by depth-first search. Dependence graphs are DAGs, so every path
+// is simple; the limit guards against the exponential path counts of
+// highly redundant topologies.
+func (g *Graph) EnumeratePaths(target, limit int) (PathEnumeration, error) {
+	if target < 1 || target > g.n {
+		return PathEnumeration{}, fmt.Errorf("depgraph: target %d out of [1,%d]", target, g.n)
+	}
+	if limit <= 0 {
+		return PathEnumeration{}, fmt.Errorf("depgraph: path limit %d must be positive", limit)
+	}
+	if err := g.checkAcyclic(); err != nil {
+		return PathEnumeration{}, err
+	}
+	// Prune vertices that cannot reach the target.
+	canReach := make([]bool, g.n+1)
+	canReach[target] = true
+	queue := []int{target}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.in[v] {
+			if !canReach[u] {
+				canReach[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	enum := PathEnumeration{Complete: true}
+	if !canReach[g.root] {
+		return enum, nil
+	}
+	var path []int
+	var dfs func(v int)
+	dfs = func(v int) {
+		if len(enum.Paths) >= limit {
+			enum.Complete = false
+			return
+		}
+		path = append(path, v)
+		defer func() { path = path[:len(path)-1] }()
+		if v == target {
+			enum.Paths = append(enum.Paths, append([]int(nil), path...))
+			return
+		}
+		for _, w := range g.out[v] {
+			if canReach[w] {
+				dfs(w)
+			}
+		}
+	}
+	dfs(g.root)
+	return enum, nil
+}
+
+// VertexDisjointPaths returns the maximum number of internally
+// vertex-disjoint paths from the root to target (by Menger's theorem, the
+// minimum number of interior packets whose loss disconnects P_i from
+// P_sign). It measures the "degree of diversity" the paper identifies as
+// driving loss tolerance. It returns 0 when target is unreachable and a
+// very large count is capped by in-degree anyway.
+func (g *Graph) VertexDisjointPaths(target int) (int, error) {
+	if target < 1 || target > g.n {
+		return 0, fmt.Errorf("depgraph: target %d out of [1,%d]", target, g.n)
+	}
+	if target == g.root {
+		return 0, nil
+	}
+	// Max-flow with unit vertex capacities via vertex splitting:
+	// node v becomes v_in (2v) and v_out (2v+1) joined by a capacity-1
+	// arc; each edge (u,w) becomes u_out -> w_in with capacity 1. Root
+	// and target have unbounded vertex capacity.
+	nodes := 2 * (g.n + 1)
+	capacity := make(map[[2]int]int)
+	adj := make([][]int, nodes)
+	addArc := func(a, b, c int) {
+		if _, ok := capacity[[2]int{a, b}]; !ok {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		capacity[[2]int{a, b}] += c
+	}
+	const inf = 1 << 30
+	for v := 1; v <= g.n; v++ {
+		c := 1
+		if v == g.root || v == target {
+			c = inf
+		}
+		addArc(2*v, 2*v+1, c)
+		for _, w := range g.out[v] {
+			addArc(2*v+1, 2*w, 1)
+		}
+	}
+	source, sink := 2*g.root, 2*target+1
+	flow := 0
+	for {
+		// BFS for an augmenting path.
+		parent := make([]int, nodes)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[source] = source
+		queue := []int{source}
+		for len(queue) > 0 && parent[sink] == -1 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if parent[w] == -1 && capacity[[2]int{v, w}] > 0 {
+					parent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+		if parent[sink] == -1 {
+			break
+		}
+		// Unit capacities: each augmenting path carries 1.
+		for v := sink; v != source; v = parent[v] {
+			u := parent[v]
+			capacity[[2]int{u, v}]--
+			capacity[[2]int{v, u}]++
+		}
+		flow++
+		if flow > g.n {
+			return 0, fmt.Errorf("depgraph: max-flow exceeded vertex count; internal error")
+		}
+	}
+	return flow, nil
+}
+
+// LambdaBounds holds the Equation (1) bounds on λ_i = Pr{some path from
+// P_sign to P_i survives}.
+type LambdaBounds struct {
+	Lower float64 // worst-case topology: paths maximally overlapping
+	Upper float64 // best-case topology: paths disjoint (independent)
+	Exact bool    // true when derived from a complete path enumeration
+}
+
+// AuthProbBounds evaluates Equation (1) for target under i.i.d. loss with
+// probability p, using path enumeration capped at pathLimit. With a
+// complete enumeration:
+//
+//	1 - Pr{S(θ_1)}  <=  λ_i  <=  1 - Π_x Pr{S(θ_x)}
+//
+// where Pr{S(θ)} = 1 - (1-p)^|θ| is the probability that the path with
+// interior-vertex set θ is broken, and θ_1 is the shortest path. When the
+// enumeration is truncated the upper bound is computed from the enumerated
+// subset and flagged as inexact.
+func (g *Graph) AuthProbBounds(target int, p float64, pathLimit int) (LambdaBounds, error) {
+	if p < 0 || p > 1 {
+		return LambdaBounds{}, fmt.Errorf("depgraph: loss probability %v out of [0,1]", p)
+	}
+	enum, err := g.EnumeratePaths(target, pathLimit)
+	if err != nil {
+		return LambdaBounds{}, err
+	}
+	if len(enum.Paths) == 0 {
+		return LambdaBounds{Lower: 0, Upper: 0, Exact: enum.Complete}, nil
+	}
+	shortest := math.MaxInt
+	prodBroken := 1.0
+	for _, path := range enum.Paths {
+		interior := len(path) - 2
+		if interior < 0 {
+			interior = 0
+		}
+		if interior < shortest {
+			shortest = interior
+		}
+		pathAlive := math.Pow(1-p, float64(interior))
+		prodBroken *= 1 - pathAlive
+	}
+	return LambdaBounds{
+		Lower: math.Pow(1-p, float64(shortest)),
+		Upper: 1 - prodBroken,
+		Exact: enum.Complete,
+	}, nil
+}

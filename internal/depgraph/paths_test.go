@@ -1,0 +1,242 @@
+package depgraph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShortestPathLengthsChain(t *testing.T) {
+	g := chainGraph(t, 6)
+	dist := g.ShortestPathLengths()
+	// Interior vertices between root P_1 and P_i: i-2 for i >= 2.
+	for i := 2; i <= 6; i++ {
+		if dist[i] != i-2 {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], i-2)
+		}
+	}
+	if dist[1] != 0 {
+		t.Errorf("dist[root] = %d, want 0", dist[1])
+	}
+}
+
+func TestShortestPathLengthsSkipEdges(t *testing.T) {
+	g := emssGraph(t, 7)
+	dist := g.ShortestPathLengths()
+	// With skip-2 edges, shortest path to P_7 uses 1->3->5->7: two
+	// interior vertices.
+	if dist[7] != 2 {
+		t.Errorf("dist[7] = %d, want 2", dist[7])
+	}
+}
+
+func TestShortestPathLengthsUnreachable(t *testing.T) {
+	g, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddEdge(1, 2)
+	dist := g.ShortestPathLengths()
+	if dist[3] != -1 {
+		t.Errorf("dist[3] = %d, want -1", dist[3])
+	}
+}
+
+func TestEnumeratePathsCounts(t *testing.T) {
+	g := emssGraph(t, 5)
+	enum, err := g.EnumeratePaths(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enum.Complete {
+		t.Fatal("enumeration should be complete")
+	}
+	// Paths from 1 to 5 with steps +1/+2 over 4 positions: Fibonacci-like
+	// count = 5 ({1111},{112},{121},{211},{22} compositions of 4).
+	if len(enum.Paths) != 5 {
+		t.Errorf("path count = %d, want 5", len(enum.Paths))
+	}
+	for _, path := range enum.Paths {
+		if path[0] != 1 || path[len(path)-1] != 5 {
+			t.Errorf("path %v has wrong endpoints", path)
+		}
+		for k := 1; k < len(path); k++ {
+			if !g.HasEdge(path[k-1], path[k]) {
+				t.Errorf("path %v uses missing edge %d->%d", path, path[k-1], path[k])
+			}
+		}
+	}
+}
+
+func TestEnumeratePathsLimit(t *testing.T) {
+	g := emssGraph(t, 15)
+	enum, err := g.EnumeratePaths(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enum.Complete {
+		t.Error("truncated enumeration must not report Complete")
+	}
+	if len(enum.Paths) != 3 {
+		t.Errorf("returned %d paths, want 3 (the limit)", len(enum.Paths))
+	}
+}
+
+func TestEnumeratePathsValidation(t *testing.T) {
+	g := chainGraph(t, 4)
+	if _, err := g.EnumeratePaths(0, 10); err == nil {
+		t.Error("target 0 should fail")
+	}
+	if _, err := g.EnumeratePaths(2, 0); err == nil {
+		t.Error("limit 0 should fail")
+	}
+}
+
+func TestEnumeratePathsUnreachableTarget(t *testing.T) {
+	g, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddEdge(1, 2)
+	enum, err := g.EnumeratePaths(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enum.Paths) != 0 || !enum.Complete {
+		t.Errorf("unreachable target: %+v", enum)
+	}
+}
+
+func TestVertexDisjointPathsChain(t *testing.T) {
+	g := chainGraph(t, 6)
+	k, err := g.VertexDisjointPaths(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("chain disjoint paths = %d, want 1", k)
+	}
+}
+
+func TestVertexDisjointPathsEMSS(t *testing.T) {
+	g := emssGraph(t, 7)
+	k, err := g.VertexDisjointPaths(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P_7 has in-edges from P_5 and P_6; 1->2->...->6->7 and 1->3->5->7
+	// are internally disjoint.
+	if k != 2 {
+		t.Errorf("disjoint paths = %d, want 2", k)
+	}
+}
+
+func TestVertexDisjointPathsDirectEdge(t *testing.T) {
+	g, err := New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddEdge(1, 4)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 4)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(3, 4)
+	k, err := g.VertexDisjointPaths(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Errorf("disjoint paths = %d, want 3 (direct + via 2 + via 3)", k)
+	}
+}
+
+func TestVertexDisjointPathsEdgeCases(t *testing.T) {
+	g := chainGraph(t, 4)
+	if _, err := g.VertexDisjointPaths(9); err == nil {
+		t.Error("out-of-range target should fail")
+	}
+	k, err := g.VertexDisjointPaths(g.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Errorf("root target = %d, want 0", k)
+	}
+	// Unreachable target.
+	h, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.MustAddEdge(1, 2)
+	k, err = h.VertexDisjointPaths(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Errorf("unreachable target = %d, want 0", k)
+	}
+}
+
+func TestAuthProbBoundsBracketExact(t *testing.T) {
+	g := emssGraph(t, 12)
+	for _, p := range []float64{0.1, 0.3, 0.5} {
+		exact, err := g.ExactAuthProb(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 2; i <= g.N(); i++ {
+			b, err := g.AuthProbBounds(i, p, 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !b.Exact {
+				t.Fatalf("enumeration should be complete for n=12")
+			}
+			if exact.Q[i] < b.Lower-1e-9 || exact.Q[i] > b.Upper+1e-9 {
+				t.Errorf("p=%v vertex %d: exact %v outside bounds [%v, %v]",
+					p, i, exact.Q[i], b.Lower, b.Upper)
+			}
+		}
+	}
+}
+
+func TestAuthProbBoundsChainTight(t *testing.T) {
+	// A chain has exactly one path, so both bounds coincide with the
+	// closed form.
+	g := chainGraph(t, 8)
+	p := 0.2
+	for i := 2; i <= 8; i++ {
+		b, err := g.AuthProbBounds(i, p, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(1-p, float64(i-2))
+		if math.Abs(b.Lower-want) > 1e-12 || math.Abs(b.Upper-want) > 1e-12 {
+			t.Errorf("vertex %d bounds [%v,%v], want both %v", i, b.Lower, b.Upper, want)
+		}
+	}
+}
+
+func TestAuthProbBoundsValidation(t *testing.T) {
+	g := chainGraph(t, 4)
+	if _, err := g.AuthProbBounds(2, -0.5, 10); err == nil {
+		t.Error("negative p should fail")
+	}
+	if _, err := g.AuthProbBounds(2, 2, 10); err == nil {
+		t.Error("p>1 should fail")
+	}
+}
+
+func TestAuthProbBoundsUnreachable(t *testing.T) {
+	g, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddEdge(1, 2)
+	b, err := g.AuthProbBounds(3, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower != 0 || b.Upper != 0 {
+		t.Errorf("unreachable bounds = %+v, want zeros", b)
+	}
+}

@@ -1,0 +1,231 @@
+package depgraph
+
+import (
+	"fmt"
+	"math"
+
+	"mcauth/internal/stats"
+)
+
+// ReceivePattern samples which packets of a block of size n arrive at a
+// receiver. The returned slice is indexed 1..n (index 0 unused); true means
+// received. Implementations live in internal/loss; BernoulliPattern below
+// covers the paper's i.i.d. model.
+type ReceivePattern func(rng *stats.RNG, n int) []bool
+
+// BernoulliPattern returns a ReceivePattern where each packet is lost
+// independently with probability p (the paper's Section 4.1 network model).
+func BernoulliPattern(p float64) ReceivePattern {
+	return func(rng *stats.RNG, n int) []bool {
+		recv := make([]bool, n+1)
+		for i := 1; i <= n; i++ {
+			recv[i] = !rng.Bernoulli(p)
+		}
+		return recv
+	}
+}
+
+// HeterogeneousPattern returns a ReceivePattern with per-packet loss
+// probabilities probs (index 0 unused, length n+1 at sample time).
+func HeterogeneousPattern(probs []float64) ReceivePattern {
+	return func(rng *stats.RNG, n int) []bool {
+		recv := make([]bool, n+1)
+		for i := 1; i <= n && i < len(probs); i++ {
+			recv[i] = !rng.Bernoulli(probs[i])
+		}
+		return recv
+	}
+}
+
+// VerifiableSet computes, for a given loss pattern, exactly which received
+// packets are verifiable: P_i is verifiable iff it is received and there is
+// a path from P_sign to P_i whose vertices are all received (condition (1)
+// of the paper, with condition (2) holding identically for hash-chained
+// schemes). The root is treated as received regardless of the pattern,
+// matching the paper's standing assumption that P_sign always arrives.
+//
+// received must have length n+1 (index 0 ignored).
+func (g *Graph) VerifiableSet(received []bool) ([]bool, error) {
+	if len(received) != g.n+1 {
+		return nil, fmt.Errorf("depgraph: received slice length %d, want %d", len(received), g.n+1)
+	}
+	verifiable := make([]bool, g.n+1)
+	verifiable[g.root] = true
+	queue := []int{g.root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.out[v] {
+			if verifiable[w] || !received[w] {
+				continue
+			}
+			verifiable[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return verifiable, nil
+}
+
+// AuthResult reports estimated (or exact) per-packet authentication
+// probabilities q_i = Pr{P_i verifiable | P_i received} and the block
+// minimum q_min over non-root packets.
+type AuthResult struct {
+	Q    []float64 // Q[i] for packets 1..n; Q[0] unused (set to NaN)
+	QMin float64
+	// ReceivedCounts and VerifiedCounts are populated by Monte-Carlo
+	// estimation (zero for exact computation) so callers can build
+	// confidence intervals.
+	ReceivedCounts []int
+	VerifiedCounts []int
+}
+
+// MonteCarloAuthProb estimates q_i for every packet by sampling trials loss
+// patterns from pattern and propagating verifiability through the graph.
+func (g *Graph) MonteCarloAuthProb(pattern ReceivePattern, trials int, rng *stats.RNG) (AuthResult, error) {
+	if trials <= 0 {
+		return AuthResult{}, fmt.Errorf("depgraph: trials %d must be positive", trials)
+	}
+	if pattern == nil {
+		return AuthResult{}, fmt.Errorf("depgraph: nil receive pattern")
+	}
+	recvCount := make([]int, g.n+1)
+	verCount := make([]int, g.n+1)
+	for t := 0; t < trials; t++ {
+		received := pattern(rng, g.n)
+		if len(received) != g.n+1 {
+			return AuthResult{}, fmt.Errorf("depgraph: pattern returned %d flags, want %d", len(received), g.n+1)
+		}
+		received[g.root] = true
+		verifiable, err := g.VerifiableSet(received)
+		if err != nil {
+			return AuthResult{}, err
+		}
+		for i := 1; i <= g.n; i++ {
+			if received[i] {
+				recvCount[i]++
+				if verifiable[i] {
+					verCount[i]++
+				}
+			}
+		}
+	}
+	res := AuthResult{
+		Q:              make([]float64, g.n+1),
+		QMin:           1,
+		ReceivedCounts: recvCount,
+		VerifiedCounts: verCount,
+	}
+	res.Q[0] = math.NaN()
+	for i := 1; i <= g.n; i++ {
+		if recvCount[i] == 0 {
+			// Never received in any trial; no conditional estimate.
+			res.Q[i] = math.NaN()
+			continue
+		}
+		res.Q[i] = float64(verCount[i]) / float64(recvCount[i])
+		if res.Q[i] < res.QMin {
+			res.QMin = res.Q[i]
+		}
+	}
+	return res, nil
+}
+
+// Spread summarizes the distribution of per-packet authentication
+// probabilities. The paper points out that q_i "may vary widely from
+// packet to packet" depending on where hashes are placed, and that designs
+// should minimize this variance by giving far-from-signature packets more
+// paths; Spread makes that design criterion measurable.
+func (r AuthResult) Spread() (stats.Summary, error) {
+	var qs []float64
+	for i := 1; i < len(r.Q); i++ {
+		if !math.IsNaN(r.Q[i]) {
+			qs = append(qs, r.Q[i])
+		}
+	}
+	return stats.Summarize(qs)
+}
+
+// maxExactN bounds the block size for exact enumeration: 2^(n-1) patterns.
+const maxExactN = 22
+
+// ExactAuthProb computes q_i exactly for small blocks under i.i.d. loss
+// with probability p, by enumerating all loss patterns of the non-root
+// packets. It is the ground truth the analytic recurrences and the
+// Monte-Carlo estimator are tested against. n must be <= 22.
+func (g *Graph) ExactAuthProb(p float64) (AuthResult, error) {
+	probs := make([]float64, g.n+1)
+	for i := range probs {
+		probs[i] = p
+	}
+	return g.ExactAuthProbVector(probs)
+}
+
+// ExactAuthProbVector computes q_i exactly under *heterogeneous* loss:
+// packet i is lost independently with probability probs[i] (index 0
+// unused). This models position-dependent loss — e.g. congestion building
+// over a block, or priority-dropped packets. n must be <= 22.
+func (g *Graph) ExactAuthProbVector(probs []float64) (AuthResult, error) {
+	if g.n > maxExactN {
+		return AuthResult{}, fmt.Errorf("depgraph: exact enumeration limited to n <= %d, got %d", maxExactN, g.n)
+	}
+	if len(probs) != g.n+1 {
+		return AuthResult{}, fmt.Errorf("depgraph: %d loss probabilities, want %d", len(probs), g.n+1)
+	}
+	for i := 1; i <= g.n; i++ {
+		if probs[i] < 0 || probs[i] > 1 {
+			return AuthResult{}, fmt.Errorf("depgraph: loss probability[%d] = %v out of [0,1]", i, probs[i])
+		}
+	}
+	// Vertices other than the root, in fixed order, indexed by bit.
+	others := make([]int, 0, g.n-1)
+	for v := 1; v <= g.n; v++ {
+		if v != g.root {
+			others = append(others, v)
+		}
+	}
+	probReceived := make([]float64, g.n+1)   // sum of pattern probs where i received
+	probVerifiable := make([]float64, g.n+1) // ... and verifiable
+	received := make([]bool, g.n+1)
+	patterns := 1 << len(others)
+	for mask := 0; mask < patterns; mask++ {
+		prob := 1.0
+		for b, v := range others {
+			if mask&(1<<b) != 0 {
+				received[v] = true
+				prob *= 1 - probs[v]
+			} else {
+				received[v] = false
+				prob *= probs[v]
+			}
+		}
+		received[g.root] = true
+		verifiable, err := g.VerifiableSet(received)
+		if err != nil {
+			return AuthResult{}, err
+		}
+		for i := 1; i <= g.n; i++ {
+			if received[i] {
+				probReceived[i] += prob
+				if verifiable[i] {
+					probVerifiable[i] += prob
+				}
+			}
+		}
+	}
+	res := AuthResult{Q: make([]float64, g.n+1), QMin: 1}
+	res.Q[0] = math.NaN()
+	for i := 1; i <= g.n; i++ {
+		if probReceived[i] == 0 {
+			// p == 1 and i is not the root: conditioning event has
+			// probability zero; by convention report q_i = 0 (the
+			// packet can never be verified).
+			res.Q[i] = 0
+		} else {
+			res.Q[i] = probVerifiable[i] / probReceived[i]
+		}
+		if res.Q[i] < res.QMin {
+			res.QMin = res.Q[i]
+		}
+	}
+	return res, nil
+}

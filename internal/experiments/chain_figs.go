@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"io"
+
+	"mcauth/internal/analysis"
+)
+
+// Fig5Row is one point of the augmented-chain parameter sweep.
+type Fig5Row struct {
+	P    float64
+	A    int
+	B    int
+	QMin float64
+}
+
+// Fig5Series computes C_{a,b} q_min over (a, b) at fixed n = 1000.
+func Fig5Series() ([]Fig5Row, error) {
+	as := []int{1, 2, 3, 5, 8}
+	bs := []int{1, 2, 3, 5, 8}
+	ps := []float64{0.1, 0.3, 0.5}
+	rows := make([]Fig5Row, 0, len(as)*len(bs)*len(ps))
+	for _, p := range ps {
+		for _, a := range as {
+			for _, b := range bs {
+				qmin, err := analysis.AugChain{N: analysis.AlignN(1000, b), A: a, B: b, P: p}.QMin()
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig5Row{P: p, A: a, B: b, QMin: qmin})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func fig5Experiment() Experiment {
+	e := Experiment{
+		ID:          "fig5",
+		Title:       "Augmented chain C_{a,b} q_min vs a and b at fixed block size n=1000",
+		Expectation: "q_min drops when either a or b decreases (fixed n)",
+	}
+	e.Run = func(w io.Writer) error {
+		if err := banner(w, e); err != nil {
+			return err
+		}
+		rows, err := Fig5Series()
+		if err != nil {
+			return err
+		}
+		t := newTable(w, "p", "a", "b", "q_min")
+		for _, r := range rows {
+			t.row(f3(r.P), itoa(r.A), itoa(r.B), f3(r.QMin))
+		}
+		return t.flush()
+	}
+	return e
+}
+
+// Fig6Row is one point of the fixed-first-level sweep.
+type Fig6Row struct {
+	P    float64
+	B    int
+	N    int
+	QMin float64
+}
+
+// fig6Level1 fixes the number of first-level chain packets while b (and
+// hence n) varies.
+const fig6Level1 = 200
+
+// Fig6Series computes C_{3,b} q_min with the first-level length held
+// constant.
+func Fig6Series() ([]Fig6Row, error) {
+	bs := []int{1, 2, 4, 8, 16}
+	ps := []float64{0.1, 0.3, 0.5}
+	rows := make([]Fig6Row, 0, len(bs)*len(ps))
+	for _, p := range ps {
+		for _, b := range bs {
+			n := analysis.NForLevel1Length(fig6Level1, b)
+			qmin, err := analysis.AugChain{N: n, A: 3, B: b, P: p}.QMin()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig6Row{P: p, B: b, N: n, QMin: qmin})
+		}
+	}
+	return rows, nil
+}
+
+func fig6Experiment() Experiment {
+	e := Experiment{
+		ID:          "fig6",
+		Title:       "Augmented chain q_min vs b with the first-level chain length fixed (n grows with b)",
+		Expectation: "q_min is nearly insensitive to b: new packets can be inserted without degrading the scheme",
+	}
+	e.Run = func(w io.Writer) error {
+		if err := banner(w, e); err != nil {
+			return err
+		}
+		rows, err := Fig6Series()
+		if err != nil {
+			return err
+		}
+		t := newTable(w, "p", "b", "n", "q_min")
+		for _, r := range rows {
+			t.row(f3(r.P), itoa(r.B), itoa(r.N), f3(r.QMin))
+		}
+		return t.flush()
+	}
+	return e
+}
+
+// Fig7Row is one point of the EMSS parameter sweep.
+type Fig7Row struct {
+	P    float64
+	M    int
+	D    int
+	QMin float64
+}
+
+// Fig7Series computes E_{m,d} q_min over (m, d) at n = 1000.
+func Fig7Series() ([]Fig7Row, error) {
+	ms := []int{1, 2, 3, 4, 5, 6}
+	ds := []int{1, 5, 10, 50, 100, 200}
+	ps := []float64{0.1, 0.3, 0.5}
+	var rows []Fig7Row
+	for _, p := range ps {
+		for _, m := range ms {
+			for _, d := range ds {
+				if m*d >= 1000 {
+					continue
+				}
+				qmin, err := analysis.EMSS{N: 1000, M: m, D: d, P: p}.QMin()
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig7Row{P: p, M: m, D: d, QMin: qmin})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func fig7Experiment() Experiment {
+	e := Experiment{
+		ID:    "fig7",
+		Title: "EMSS E_{m,d} q_min vs m (hash copies) and d (spacing) at n=1000",
+		Expectation: "q_min levels off once m exceeds 2-4; much less sensitive to d " +
+			"until d approaches ~20% of n",
+	}
+	e.Run = func(w io.Writer) error {
+		if err := banner(w, e); err != nil {
+			return err
+		}
+		rows, err := Fig7Series()
+		if err != nil {
+			return err
+		}
+		t := newTable(w, "p", "m", "d", "q_min")
+		for _, r := range rows {
+			t.row(f3(r.P), itoa(r.M), itoa(r.D), f3(r.QMin))
+		}
+		return t.flush()
+	}
+	return e
+}

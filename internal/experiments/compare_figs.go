@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mcauth/internal/analysis"
+)
+
+// TESLA comparison parameters for Figures 8-9: a disclosure delay chosen
+// "sufficiently large" relative to the network (T_disc = 1 s, mu = 0.5 s,
+// sigma = 0.2 s), per the paper's discussion.
+const (
+	cmpTDisc = 1.0
+	cmpMu    = 0.5
+	cmpSigma = 0.2
+)
+
+// SchemeQMin evaluates one comparison scheme's analytic q_min.
+func SchemeQMin(name string, n int, p float64) (float64, error) {
+	switch name {
+	case "rohatgi":
+		res, err := analysis.Rohatgi(n, p)
+		if err != nil {
+			return 0, err
+		}
+		return res.QMin, nil
+	case "authtree":
+		res, err := analysis.AuthTree(n, p)
+		if err != nil {
+			return 0, err
+		}
+		return res.QMin, nil
+	case "emss(E21)":
+		return analysis.EMSS{N: n, M: 2, D: 1, P: p}.QMin()
+	case "ac(C33)":
+		// Align the block to a chain boundary (see analysis.AlignN).
+		return analysis.AugChain{N: analysis.AlignN(n, 3), A: 3, B: 3, P: p}.QMin()
+	case "tesla":
+		return analysis.TESLA{N: n, P: p, TDisc: cmpTDisc, Mu: cmpMu, Sigma: cmpSigma}.QMin()
+	default:
+		return 0, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+}
+
+// ComparisonSchemes lists the Figure 8 contenders.
+func ComparisonSchemes() []string {
+	return []string{"rohatgi", "authtree", "emss(E21)", "ac(C33)", "tesla"}
+}
+
+// Fig8Row is one point of the scheme comparison.
+type Fig8Row struct {
+	Scheme string
+	P      float64
+	N      int
+	QMin   float64
+}
+
+// Fig8aSeries sweeps loss rate at n = 1000.
+func Fig8aSeries() ([]Fig8Row, error) {
+	ps := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	var rows []Fig8Row
+	for _, name := range ComparisonSchemes() {
+		for _, p := range ps {
+			qmin, err := SchemeQMin(name, 1000, p)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig8Row{Scheme: name, P: p, N: 1000, QMin: qmin})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8bSeries sweeps block size at p = 0.1.
+func Fig8bSeries() ([]Fig8Row, error) {
+	ns := []int{100, 200, 500, 1000, 2000}
+	var rows []Fig8Row
+	for _, name := range ComparisonSchemes() {
+		for _, n := range ns {
+			qmin, err := SchemeQMin(name, n, 0.1)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig8Row{Scheme: name, P: 0.1, N: n, QMin: qmin})
+		}
+	}
+	return rows, nil
+}
+
+func fig8Experiment() Experiment {
+	e := Experiment{
+		ID:    "fig8",
+		Title: "q_min comparison: Rohatgi / AuthTree / EMSS E_{2,1} / AC C_{3,3} / TESLA vs (a) p, (b) n",
+		Expectation: "Rohatgi collapses; AuthTree pinned at 1; EMSS ≈ AC; TESLA wins at high p " +
+			"(given ample T_disc) but pays its timing factor at low p",
+	}
+	e.Run = func(w io.Writer) error {
+		if err := banner(w, e); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, "(a) q_min vs loss rate p at n=1000"); err != nil {
+			return err
+		}
+		rowsA, err := Fig8aSeries()
+		if err != nil {
+			return err
+		}
+		t := newTable(w, "scheme", "p", "q_min")
+		for _, r := range rowsA {
+			t.row(r.Scheme, f3(r.P), f3(r.QMin))
+		}
+		if err := t.flush(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, "\n(b) q_min vs block size n at p=0.1"); err != nil {
+			return err
+		}
+		rowsB, err := Fig8bSeries()
+		if err != nil {
+			return err
+		}
+		t = newTable(w, "scheme", "n", "q_min")
+		for _, r := range rowsB {
+			t.row(r.Scheme, itoa(r.N), f3(r.QMin))
+		}
+		return t.flush()
+	}
+	return e
+}
+
+// Fig9Series takes a closer look at EMSS/AC/TESLA across n at p = 0.1 and
+// p = 0.5.
+func Fig9Series() ([]Fig8Row, error) {
+	ns := []int{200, 500, 1000, 2000, 5000}
+	schemes := []string{"emss(E21)", "ac(C33)", "tesla"}
+	var rows []Fig8Row
+	for _, p := range []float64{0.1, 0.5} {
+		for _, name := range schemes {
+			for _, n := range ns {
+				qmin, err := SchemeQMin(name, n, p)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig8Row{Scheme: name, P: p, N: n, QMin: qmin})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func fig9Experiment() Experiment {
+	e := Experiment{
+		ID:    "fig9",
+		Title: "Close-up: EMSS E_{2,1} / AC C_{3,3} / TESLA q_min vs n at p=0.1 and p=0.5",
+		Expectation: "EMSS and AC track each other closely and vary little with n; " +
+			"TESLA is flat in n and dominates at p=0.5",
+	}
+	e.Run = func(w io.Writer) error {
+		if err := banner(w, e); err != nil {
+			return err
+		}
+		rows, err := Fig9Series()
+		if err != nil {
+			return err
+		}
+		t := newTable(w, "p", "scheme", "n", "q_min")
+		for _, r := range rows {
+			t.row(f3(r.P), r.Scheme, itoa(r.N), f3(r.QMin))
+		}
+		return t.flush()
+	}
+	return e
+}

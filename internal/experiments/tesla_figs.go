@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"io"
+
+	"mcauth/internal/analysis"
+)
+
+// Figure 3 parameters: n = 1000, T_disclose = 1 s (per the paper), loss
+// p = 0.1 (the paper leaves p implicit; the surface shape is p-independent
+// up to the (1-p) factor).
+const (
+	fig3N     = 1000
+	fig3TDisc = 1.0
+	fig3P     = 0.1
+)
+
+// Fig3Row is one point of the TESLA delay surface.
+type Fig3Row struct {
+	Sigma float64 // delay std-dev, seconds
+	Alpha float64 // mu = alpha * TDisc
+	QMin  float64
+}
+
+// Fig3Series computes q_min against network delay mean and jitter.
+func Fig3Series() ([]Fig3Row, error) {
+	sigmas := []float64{0.05, 0.1, 0.2, 0.3, 0.5}
+	alphas := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	rows := make([]Fig3Row, 0, len(sigmas)*len(alphas))
+	for _, sigma := range sigmas {
+		for _, alpha := range alphas {
+			cfg, err := analysis.TESLAWithAlpha(fig3N, fig3P, fig3TDisc, alpha, sigma)
+			if err != nil {
+				return nil, err
+			}
+			qmin, err := cfg.QMin()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig3Row{Sigma: sigma, Alpha: alpha, QMin: qmin})
+		}
+	}
+	return rows, nil
+}
+
+func fig3Experiment() Experiment {
+	e := Experiment{
+		ID:    "fig3",
+		Title: "TESLA q_min vs end-to-end delay mean (mu = alpha*T_disc) and jitter sigma",
+		Expectation: "q_min drops as either mu or sigma increases; " +
+			"near-(1-p) plateau while T_disc comfortably exceeds mu",
+	}
+	e.Run = func(w io.Writer) error {
+		if err := banner(w, e); err != nil {
+			return err
+		}
+		rows, err := Fig3Series()
+		if err != nil {
+			return err
+		}
+		t := newTable(w, "sigma(s)", "alpha", "q_min")
+		for _, r := range rows {
+			t.row(f3(r.Sigma), f3(r.Alpha), f3(r.QMin))
+		}
+		return t.flush()
+	}
+	return e
+}
+
+// Fig4Row is one point of the disclosure-delay sweep.
+type Fig4Row struct {
+	Mu    float64 // mean delay, seconds
+	P     float64 // loss rate
+	Ratio float64 // TDisc / sigma
+	QMin  float64
+}
+
+// fig4Sigma fixes the jitter scale; the paper plots against the
+// normalized T_disclose/sigma.
+const fig4Sigma = 0.1
+
+// Fig4Series computes q_min against normalized disclosure delay and loss.
+func Fig4Series() ([]Fig4Row, error) {
+	mus := []float64{0.2, 0.5, 0.8}
+	ps := []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9}
+	ratios := []float64{1, 2, 4, 8, 16}
+	rows := make([]Fig4Row, 0, len(mus)*len(ps)*len(ratios))
+	for _, mu := range mus {
+		for _, p := range ps {
+			for _, ratio := range ratios {
+				cfg := analysis.TESLA{
+					N:     fig3N,
+					P:     p,
+					TDisc: ratio * fig4Sigma,
+					Mu:    mu,
+					Sigma: fig4Sigma,
+				}
+				qmin, err := cfg.QMin()
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig4Row{Mu: mu, P: p, Ratio: ratio, QMin: qmin})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func fig4Experiment() Experiment {
+	e := Experiment{
+		ID:    "fig4",
+		Title: "TESLA q_min vs normalized disclosure delay T_disc/sigma and loss p, per mean delay mu",
+		Expectation: "robust to loss (degrades only as 1-p) once T_disc/sigma is large " +
+			"relative to mu; collapses when T_disc falls below mu",
+	}
+	e.Run = func(w io.Writer) error {
+		if err := banner(w, e); err != nil {
+			return err
+		}
+		rows, err := Fig4Series()
+		if err != nil {
+			return err
+		}
+		t := newTable(w, "mu(s)", "p", "T_disc/sigma", "q_min")
+		for _, r := range rows {
+			t.row(f3(r.Mu), f3(r.P), f1(r.Ratio), f3(r.QMin))
+		}
+		return t.flush()
+	}
+	return e
+}

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"testing"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/scheme/authtree"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/scheme/rohatgi"
+	"mcauth/internal/schemetest"
+)
+
+func TestLateJoinersValidation(t *testing.T) {
+	cfg := baseConfig(t, 0.1, 4)
+	cfg.LateJoiners = 5
+	if err := cfg.Validate(); err == nil {
+		t.Error("late joiners > receivers should fail")
+	}
+	cfg.LateJoiners = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative late joiners should fail")
+	}
+}
+
+func TestLateJoinersMissPreJoinPackets(t *testing.T) {
+	s, err := authtree.New(16, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0, 10)
+	cfg.LateJoiners = 10
+	res, err := Run(s, cfg, 1, schemetest.Payloads(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.PerReceiver {
+		if rep.JoinedAtWire < 2 {
+			t.Errorf("receiver %d marked late but joined at %d", r, rep.JoinedAtWire)
+		}
+		for idx := uint32(1); int(idx) < rep.JoinedAtWire; idx++ {
+			if rep.ReceivedByIndex[idx] {
+				t.Errorf("receiver %d received pre-join packet %d", r, idx)
+			}
+		}
+		// Everything after the join (no loss) must verify: the tree
+		// needs no synchronization.
+		want := 16 - (rep.JoinedAtWire - 1)
+		if rep.Stats.Authenticated != want {
+			t.Errorf("receiver %d authenticated %d, want %d", r, rep.Stats.Authenticated, want)
+		}
+	}
+}
+
+func TestLateJoinersRohatgiCannotSync(t *testing.T) {
+	// Signature-first chain: a late joiner missed the signature packet
+	// and can never verify anything in this block — the paper's
+	// join/leave motivation for per-block (or per-packet) signatures.
+	s, err := rohatgi.New(12, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0, 8)
+	cfg.LateJoiners = 8
+	res, err := Run(s, cfg, 1, schemetest.Payloads(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.PerReceiver {
+		if rep.Stats.Authenticated != 0 {
+			t.Errorf("receiver %d (joined %d) authenticated %d without the signature",
+				r, rep.JoinedAtWire, rep.Stats.Authenticated)
+		}
+	}
+}
+
+func TestLateJoinersEMSSSyncAtSignature(t *testing.T) {
+	// Signature-last EMSS: a late joiner verifies everything it received
+	// after joining, because the signature arrives at block end.
+	s, err := emss.New(emss.Config{N: 12, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0, 8)
+	cfg.LateJoiners = 8
+	res, err := Run(s, cfg, 1, schemetest.Payloads(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.PerReceiver {
+		if rep.Stats.Authenticated != rep.Delivered {
+			t.Errorf("receiver %d verified %d of %d delivered after joining at %d",
+				r, rep.Stats.Authenticated, rep.Delivered, rep.JoinedAtWire)
+		}
+	}
+}
+
+func TestMixedJoinersDeterministic(t *testing.T) {
+	s, err := emss.New(emss.Config{N: 10, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0.2, 20)
+	cfg.LateJoiners = 5
+	a, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := 0
+	for r := range a.PerReceiver {
+		if a.PerReceiver[r].JoinedAtWire != b.PerReceiver[r].JoinedAtWire {
+			t.Fatal("join positions not deterministic under a fixed seed")
+		}
+		if a.PerReceiver[r].JoinedAtWire == 1 {
+			early++
+		}
+	}
+	if early != 15 {
+		t.Errorf("%d early receivers, want 15", early)
+	}
+}

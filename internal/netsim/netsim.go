@@ -1,0 +1,289 @@
+// Package netsim simulates the paper's network substrate: a single source
+// multicasting an authenticated packet stream to many receivers over
+// best-effort links with per-receiver random loss and random end-to-end
+// delay (Section 4.1). The simulator is a per-receiver discrete-event run:
+// packets are stamped with send times, each receiver's copies are dropped
+// or delayed independently, delivered in arrival order (so reordering
+// emerges naturally from delay jitter), and fed to the scheme's verifier.
+// Receivers run concurrently.
+//
+// It substitutes for the paper's unavailable testbed (the Internet): the
+// loss and delay models are exactly the ones the paper's analysis assumes,
+// which is what makes measured-vs-analytic comparison meaningful.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mcauth/internal/delay"
+	"mcauth/internal/loss"
+	"mcauth/internal/packet"
+	"mcauth/internal/scheme"
+	"mcauth/internal/stats"
+	"mcauth/internal/verifier"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Receivers is the number of independent receivers.
+	Receivers int
+	// Loss is the per-receiver loss channel.
+	Loss loss.Model
+	// Delay is the per-packet end-to-end delay model.
+	Delay delay.Model
+	// SendInterval spaces consecutive wire packets at the sender.
+	SendInterval time.Duration
+	// Start is the send time of the first wire packet.
+	Start time.Time
+	// Seed makes the run reproducible.
+	Seed uint64
+	// ReliableIndices lists wire indices that are never lost — used for
+	// the signature/bootstrap packet, per the paper's assumption that
+	// P_sign always arrives (achieved in practice by sending it multiple
+	// times).
+	ReliableIndices []uint32
+	// LateJoiners is how many of the Receivers join mid-stream (the
+	// paper's long-lived sessions where "recipients join and leave
+	// frequently"): each late joiner starts at a uniformly random wire
+	// position and misses everything sent before it — including
+	// ReliableIndices packets, since it was not yet subscribed.
+	LateJoiners int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Receivers < 1 {
+		return fmt.Errorf("netsim: receivers %d must be >= 1", c.Receivers)
+	}
+	if c.Loss == nil {
+		return fmt.Errorf("netsim: nil loss model")
+	}
+	if c.Delay == nil {
+		return fmt.Errorf("netsim: nil delay model")
+	}
+	if c.SendInterval <= 0 {
+		return fmt.Errorf("netsim: send interval %v must be positive", c.SendInterval)
+	}
+	if c.LateJoiners < 0 || c.LateJoiners > c.Receivers {
+		return fmt.Errorf("netsim: late joiners %d out of [0,%d]", c.LateJoiners, c.Receivers)
+	}
+	return nil
+}
+
+// ReceiverReport summarizes one receiver's run.
+type ReceiverReport struct {
+	Delivered int
+	Lost      int
+	// JoinedAtWire is the first wire index this receiver was subscribed
+	// for (1 = from the start).
+	JoinedAtWire int
+	// Verifier counters (authenticated, rejected, unsafe, buffers).
+	Stats verifier.Stats
+	// ReceivedByIndex and VerifiedByIndex are per-wire-index outcomes.
+	ReceivedByIndex map[uint32]bool
+	VerifiedByIndex map[uint32]bool
+	// AuthLatencies holds, for each authenticated packet, the time from
+	// its arrival to its authentication (the measured receiver delay).
+	AuthLatencies []time.Duration
+}
+
+// Result aggregates a run.
+type Result struct {
+	WireCount   int
+	PerReceiver []ReceiverReport
+}
+
+// Run authenticates one block with the scheme and simulates its multicast
+// to every receiver.
+func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("netsim: nil scheme")
+	}
+	pkts, err := s.Authenticate(blockID, payloads)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: authenticate: %w", err)
+	}
+	reliable := make(map[uint32]bool, len(cfg.ReliableIndices))
+	for _, idx := range cfg.ReliableIndices {
+		reliable[idx] = true
+	}
+	sendTimes := make([]time.Time, len(pkts))
+	for w := range pkts {
+		sendTimes[w] = cfg.Start.Add(time.Duration(w) * cfg.SendInterval)
+	}
+
+	root := stats.NewRNG(cfg.Seed)
+	rngs := make([]*stats.RNG, cfg.Receivers)
+	for r := range rngs {
+		rngs[r] = root.Split()
+	}
+
+	result := &Result{
+		WireCount:   len(pkts),
+		PerReceiver: make([]ReceiverReport, cfg.Receivers),
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	joinAt := make([]int, cfg.Receivers)
+	for r := range joinAt {
+		joinAt[r] = 1
+		if r >= cfg.Receivers-cfg.LateJoiners && len(pkts) > 1 {
+			joinAt[r] = 2 + root.Intn(len(pkts)-1)
+		}
+	}
+	for r := 0; r < cfg.Receivers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			report, err := runReceiver(s, cfg, pkts, sendTimes, reliable, joinAt[r], rngs[r])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			result.PerReceiver[r] = report
+		}(r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return result, nil
+}
+
+type arrival struct {
+	wire int // 0-based position in pkts
+	at   time.Time
+}
+
+func runReceiver(
+	s scheme.Scheme,
+	cfg Config,
+	pkts []*packet.Packet,
+	sendTimes []time.Time,
+	reliable map[uint32]bool,
+	joinAt int,
+	rng *stats.RNG,
+) (ReceiverReport, error) {
+	report := ReceiverReport{
+		JoinedAtWire:    joinAt,
+		ReceivedByIndex: make(map[uint32]bool, len(pkts)),
+		VerifiedByIndex: make(map[uint32]bool, len(pkts)),
+	}
+	received := cfg.Loss.Sample(rng, len(pkts))
+	var arrivals []arrival
+	for w, p := range pkts {
+		if w+1 < joinAt {
+			report.Lost++
+			continue
+		}
+		if !received[w+1] && !reliable[p.Index] {
+			report.Lost++
+			continue
+		}
+		arrivals = append(arrivals, arrival{
+			wire: w,
+			at:   sendTimes[w].Add(cfg.Delay.Sample(rng)),
+		})
+	}
+	// Deliver in arrival order: jitter reorders packets naturally.
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].at.Before(arrivals[j].at) })
+
+	v, err := s.NewVerifier()
+	if err != nil {
+		return ReceiverReport{}, fmt.Errorf("netsim: new verifier: %w", err)
+	}
+	arrivedAt := make(map[uint32]time.Time, len(arrivals))
+	for _, a := range arrivals {
+		p := pkts[a.wire]
+		report.Delivered++
+		report.ReceivedByIndex[p.Index] = true
+		arrivedAt[p.Index] = a.at
+		events, err := v.Ingest(p, a.at)
+		if err != nil {
+			return ReceiverReport{}, fmt.Errorf("netsim: ingest wire %d: %w", a.wire+1, err)
+		}
+		for _, e := range events {
+			report.VerifiedByIndex[e.Index] = true
+			if t0, ok := arrivedAt[e.Index]; ok {
+				report.AuthLatencies = append(report.AuthLatencies, a.at.Sub(t0))
+			}
+		}
+	}
+	report.Stats = v.Stats()
+	return report, nil
+}
+
+// AuthRatioByIndex aggregates, across receivers, the fraction of receivers
+// that verified each wire index among those that received it — the
+// empirical q_i of the paper's definition.
+func (r *Result) AuthRatioByIndex() map[uint32]float64 {
+	receivedCount := make(map[uint32]int)
+	verifiedCount := make(map[uint32]int)
+	for _, rep := range r.PerReceiver {
+		for idx := range rep.ReceivedByIndex {
+			receivedCount[idx]++
+			if rep.VerifiedByIndex[idx] {
+				verifiedCount[idx]++
+			}
+		}
+	}
+	out := make(map[uint32]float64, len(receivedCount))
+	for idx, rc := range receivedCount {
+		out[idx] = float64(verifiedCount[idx]) / float64(rc)
+	}
+	return out
+}
+
+// Counts returns total received and verified tallies for a wire index
+// across receivers, for confidence-interval computation.
+func (r *Result) Counts(index uint32) (received, verified int) {
+	for _, rep := range r.PerReceiver {
+		if rep.ReceivedByIndex[index] {
+			received++
+			if rep.VerifiedByIndex[index] {
+				verified++
+			}
+		}
+	}
+	return received, verified
+}
+
+// MinAuthRatio returns the minimum empirical q_i over the given wire
+// indices (use the data-packet indices of the scheme).
+func (r *Result) MinAuthRatio(indices []uint32) float64 {
+	ratios := r.AuthRatioByIndex()
+	minRatio := 1.0
+	for _, idx := range indices {
+		ratio, ok := ratios[idx]
+		if !ok {
+			// Never received across all receivers: treat as 0.
+			return 0
+		}
+		if ratio < minRatio {
+			minRatio = ratio
+		}
+	}
+	return minRatio
+}
+
+// TotalAuthenticated sums verifier-authenticated packets across receivers.
+func (r *Result) TotalAuthenticated() int {
+	total := 0
+	for _, rep := range r.PerReceiver {
+		total += rep.Stats.Authenticated
+	}
+	return total
+}

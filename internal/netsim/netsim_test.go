@@ -1,0 +1,384 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mcauth/internal/analysis"
+	"mcauth/internal/crypto"
+	"mcauth/internal/delay"
+	"mcauth/internal/loss"
+	"mcauth/internal/scheme/augchain"
+	"mcauth/internal/scheme/authtree"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/scheme/rohatgi"
+	"mcauth/internal/scheme/tesla"
+	"mcauth/internal/schemetest"
+	"mcauth/internal/stats"
+)
+
+func bern(t *testing.T, p float64) loss.Model {
+	t.Helper()
+	m, err := loss.NewBernoulli(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func baseConfig(t *testing.T, p float64, receivers int) Config {
+	t.Helper()
+	return Config{
+		Receivers:    receivers,
+		Loss:         bern(t, p),
+		Delay:        delay.Constant{D: 5 * time.Millisecond},
+		SendInterval: 10 * time.Millisecond,
+		Start:        time.Unix(5000, 0),
+		Seed:         42,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := baseConfig(t, 0.1, 2)
+	bad := []func(Config) Config{
+		func(c Config) Config { c.Receivers = 0; return c },
+		func(c Config) Config { c.Loss = nil; return c },
+		func(c Config) Config { c.Delay = nil; return c },
+		func(c Config) Config { c.SendInterval = 0; return c },
+	}
+	for i, mutate := range bad {
+		if err := mutate(good).Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	s, err := rohatgi.New(4, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, mutateReceivers(good, 0), 1, schemetest.Payloads(4)); err == nil {
+		t.Error("invalid config should fail Run")
+	}
+	if _, err := Run(nil, good, 1, schemetest.Payloads(4)); err == nil {
+		t.Error("nil scheme should fail Run")
+	}
+}
+
+func mutateReceivers(c Config, n int) Config {
+	c.Receivers = n
+	return c
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	s, err := emss.New(emss.Config{N: 10, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0.3, 20)
+	a, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalAuthenticated() != b.TotalAuthenticated() {
+		t.Error("same seed must reproduce the run")
+	}
+	cfg.Seed = 43
+	c, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalAuthenticated() == c.TotalAuthenticated() &&
+		equalRatios(a.AuthRatioByIndex(), c.AuthRatioByIndex()) {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func equalRatios(a, b map[uint32]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNoLossEverythingVerifies(t *testing.T) {
+	s, err := emss.New(emss.Config{N: 20, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0, 10)
+	res, err := Run(s, cfg, 1, schemetest.Payloads(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.PerReceiver {
+		if rep.Stats.Authenticated != 20 {
+			t.Errorf("receiver %d authenticated %d, want 20", r, rep.Stats.Authenticated)
+		}
+		if rep.Lost != 0 {
+			t.Errorf("receiver %d lost %d with p=0", r, rep.Lost)
+		}
+	}
+}
+
+func TestHeavyJitterReorderingStillVerifies(t *testing.T) {
+	// With no loss but jitter comparable to the whole block duration,
+	// packets arrive wildly out of order; the verifier must still
+	// authenticate everything.
+	s, err := emss.New(emss.Config{N: 15, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := delay.NewGaussian(100*time.Millisecond, 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0, 10)
+	cfg.Delay = g
+	res, err := Run(s, cfg, 1, schemetest.Payloads(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.PerReceiver {
+		if rep.Stats.Authenticated != 15 {
+			t.Errorf("receiver %d authenticated %d, want 15", r, rep.Stats.Authenticated)
+		}
+	}
+}
+
+func TestReliableIndicesHonored(t *testing.T) {
+	s, err := rohatgi.New(6, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0.9, 50)
+	cfg.ReliableIndices = []uint32{1}
+	res, err := Run(s, cfg, 1, schemetest.Payloads(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.PerReceiver {
+		if !rep.ReceivedByIndex[1] {
+			t.Errorf("receiver %d lost the reliable signature packet", r)
+		}
+	}
+}
+
+func TestRohatgiMeasuredMatchesClosedForm(t *testing.T) {
+	n, p := 10, 0.2
+	s, err := rohatgi.New(n, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, p, 3000)
+	cfg.ReliableIndices = []uint32{1}
+	res, err := Run(s, cfg, 1, schemetest.Payloads(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := analysis.Rohatgi(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In Rohatgi send order equals the analytic chain order.
+	for i := 2; i <= n; i++ {
+		received, verified := res.Counts(uint32(i))
+		iv, err := stats.WilsonInterval(verified, received, 0.9999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !iv.Contains(want.Q[i]) {
+			t.Errorf("packet %d: analytic %v outside measured CI %+v", i, want.Q[i], iv)
+		}
+	}
+}
+
+func TestEMSSMeasuredMatchesMarkovExact(t *testing.T) {
+	n, p := 12, 0.3
+	s, err := emss.New(emss.Config{N: n, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, p, 3000)
+	cfg.ReliableIndices = []uint32{uint32(n)} // signature packet
+	res, err := Run(s, cfg, 1, schemetest.Payloads(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := analysis.MarkovExact{N: n, Offsets: []int{1, 2}, P: p}.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rev := 2; rev <= n; rev++ {
+		send := uint32(n + 1 - rev)
+		received, verified := res.Counts(send)
+		iv, err := stats.WilsonInterval(verified, received, 0.9999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !iv.Contains(exact.Q[rev]) {
+			t.Errorf("reversed %d: exact %v outside measured CI %+v", rev, exact.Q[rev], iv)
+		}
+	}
+}
+
+func TestAugChainSurvivesBurstEndToEnd(t *testing.T) {
+	cfg := baseConfig(t, 0, 100)
+	burst, err := loss.NewSingleBurst(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Loss = burst
+	s, err := augchain.New(augchain.Config{N: 21, A: 3, B: 3}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ReliableIndices = []uint32{21}
+	res, err := Run(s, cfg, 1, schemetest.Payloads(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.PerReceiver {
+		// Every received packet must verify: a single burst of b+1
+		// never disconnects C_{3,3}.
+		if rep.Stats.Authenticated != rep.Delivered {
+			t.Errorf("receiver %d verified %d of %d received",
+				r, rep.Stats.Authenticated, rep.Delivered)
+		}
+	}
+}
+
+func TestAuthTreeImmuneToLoss(t *testing.T) {
+	s, err := authtree.New(16, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0.5, 200)
+	res, err := Run(s, cfg, 1, schemetest.Payloads(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.PerReceiver {
+		if rep.Stats.Authenticated != rep.Delivered {
+			t.Errorf("receiver %d verified %d of %d", r, rep.Stats.Authenticated, rep.Delivered)
+		}
+	}
+}
+
+func TestTESLAMeasuredMatchesEquation7(t *testing.T) {
+	// Gaussian delay with mu = 0.5*TDisc, sigma = 0.25*TDisc; loss 0.2.
+	// Measured min-ratio over data packets ≈ (1-p) * Phi((TDisc-mu)/sigma).
+	n, lag := 8, 2
+	interval := 100 * time.Millisecond
+	tDisc := time.Duration(lag) * interval
+	mu := tDisc / 2
+	sigma := tDisc / 4
+	p := 0.2
+	cfgT := tesla.Config{
+		N:        n,
+		Lag:      lag,
+		Interval: interval,
+		Start:    time.Unix(9000, 0),
+		Seed:     []byte("seed"),
+	}
+	s, err := tesla.New(cfgT, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauss, err := delay.NewGaussian(mu, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Receivers:       4000,
+		Loss:            bern(t, p),
+		Delay:           gauss,
+		SendInterval:    interval,
+		Start:           cfgT.Start,
+		Seed:            7,
+		ReliableIndices: []uint32{1}, // bootstrap
+	}
+	res, err := Run(s, cfg, 1, schemetest.Payloads(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana := analysis.TESLA{
+		N:     n,
+		P:     p,
+		TDisc: tDisc.Seconds(),
+		Mu:    mu.Seconds(),
+		Sigma: sigma.Seconds(),
+	}
+	want, err := ana.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		ratios := res.AuthRatioByIndex()
+		got := ratios[tesla.DataWireIndex(i)]
+		if math.Abs(got-want.Q[i]) > 0.04 {
+			t.Errorf("data %d: measured %v vs analytic %v", i, got, want.Q[i])
+		}
+	}
+	qmin, err := ana.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := make([]uint32, n)
+	for i := range indices {
+		indices[i] = tesla.DataWireIndex(i + 1)
+	}
+	if got := res.MinAuthRatio(indices); math.Abs(got-qmin) > 0.04 {
+		t.Errorf("min ratio %v vs analytic qmin %v", got, qmin)
+	}
+}
+
+func TestLatencyMeasurement(t *testing.T) {
+	// Signature-first chain, in-order delivery: zero authentication
+	// latency for every packet.
+	s, err := rohatgi.New(8, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0, 5)
+	res, err := Run(s, cfg, 1, schemetest.Payloads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range res.PerReceiver {
+		for _, l := range rep.AuthLatencies {
+			if l != 0 {
+				t.Fatalf("rohatgi latency %v, want 0", l)
+			}
+		}
+	}
+	// Signature-last EMSS: the first packet waits for the signature, so
+	// some latencies must be positive.
+	s2, err := emss.New(emss.Config{N: 8, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(s2, cfg, 1, schemetest.Payloads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	positive := false
+	for _, rep := range res2.PerReceiver {
+		for _, l := range rep.AuthLatencies {
+			if l > 0 {
+				positive = true
+			}
+		}
+	}
+	if !positive {
+		t.Error("signature-last scheme should show positive auth latency")
+	}
+}

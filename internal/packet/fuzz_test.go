@@ -1,0 +1,60 @@
+package packet
+
+import (
+	"testing"
+
+	"mcauth/internal/crypto"
+)
+
+// FuzzDecode exercises the wire decoder with adversarial bytes: it must
+// never panic, and any successfully decoded packet must re-encode to an
+// equivalent structure (decode/encode/decode stability).
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings of representative packets.
+	seeds := []*Packet{
+		{BlockID: 1, Index: 1},
+		{BlockID: 7, Index: 3, Payload: []byte("payload")},
+		{
+			BlockID: 2, Index: 9, KeyIndex: 4,
+			Payload:           []byte("p"),
+			Hashes:            []HashRef{{TargetIndex: 2, Digest: crypto.HashBytes([]byte("x"))}},
+			Signature:         []byte("sig"),
+			MAC:               []byte("mac"),
+			DisclosedKey:      []byte("key"),
+			DisclosedKeyIndex: 3,
+		},
+	}
+	for _, p := range seeds {
+		wire, err := p.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		p, err := Decode(wire)
+		if err != nil {
+			return // malformed input must simply be rejected
+		}
+		reWire, err := p.Encode()
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v", err)
+		}
+		p2, err := Decode(reWire)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v", err)
+		}
+		if p.Digest() != p2.Digest() {
+			t.Fatal("decode/encode/decode changed the authenticated content")
+		}
+		if p.DisclosedKeyIndex != p2.DisclosedKeyIndex ||
+			string(p.Signature) != string(p2.Signature) ||
+			string(p.MAC) != string(p2.MAC) ||
+			string(p.DisclosedKey) != string(p2.DisclosedKey) {
+			t.Fatal("decode/encode/decode changed authentication fields")
+		}
+	})
+}

@@ -1,0 +1,97 @@
+// Package augchain implements the Golle-Modadugu augmented chain C_{a,b}
+// (paper Section 2.2): a first-level chain of packets each linked to its
+// successor and to the packet a positions ahead, with b second-phase
+// packets inserted per segment, each linked to two packets. The topology
+// matches the two-level recurrence of Equation (10); the signature packet
+// is sent last.
+package augchain
+
+import (
+	"fmt"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/scheme"
+)
+
+// Config selects the C_{a,b} parameters for a block of N packets.
+type Config struct {
+	N int
+	A int
+	B int
+}
+
+// Validate checks the parameters.
+func (c Config) Validate() error {
+	if c.A < 1 {
+		return fmt.Errorf("augchain: a=%d must be >= 1", c.A)
+	}
+	if c.B < 1 {
+		return fmt.Errorf("augchain: b=%d must be >= 1", c.B)
+	}
+	if c.N < c.B+2 {
+		return fmt.Errorf("augchain: n=%d must be >= b+2=%d", c.N, c.B+2)
+	}
+	return nil
+}
+
+// Segments returns the number of (possibly partial) chain segments.
+func (c Config) Segments() int { return (c.N-1)/(c.B+1) + 1 }
+
+// reversedIndex maps grid coordinates to the reversed linear index
+// (signature packet = 1).
+func (c Config) reversedIndex(x, y int) int { return x*(c.B+1) + y + 1 }
+
+func (c Config) exists(x, y int) bool {
+	i := c.reversedIndex(x, y)
+	return i >= 1 && i <= c.N
+}
+
+// New builds the C_{a,b} scheme. Dependence edges follow Equation (10),
+// translated from reversed to send-order indexing (send = n+1-reversed).
+func New(cfg Config, signer crypto.Signer) (*scheme.Chained, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	send := func(x, y int) int { return cfg.N + 1 - cfg.reversedIndex(x, y) }
+	var edges [][2]int
+	addEdge := func(fromX, fromY, toX, toY int) {
+		edges = append(edges, [2]int{send(fromX, fromY), send(toX, toY)})
+	}
+	segments := cfg.Segments()
+	// Level 1: chain packets.
+	for x := 1; x < segments; x++ {
+		if !cfg.exists(x, 0) {
+			continue
+		}
+		addEdge(x-1, 0, x, 0)
+		prev := x - cfg.A
+		if prev < 0 {
+			prev = 0 // the signature packet covers the first a chain packets
+		}
+		if prev != x-1 {
+			addEdge(prev, 0, x, 0)
+		}
+	}
+	// Level 2: inserted packets.
+	for x := 0; x < segments; x++ {
+		for y := 1; y <= cfg.B; y++ {
+			if !cfg.exists(x, y) {
+				continue
+			}
+			addEdge(x, 0, x, y)
+			if y == cfg.B {
+				if cfg.exists(x+1, 0) {
+					addEdge(x+1, 0, x, y)
+				}
+			} else if cfg.exists(x, y+1) {
+				addEdge(x, y+1, x, y)
+			}
+		}
+	}
+	return scheme.NewChained(scheme.Topology{
+		Name:  fmt.Sprintf("augchain(C_{%d,%d}, n=%d)", cfg.A, cfg.B, cfg.N),
+		N:     cfg.N,
+		Root:  cfg.N, // reversed index 1 is sent last
+		Edges: edges,
+	}, signer)
+}

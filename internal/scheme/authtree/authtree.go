@@ -1,0 +1,279 @@
+// Package authtree implements the Wong-Lam authentication tree (paper
+// Section 2.2): packet hashes form the leaves of a Merkle tree, parents are
+// hashes of their children, and the root is signed. Every packet carries
+// the root signature plus its sibling path, so each packet is individually
+// verifiable: q_i = 1 regardless of loss, zero receiver delay, at the cost
+// of (arity-1)·log_arity(n) hashes plus a signature per packet. The tree
+// degree is configurable (Wong-Lam studied the degree as an
+// overhead/computation knob); New builds the classic binary tree.
+package authtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/depgraph"
+	"mcauth/internal/packet"
+	"mcauth/internal/scheme"
+	"mcauth/internal/verifier"
+)
+
+var (
+	labelLeaf = []byte("authtree-leaf-v1")
+	labelNode = []byte("authtree-node-v1")
+	labelRoot = []byte("authtree-root-v1")
+)
+
+// maxArity bounds the tree degree; beyond this the per-packet path is
+// wider than the tree is deep for any practical n.
+const maxArity = 16
+
+// Tree is the Wong-Lam scheme over blocks of n packets.
+type Tree struct {
+	n      int
+	arity  int
+	depth  int // levels above the leaves
+	leaves int // padded leaf count (power of arity)
+	signer crypto.Signer
+}
+
+var _ scheme.Scheme = (*Tree)(nil)
+
+// New builds the classic binary authentication tree.
+func New(n int, signer crypto.Signer) (*Tree, error) {
+	return NewArity(n, 2, signer)
+}
+
+// NewArity builds a tree of the given degree: higher arity means fewer
+// levels (less hashing) but wider sibling paths (more overhead) per
+// packet.
+func NewArity(n, arity int, signer crypto.Signer) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("authtree: block size %d must be >= 1", n)
+	}
+	if arity < 2 || arity > maxArity {
+		return nil, fmt.Errorf("authtree: arity %d out of [2,%d]", arity, maxArity)
+	}
+	if signer == nil {
+		return nil, fmt.Errorf("authtree: nil signer")
+	}
+	leaves := 1
+	depth := 0
+	for leaves < n {
+		leaves *= arity
+		depth++
+	}
+	return &Tree{n: n, arity: arity, depth: depth, leaves: leaves, signer: signer}, nil
+}
+
+// Name implements Scheme.
+func (t *Tree) Name() string {
+	if t.arity == 2 {
+		return fmt.Sprintf("authtree(n=%d)", t.n)
+	}
+	return fmt.Sprintf("authtree(n=%d, arity=%d)", t.n, t.arity)
+}
+
+// BlockSize implements Scheme.
+func (t *Tree) BlockSize() int { return t.n }
+
+// WireCount implements Scheme.
+func (t *Tree) WireCount() int { return t.n }
+
+// HashesPerPacket returns the sibling-path width (arity-1)·depth.
+func (t *Tree) HashesPerPacket() int { return (t.arity - 1) * t.depth }
+
+// Graph implements Scheme. Every packet is individually verifiable (in the
+// paper's terms, every packet is P_sign); this is rendered as a star from
+// the root so that q_i = 1 for every received packet. Note the per-packet
+// overhead of the tree must be read from the wire packets, not from this
+// graph's edge count.
+func (t *Tree) Graph() (*depgraph.Graph, error) {
+	g, err := depgraph.New(t.n, 1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 2; i <= t.n; i++ {
+		if err := g.AddEdge(1, i); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func leafDigest(blockID uint64, index uint32, payload []byte) crypto.Digest {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], blockID)
+	binary.BigEndian.PutUint32(hdr[8:], index)
+	return crypto.HashConcat(labelLeaf, hdr[:], payload)
+}
+
+func nodeDigest(children []crypto.Digest) crypto.Digest {
+	parts := make([][]byte, 0, len(children)+1)
+	parts = append(parts, labelNode)
+	for i := range children {
+		parts = append(parts, children[i][:])
+	}
+	return crypto.HashConcat(parts...)
+}
+
+func rootMessage(blockID uint64, n int, root crypto.Digest) []byte {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], blockID)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(n))
+	msg := make([]byte, 0, len(labelRoot)+len(hdr)+len(root))
+	msg = append(msg, labelRoot...)
+	msg = append(msg, hdr[:]...)
+	msg = append(msg, root[:]...)
+	return msg
+}
+
+// paddingDigest fills leaves beyond n; it is domain-separated so no real
+// packet can collide with it.
+func paddingDigest(blockID uint64, position int) crypto.Digest {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], blockID)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(position))
+	return crypto.HashConcat([]byte("authtree-pad-v1"), hdr[:])
+}
+
+// pathRef encodes a sibling's (level, slot) as the HashRef target index.
+func (t *Tree) pathRef(level, slot int) uint32 {
+	return uint32(level*t.arity + slot)
+}
+
+// Authenticate implements Scheme: it builds the Merkle tree over the
+// block, signs the root once, and equips every packet with the signature
+// and its sibling path. Each sibling is stored as a HashRef whose
+// TargetIndex encodes its (level, child-slot) position.
+func (t *Tree) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error) {
+	if len(payloads) != t.n {
+		return nil, fmt.Errorf("authtree: got %d payloads, want %d", len(payloads), t.n)
+	}
+	// levels[0] = leaves ... levels[depth] = [root].
+	levels := make([][]crypto.Digest, t.depth+1)
+	levels[0] = make([]crypto.Digest, t.leaves)
+	for i := 0; i < t.leaves; i++ {
+		if i < t.n {
+			levels[0][i] = leafDigest(blockID, uint32(i+1), payloads[i])
+		} else {
+			levels[0][i] = paddingDigest(blockID, i)
+		}
+	}
+	for lvl := 1; lvl <= t.depth; lvl++ {
+		prev := levels[lvl-1]
+		cur := make([]crypto.Digest, len(prev)/t.arity)
+		for i := range cur {
+			cur[i] = nodeDigest(prev[i*t.arity : (i+1)*t.arity])
+		}
+		levels[lvl] = cur
+	}
+	root := levels[t.depth][0]
+	sig := t.signer.Sign(rootMessage(blockID, t.n, root))
+
+	pkts := make([]*packet.Packet, t.n)
+	for i := 0; i < t.n; i++ {
+		p := &packet.Packet{
+			BlockID:   blockID,
+			Index:     uint32(i + 1),
+			Payload:   payloads[i],
+			Signature: append([]byte(nil), sig...),
+		}
+		pos := i
+		for lvl := 0; lvl < t.depth; lvl++ {
+			base := (pos / t.arity) * t.arity
+			own := pos % t.arity
+			for slot := 0; slot < t.arity; slot++ {
+				if slot == own {
+					continue
+				}
+				p.Hashes = append(p.Hashes, packet.HashRef{
+					TargetIndex: t.pathRef(lvl, slot),
+					Digest:      levels[lvl][base+slot],
+				})
+			}
+			pos /= t.arity
+		}
+		pkts[i] = p
+	}
+	return pkts, nil
+}
+
+// NewVerifier implements Scheme.
+func (t *Tree) NewVerifier() (scheme.Verifier, error) {
+	return &treeVerifier{n: t.n, arity: t.arity, depth: t.depth, pub: t.signer.Public()}, nil
+}
+
+type treeVerifier struct {
+	n     int
+	arity int
+	depth int
+	pub   crypto.Verifier
+
+	authentic map[uint32]bool
+	stats     verifier.Stats
+}
+
+var _ scheme.Verifier = (*treeVerifier)(nil)
+
+// Ingest implements scheme.Verifier: each packet verifies independently by
+// recomputing the root from its leaf and sibling path.
+func (tv *treeVerifier) Ingest(p *packet.Packet, _ time.Time) ([]verifier.Event, error) {
+	if p == nil {
+		return nil, fmt.Errorf("authtree: nil packet")
+	}
+	if p.Index < 1 || int(p.Index) > tv.n {
+		return nil, fmt.Errorf("authtree: index %d out of [1,%d]", p.Index, tv.n)
+	}
+	tv.stats.Received++
+	if tv.authentic == nil {
+		tv.authentic = make(map[uint32]bool)
+	}
+	if tv.authentic[p.Index] {
+		tv.stats.Duplicates++
+		return nil, nil
+	}
+	if len(p.Hashes) != tv.depth*(tv.arity-1) {
+		tv.stats.Rejected++
+		return nil, nil
+	}
+	digest := leafDigest(p.BlockID, p.Index, p.Payload)
+	pos := int(p.Index) - 1
+	next := 0
+	children := make([]crypto.Digest, tv.arity)
+	for lvl := 0; lvl < tv.depth; lvl++ {
+		own := pos % tv.arity
+		ok := true
+		for slot := 0; slot < tv.arity; slot++ {
+			if slot == own {
+				children[slot] = digest
+				continue
+			}
+			ref := p.Hashes[next]
+			next++
+			if ref.TargetIndex != uint32(lvl*tv.arity+slot) {
+				ok = false
+				break
+			}
+			children[slot] = ref.Digest
+		}
+		if !ok {
+			tv.stats.Rejected++
+			return nil, nil
+		}
+		digest = nodeDigest(children)
+		pos /= tv.arity
+	}
+	if !tv.pub.Verify(rootMessage(p.BlockID, tv.n, digest), p.Signature) {
+		tv.stats.Rejected++
+		return nil, nil
+	}
+	tv.authentic[p.Index] = true
+	tv.stats.Authenticated++
+	return []verifier.Event{{Index: p.Index, Payload: p.Payload}}, nil
+}
+
+// Stats implements scheme.Verifier.
+func (tv *treeVerifier) Stats() verifier.Stats { return tv.stats }

@@ -1,0 +1,285 @@
+package authtree
+
+import (
+	"testing"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/schemetest"
+)
+
+func TestConformancePowerOfTwo(t *testing.T) {
+	s, err := New(8, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.Conformance(t, s, schemetest.FixedClock)
+}
+
+func TestConformanceOddSize(t *testing.T) {
+	s, err := New(13, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.Conformance(t, s, schemetest.FixedClock)
+}
+
+func TestConformanceSinglePacket(t *testing.T) {
+	s, err := New(1, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.Conformance(t, s, schemetest.FixedClock)
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, crypto.NewSignerFromString("s")); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := New(4, nil); err == nil {
+		t.Error("nil signer should fail")
+	}
+}
+
+func TestEveryPacketIndependentlyVerifiable(t *testing.T) {
+	// The defining property: any packet alone verifies, regardless of
+	// every other packet being lost.
+	s, err := New(10, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := schemetest.Payloads(10)
+	pkts, err := s.Authenticate(1, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		v, err := s.NewVerifier()
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs, err := v.Ingest(p, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) != 1 || evs[0].Index != p.Index {
+			t.Errorf("packet %d alone did not verify: %v", p.Index, evs)
+		}
+	}
+}
+
+func TestOverheadIsLogN(t *testing.T) {
+	s, err := New(16, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := s.Authenticate(1, schemetest.Payloads(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if len(p.Hashes) != 4 { // log2(16)
+			t.Errorf("packet %d carries %d hashes, want 4", p.Index, len(p.Hashes))
+		}
+		if len(p.Signature) == 0 {
+			t.Errorf("packet %d missing signature", p.Index)
+		}
+	}
+}
+
+func TestWrongPathRejected(t *testing.T) {
+	s, err := New(8, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := s.Authenticate(1, schemetest.Payloads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.NewVerifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one sibling hash.
+	bad := *pkts[2]
+	bad.Hashes = append(bad.Hashes[:0:0], bad.Hashes...)
+	bad.Hashes[1].Digest[0] ^= 1
+	evs, err := v.Ingest(&bad, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Error("corrupted auth path accepted")
+	}
+	if v.Stats().Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", v.Stats().Rejected)
+	}
+}
+
+func TestTruncatedPathRejected(t *testing.T) {
+	s, err := New(8, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := s.Authenticate(1, schemetest.Payloads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.NewVerifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *pkts[0]
+	bad.Hashes = bad.Hashes[:1]
+	evs, err := v.Ingest(&bad, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 || v.Stats().Rejected != 1 {
+		t.Error("truncated path accepted")
+	}
+}
+
+func TestPaddingCannotBeForged(t *testing.T) {
+	// A block of 5 packets pads to 8 leaves; an attacker cannot claim a
+	// padding position as a real packet because indices beyond n are
+	// rejected outright.
+	s, err := New(5, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := s.Authenticate(1, schemetest.Payloads(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.NewVerifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := *pkts[4]
+	fake.Index = 6
+	if _, err := v.Ingest(&fake, time.Time{}); err == nil {
+		t.Error("index beyond block size should error")
+	}
+}
+
+func TestGraphStar(t *testing.T) {
+	s, err := New(6, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.ExactAuthProb(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.QMin != 1 {
+		t.Errorf("QMin = %v, want 1 (individual verifiability)", exact.QMin)
+	}
+	maxDelay, err := g.MaxDeterministicDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxDelay != 0 {
+		t.Errorf("delay = %d, want 0", maxDelay)
+	}
+}
+
+func TestDuplicateCounted(t *testing.T) {
+	s, err := New(4, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := s.Authenticate(1, schemetest.Payloads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.NewVerifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := v.Ingest(pkts[0], time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Stats().Duplicates != 1 {
+		t.Errorf("Duplicates = %d, want 1", v.Stats().Duplicates)
+	}
+}
+
+func TestConformanceQuaternary(t *testing.T) {
+	s, err := NewArity(20, 4, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.Conformance(t, s, schemetest.FixedClock)
+}
+
+func TestArityOverheadTradeoff(t *testing.T) {
+	// For n = 64: binary tree carries 6 hashes/packet (depth 6), an
+	// 8-ary tree carries 14 (depth 2 x 7 siblings) — wider but shallower.
+	signer := crypto.NewSignerFromString("s")
+	bin, err := NewArity(64, 2, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oct, err := NewArity(64, 8, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bin.HashesPerPacket(); got != 6 {
+		t.Errorf("binary hashes/pkt = %d, want 6", got)
+	}
+	if got := oct.HashesPerPacket(); got != 14 {
+		t.Errorf("8-ary hashes/pkt = %d, want 14", got)
+	}
+	pkts, err := oct.Authenticate(1, schemetest.Payloads(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if len(p.Hashes) != 14 {
+			t.Fatalf("packet %d carries %d hashes, want 14", p.Index, len(p.Hashes))
+		}
+	}
+}
+
+func TestArityValidation(t *testing.T) {
+	signer := crypto.NewSignerFromString("s")
+	if _, err := NewArity(8, 1, signer); err == nil {
+		t.Error("arity 1 should fail")
+	}
+	if _, err := NewArity(8, 17, signer); err == nil {
+		t.Error("arity 17 should fail")
+	}
+}
+
+func TestArityTamperedSiblingSlotRejected(t *testing.T) {
+	// Reordering the sibling slots must be caught by the slot encoding.
+	s, err := NewArity(9, 3, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := s.Authenticate(1, schemetest.Payloads(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.NewVerifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *pkts[0]
+	bad.Hashes = append(bad.Hashes[:0:0], bad.Hashes...)
+	bad.Hashes[0], bad.Hashes[1] = bad.Hashes[1], bad.Hashes[0]
+	evs, err := v.Ingest(&bad, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 || v.Stats().Rejected != 1 {
+		t.Error("reordered sibling path accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package scheme
+
+import (
+	"fmt"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/depgraph"
+	"mcauth/internal/packet"
+	"mcauth/internal/verifier"
+)
+
+// Topology describes a hash-chaining layout in send-order indexing: Root is
+// the packet the signature applies to, and each edge {from, to} means the
+// packet sent at position `from` carries the hash of the packet sent at
+// position `to` (the dependence edge P_from -> P_to of Definition 1).
+type Topology struct {
+	Name  string
+	N     int
+	Root  int
+	Edges [][2]int
+	// RootCopies is how many times the signature packet is sent (the
+	// paper's remedy for its "P_sign always arrives" assumption: "this
+	// can be easily achieved by sending it multiple times"). 0 and 1
+	// both mean a single copy; the SigCopies term of Equation (3)
+	// accounts for the overhead.
+	RootCopies int
+}
+
+// maxRootCopies bounds replication; beyond a handful of copies the
+// residual loss probability p^copies is negligible for any practical p.
+const maxRootCopies = 8
+
+// Chained turns any Topology into a runnable Scheme: Authenticate embeds
+// digests along the edges and signs the root packet; verification uses the
+// generic engine in internal/verifier.
+type Chained struct {
+	topo   Topology
+	graph  *depgraph.Graph
+	signer crypto.Signer
+	// fillOrder lists vertices so that every packet appears after all
+	// packets whose hashes it carries (reverse topological order).
+	fillOrder []int
+}
+
+var _ Scheme = (*Chained)(nil)
+
+// NewChained validates the topology (acyclic, rooted) and prepares the
+// scheme.
+func NewChained(topo Topology, signer crypto.Signer) (*Chained, error) {
+	if signer == nil {
+		return nil, fmt.Errorf("scheme: nil signer")
+	}
+	if topo.RootCopies < 0 || topo.RootCopies > maxRootCopies {
+		return nil, fmt.Errorf("scheme %s: root copies %d out of [0,%d]", topo.Name, topo.RootCopies, maxRootCopies)
+	}
+	g, err := depgraph.New(topo.N, topo.Root)
+	if err != nil {
+		return nil, fmt.Errorf("scheme %s: %w", topo.Name, err)
+	}
+	for _, e := range topo.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("scheme %s: %w", topo.Name, err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("scheme %s: %w", topo.Name, err)
+	}
+	order, err := g.TopoFromRoot()
+	if err != nil {
+		return nil, fmt.Errorf("scheme %s: %w", topo.Name, err)
+	}
+	// Reverse: dependencies (edge targets) must be finalized before the
+	// packets that carry their hashes.
+	fill := make([]int, len(order))
+	for i, v := range order {
+		fill[len(order)-1-i] = v
+	}
+	return &Chained{topo: topo, graph: g, signer: signer, fillOrder: fill}, nil
+}
+
+// Name implements Scheme.
+func (c *Chained) Name() string { return c.topo.Name }
+
+// BlockSize implements Scheme.
+func (c *Chained) BlockSize() int { return c.topo.N }
+
+// WireCount implements Scheme: block size plus any extra signature-packet
+// copies.
+func (c *Chained) WireCount() int { return c.topo.N + c.extraRootCopies() }
+
+func (c *Chained) extraRootCopies() int {
+	if c.topo.RootCopies > 1 {
+		return c.topo.RootCopies - 1
+	}
+	return 0
+}
+
+// Graph implements Scheme.
+func (c *Chained) Graph() (*depgraph.Graph, error) { return c.graph.Clone(), nil }
+
+// Authenticate implements Scheme: it builds the block's packets, embeds
+// each dependence edge as a carried hash, and signs the root packet.
+func (c *Chained) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error) {
+	if len(payloads) != c.topo.N {
+		return nil, fmt.Errorf("scheme %s: got %d payloads, want %d", c.topo.Name, len(payloads), c.topo.N)
+	}
+	pkts := make([]*packet.Packet, c.topo.N+1) // 1-based
+	for i := 1; i <= c.topo.N; i++ {
+		pkts[i] = &packet.Packet{
+			BlockID: blockID,
+			Index:   uint32(i),
+			Payload: payloads[i-1],
+		}
+	}
+	// Fill hashes children-first so carried digests are final.
+	for _, v := range c.fillOrder {
+		for _, to := range c.graph.OutNeighbors(v) {
+			pkts[v].Hashes = append(pkts[v].Hashes, packet.HashRef{
+				TargetIndex: uint32(to),
+				Digest:      pkts[to].Digest(),
+			})
+		}
+	}
+	root := pkts[c.topo.Root]
+	root.Signature = c.signer.Sign(root.ContentBytes())
+	out := pkts[1:]
+	// Replicate the signature packet at the end of the block; receivers
+	// treat later copies as duplicates.
+	for k := 0; k < c.extraRootCopies(); k++ {
+		out = append(out, root)
+	}
+	return out, nil
+}
+
+// NewVerifier implements Scheme.
+func (c *Chained) NewVerifier() (Verifier, error) {
+	return newChainedVerifier(c.topo.N, c.signer.Public())
+}
+
+// chainedVerifier adapts verifier.Chained to the Scheme interface with a
+// fixed block binding established by the first ingested packet.
+type chainedVerifier struct {
+	n     int
+	pub   crypto.Verifier
+	inner *verifier.Chained
+}
+
+func newChainedVerifier(n int, pub crypto.Verifier) (*chainedVerifier, error) {
+	if pub == nil {
+		return nil, fmt.Errorf("scheme: nil public key")
+	}
+	return &chainedVerifier{n: n, pub: pub}, nil
+}
+
+// Ingest implements Verifier. The first packet binds the verifier to its
+// block ID.
+func (cv *chainedVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Event, error) {
+	if cv.inner == nil {
+		if p == nil {
+			return nil, fmt.Errorf("scheme: nil packet")
+		}
+		inner, err := verifier.NewChained(p.BlockID, cv.n, cv.pub)
+		if err != nil {
+			return nil, err
+		}
+		cv.inner = inner
+	}
+	return cv.inner.Ingest(p, at)
+}
+
+// Stats implements Verifier.
+func (cv *chainedVerifier) Stats() verifier.Stats {
+	if cv.inner == nil {
+		return verifier.Stats{}
+	}
+	return cv.inner.Stats()
+}

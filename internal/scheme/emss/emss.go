@@ -1,0 +1,88 @@
+// Package emss implements EMSS (Perrig et al.), the Efficient Multi-chained
+// Stream Signature scheme of the paper's Section 2.2: the signature packet
+// is the last packet of a block, and each packet's hash is stored in m
+// later packets at spacing d (the paper's E_{m,d} notation). Redundant
+// hash placement buys loss tolerance at the cost of delayed verification.
+package emss
+
+import (
+	"fmt"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/scheme"
+)
+
+// Config selects the E_{m,d} parameters for a block of N packets.
+type Config struct {
+	N int
+	M int
+	D int
+	// SigCopies replicates the signature packet on the wire (0 and 1
+	// both mean one copy), realizing the paper's "sent multiple times"
+	// remedy for signature-packet loss.
+	SigCopies int
+}
+
+// Validate checks the parameters.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("emss: block size %d must be >= 2", c.N)
+	}
+	if c.M < 1 {
+		return fmt.Errorf("emss: m=%d must be >= 1", c.M)
+	}
+	if c.D < 1 {
+		return fmt.Errorf("emss: d=%d must be >= 1", c.D)
+	}
+	if c.M*c.D >= c.N {
+		return fmt.Errorf("emss: m*d=%d must be < n=%d", c.M*c.D, c.N)
+	}
+	return nil
+}
+
+// New builds the E_{m,d} scheme. In send-order indexing the signature
+// packet is P_n; packet s stores its hash in packets s+d, s+2d, ..., s+md
+// (clamped to the block), which as dependence edges reads: s+kd -> s.
+func New(cfg Config, signer crypto.Signer) (*scheme.Chained, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var edges [][2]int
+	for s := 1; s < cfg.N; s++ {
+		for k := 1; k <= cfg.M; k++ {
+			carrier := s + k*cfg.D
+			if carrier > cfg.N {
+				// The signature packet absorbs dangling hashes:
+				// the paper's "hashes of the final few packets"
+				// ride in the signature packet. Only one edge
+				// from the root per target.
+				carrier = cfg.N
+			}
+			if carrier == s {
+				continue
+			}
+			edges = appendEdge(edges, carrier, s)
+		}
+	}
+	return scheme.NewChained(scheme.Topology{
+		Name:       fmt.Sprintf("emss(E_{%d,%d}, n=%d)", cfg.M, cfg.D, cfg.N),
+		N:          cfg.N,
+		Root:       cfg.N,
+		Edges:      edges,
+		RootCopies: cfg.SigCopies,
+	}, signer)
+}
+
+// appendEdge adds an edge once.
+func appendEdge(edges [][2]int, from, to int) [][2]int {
+	for _, e := range edges {
+		if e[0] == from && e[1] == to {
+			return edges
+		}
+	}
+	return append(edges, [2]int{from, to})
+}
+
+// ReversedIndex maps a send-order index to the paper's reversed indexing
+// (signature packet = 1), for comparison with the analytic recurrences.
+func ReversedIndex(sendIndex, n int) int { return n + 1 - sendIndex }

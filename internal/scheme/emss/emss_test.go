@@ -1,0 +1,238 @@
+package emss
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mcauth/internal/analysis"
+	"mcauth/internal/crypto"
+	"mcauth/internal/schemetest"
+)
+
+func TestConformance(t *testing.T) {
+	s, err := New(Config{N: 12, M: 2, D: 1}, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.Conformance(t, s, schemetest.FixedClock)
+}
+
+func TestConformanceLargerSpacing(t *testing.T) {
+	s, err := New(Config{N: 20, M: 3, D: 2}, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.Conformance(t, s, schemetest.FixedClock)
+}
+
+func TestValidation(t *testing.T) {
+	signer := crypto.NewSignerFromString("s")
+	bad := []Config{
+		{N: 1, M: 1, D: 1},
+		{N: 10, M: 0, D: 1},
+		{N: 10, M: 1, D: 0},
+		{N: 10, M: 5, D: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, signer); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+	if _, err := New(Config{N: 10, M: 2, D: 1}, nil); err == nil {
+		t.Error("nil signer should fail")
+	}
+}
+
+func TestRootIsLastPacket(t *testing.T) {
+	s, err := New(Config{N: 10, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root() != 10 {
+		t.Errorf("root = %d, want 10 (signature last)", g.Root())
+	}
+	pkts, err := s.Authenticate(1, schemetest.Payloads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		hasSig := len(p.Signature) > 0
+		if hasSig != (p.Index == 10) {
+			t.Errorf("packet %d signature presence = %v", p.Index, hasSig)
+		}
+	}
+}
+
+func TestGraphMatchesMarkovExact(t *testing.T) {
+	// The exact enumeration over the runnable construction's dependence
+	// graph must agree with the exact Markov-window evaluator: they are
+	// two independent computations of the same quantity.
+	n, p := 14, 0.3
+	s, err := New(Config{N: n, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.ExactAuthProb(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markov, err := analysis.MarkovExact{N: n, Offsets: []int{1, 2}, P: p}.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rev := 1; rev <= n; rev++ {
+		send := n + 1 - rev
+		if diff := math.Abs(exact.Q[send] - markov.Q[rev]); diff > 1e-12 {
+			t.Errorf("reversed %d (send %d): graph %v vs markov %v",
+				rev, send, exact.Q[send], markov.Q[rev])
+		}
+	}
+}
+
+func TestRecurrenceUpperBoundsGraphExact(t *testing.T) {
+	// The paper's Equation (8) recurrence assumes independent paths and
+	// therefore upper-bounds the exact per-packet probability of the
+	// real construction.
+	n, p := 14, 0.3
+	s, err := New(Config{N: n, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.ExactAuthProb(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := analysis.EMSS{N: n, M: 2, D: 1, P: p}.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rev := 1; rev <= n; rev++ {
+		send := n + 1 - rev
+		if exact.Q[send] > rec.Q[rev]+1e-9 {
+			t.Errorf("reversed %d: graph exact %v exceeds recurrence %v",
+				rev, exact.Q[send], rec.Q[rev])
+		}
+	}
+}
+
+func TestBoundaryPacketsAlwaysVerifiable(t *testing.T) {
+	// The signature packet carries the hashes of the last m*d packets
+	// before it, so those verify whenever received (the recurrence's
+	// initial condition).
+	n := 12
+	s, err := New(Config{N: n, M: 2, D: 2}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.ExactAuthProb(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rev := 2; rev <= 2*2+1; rev++ {
+		send := n + 1 - rev
+		if exact.Q[send] != 1 {
+			t.Errorf("reversed index %d (send %d): q = %v, want 1", rev, send, exact.Q[send])
+		}
+	}
+}
+
+func TestSurvivesSingleLoss(t *testing.T) {
+	// Unlike Rohatgi, E_{2,1} tolerates any single interior loss.
+	n := 10
+	s, err := New(Config{N: n, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := schemetest.Payloads(n)
+	for lost := 1; lost < n; lost++ { // never lose the signature packet
+		pkts, err := s.Authenticate(1, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.NewVerifier()
+		if err != nil {
+			t.Fatal(err)
+		}
+		authenticated := 0
+		for _, p := range pkts {
+			if int(p.Index) == lost {
+				continue
+			}
+			evs, err := v.Ingest(p, time.Time{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			authenticated += len(evs)
+		}
+		if authenticated != n-1 {
+			t.Errorf("lost packet %d: authenticated %d of %d received", lost, authenticated, n-1)
+		}
+	}
+}
+
+func TestReversedIndex(t *testing.T) {
+	if got := ReversedIndex(10, 10); got != 1 {
+		t.Errorf("ReversedIndex(10,10) = %d, want 1", got)
+	}
+	if got := ReversedIndex(1, 10); got != 10 {
+		t.Errorf("ReversedIndex(1,10) = %d, want 10", got)
+	}
+}
+
+func TestOverheadMatchesM(t *testing.T) {
+	// Each non-signature packet's hash is stored m times (with clamped
+	// duplicates collapsing into the signature packet), so the average
+	// out-degree is at most m and close to it for n >> m*d.
+	s, err := New(Config{N: 100, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := g.AvgHashesPerPacket()
+	if avg > 2 || avg < 1.8 {
+		t.Errorf("avg hashes per packet = %v, want in (1.8, 2]", avg)
+	}
+}
+
+func TestSigCopiesOnWire(t *testing.T) {
+	s, err := New(Config{N: 8, M: 2, D: 1, SigCopies: 3}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WireCount() != 10 {
+		t.Fatalf("WireCount = %d, want 10", s.WireCount())
+	}
+	pkts, err := s.Authenticate(1, schemetest.Payloads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := 0
+	for _, p := range pkts {
+		if len(p.Signature) > 0 {
+			sigs++
+		}
+	}
+	if sigs != 3 {
+		t.Errorf("found %d signature copies, want 3", sigs)
+	}
+}

@@ -1,0 +1,30 @@
+// Package rohatgi implements the Gennaro-Rohatgi hash chain, the first
+// chained-hash authentication scheme (paper Section 2.2): the signature is
+// on the first packet, and each packet carries the hash of the next. The
+// scheme has zero receiver delay and one hash per packet of overhead, but a
+// single lost packet breaks the chain for everything after it.
+package rohatgi
+
+import (
+	"fmt"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/scheme"
+)
+
+// New builds a Rohatgi chain over blocks of n packets.
+func New(n int, signer crypto.Signer) (*scheme.Chained, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rohatgi: block size %d must be >= 1", n)
+	}
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return scheme.NewChained(scheme.Topology{
+		Name:  fmt.Sprintf("rohatgi(n=%d)", n),
+		N:     n,
+		Root:  1,
+		Edges: edges,
+	}, signer)
+}

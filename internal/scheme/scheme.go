@@ -1,0 +1,45 @@
+// Package scheme defines the common interface of runnable multicast
+// authentication schemes and a generic implementation for any hash-chained
+// (signature-amortizing) topology. Concrete constructions live in
+// sub-packages: rohatgi, emss, augchain (hash-chained topologies), authtree
+// (Wong-Lam), tesla (MAC + delayed key disclosure) and signeach (the
+// sign-every-packet baseline).
+package scheme
+
+import (
+	"time"
+
+	"mcauth/internal/depgraph"
+	"mcauth/internal/packet"
+	"mcauth/internal/verifier"
+)
+
+// Scheme authenticates blocks of a packet stream and exposes its
+// dependence-graph for analysis.
+type Scheme interface {
+	// Name identifies the scheme in reports, e.g. "emss(E_{2,1})".
+	Name() string
+	// BlockSize returns the number of payloads per block.
+	BlockSize() int
+	// WireCount returns the number of wire packets emitted per block
+	// (BlockSize, plus one bootstrap packet for TESLA).
+	WireCount() int
+	// Authenticate builds the wire packets for one block, in send order.
+	// len(payloads) must equal BlockSize.
+	Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error)
+	// Graph returns the scheme's dependence-graph (Definition 1) with
+	// vertices numbered in send order. For TESLA the graph uses the
+	// split message/key vertex encoding of Section 3.2.
+	Graph() (*depgraph.Graph, error)
+	// NewVerifier creates a fresh receiver-side verifier for one block.
+	NewVerifier() (Verifier, error)
+}
+
+// Verifier is the receiver-side state machine of a scheme.
+type Verifier interface {
+	// Ingest consumes one arriving wire packet (at the given receiver-
+	// local time) and returns the packets newly authenticated by it.
+	Ingest(p *packet.Packet, at time.Time) ([]verifier.Event, error)
+	// Stats returns the verifier's counters.
+	Stats() verifier.Stats
+}

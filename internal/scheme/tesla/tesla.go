@@ -1,0 +1,467 @@
+// Package tesla implements TESLA (Perrig et al.), the MAC-based scheme the
+// paper analyzes in Section 3.2: each packet is MACed under a per-interval
+// key from a one-way chain; keys are disclosed after a delay of Lag
+// intervals; a signed bootstrap packet commits to the chain and to the
+// timing schedule. A receiver accepts a packet only if it arrived before
+// the sender could have disclosed the packet's key (the safety condition —
+// the paper's condition (2)), and verifies it once any later chain key
+// arrives (condition (1): a lost key is recovered from any subsequent key).
+//
+// Wire layout per block: packet 1 is the bootstrap; data packet i (1..N)
+// rides at wire index i+1 and is MACed under interval key K_i, disclosing
+// K_{i-Lag}; Lag trailing key-only packets disclose the final keys so that
+// every data packet has exactly N+1-i potential key carriers — matching
+// the paper's λ_i = 1 - p^(n+1-i).
+package tesla
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/depgraph"
+	"mcauth/internal/packet"
+	"mcauth/internal/scheme"
+	"mcauth/internal/verifier"
+)
+
+// Config parameterizes a TESLA block.
+type Config struct {
+	// N is the number of data packets per block (one key interval each).
+	N int
+	// Lag is the key-disclosure delay in intervals (the paper's
+	// T_disclose = Lag * Interval).
+	Lag int
+	// Interval is the per-packet send interval.
+	Interval time.Duration
+	// Start is T0, the send time of the bootstrap packet; data packet i
+	// is sent at T0 + i*Interval.
+	Start time.Time
+	// Seed deterministically derives the key chain.
+	Seed []byte
+	// ClockSkew is the maximum receiver clock error budgeted by the
+	// safety condition (subtracted from the disclosure deadline).
+	ClockSkew time.Duration
+}
+
+// Validate checks the parameters.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("tesla: block size %d must be >= 1", c.N)
+	}
+	if c.Lag < 1 {
+		return fmt.Errorf("tesla: disclosure lag %d must be >= 1", c.Lag)
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("tesla: interval %v must be positive", c.Interval)
+	}
+	if len(c.Seed) == 0 {
+		return fmt.Errorf("tesla: empty chain seed")
+	}
+	if c.ClockSkew < 0 {
+		return fmt.Errorf("tesla: negative clock skew %v", c.ClockSkew)
+	}
+	return nil
+}
+
+// TDisclose returns the disclosure delay Lag*Interval, the paper's
+// T_disclose.
+func (c Config) TDisclose() time.Duration {
+	return time.Duration(c.Lag) * c.Interval
+}
+
+// SendTime returns the scheduled send time of the given wire index
+// (1-based; 1 is the bootstrap).
+func (c Config) SendTime(wireIndex int) time.Time {
+	return c.Start.Add(time.Duration(wireIndex-1) * c.Interval)
+}
+
+// disclosureDeadline is the latest safe arrival time for data packet i
+// (interval key K_i): the send time of the wire packet disclosing K_i.
+func (c Config) disclosureDeadline(i int) time.Time {
+	// K_i is disclosed by data packet i+Lag at wire index i+Lag+1.
+	return c.SendTime(i + c.Lag + 1).Add(-c.ClockSkew)
+}
+
+// Scheme is the runnable TESLA instance.
+type Scheme struct {
+	cfg    Config
+	signer crypto.Signer
+}
+
+var _ scheme.Scheme = (*Scheme)(nil)
+
+// New builds the scheme.
+func New(cfg Config, signer crypto.Signer) (*Scheme, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if signer == nil {
+		return nil, errors.New("tesla: nil signer")
+	}
+	return &Scheme{cfg: cfg, signer: signer}, nil
+}
+
+// Name implements Scheme.
+func (s *Scheme) Name() string {
+	return fmt.Sprintf("tesla(n=%d, lag=%d)", s.cfg.N, s.cfg.Lag)
+}
+
+// BlockSize implements Scheme.
+func (s *Scheme) BlockSize() int { return s.cfg.N }
+
+// WireCount implements Scheme: bootstrap + N data + Lag trailing key
+// packets.
+func (s *Scheme) WireCount() int { return s.cfg.N + 1 + s.cfg.Lag }
+
+// Config returns the scheme's configuration.
+func (s *Scheme) Config() Config { return s.cfg }
+
+// DataWireIndex returns the wire index of data packet i.
+func DataWireIndex(i int) uint32 { return uint32(i + 1) }
+
+// bootstrapPayload layout: T0 unix-nanos | interval nanos | lag | n |
+// commitment.
+func (s *Scheme) bootstrapPayload(commitment []byte) []byte {
+	buf := make([]byte, 0, 8+8+4+4+len(commitment))
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], uint64(s.cfg.Start.UnixNano()))
+	buf = append(buf, scratch[:]...)
+	binary.BigEndian.PutUint64(scratch[:], uint64(s.cfg.Interval))
+	buf = append(buf, scratch[:]...)
+	binary.BigEndian.PutUint32(scratch[:4], uint32(s.cfg.Lag))
+	buf = append(buf, scratch[:4]...)
+	binary.BigEndian.PutUint32(scratch[:4], uint32(s.cfg.N))
+	buf = append(buf, scratch[:4]...)
+	return append(buf, commitment...)
+}
+
+type bootstrapParams struct {
+	start      time.Time
+	interval   time.Duration
+	lag        int
+	n          int
+	commitment []byte
+}
+
+func parseBootstrap(payload []byte) (bootstrapParams, error) {
+	if len(payload) < 8+8+4+4+crypto.KeySize {
+		return bootstrapParams{}, errors.New("tesla: bootstrap payload too short")
+	}
+	var bp bootstrapParams
+	bp.start = time.Unix(0, int64(binary.BigEndian.Uint64(payload[0:8])))
+	bp.interval = time.Duration(binary.BigEndian.Uint64(payload[8:16]))
+	bp.lag = int(binary.BigEndian.Uint32(payload[16:20]))
+	bp.n = int(binary.BigEndian.Uint32(payload[20:24]))
+	bp.commitment = append([]byte(nil), payload[24:]...)
+	if bp.interval <= 0 || bp.lag < 1 || bp.n < 1 {
+		return bootstrapParams{}, errors.New("tesla: malformed bootstrap parameters")
+	}
+	return bp, nil
+}
+
+// Authenticate implements Scheme.
+func (s *Scheme) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error) {
+	if len(payloads) != s.cfg.N {
+		return nil, fmt.Errorf("tesla: got %d payloads, want %d", len(payloads), s.cfg.N)
+	}
+	seed := make([]byte, 0, len(s.cfg.Seed)+8)
+	seed = append(seed, s.cfg.Seed...)
+	seed = binary.BigEndian.AppendUint64(seed, blockID)
+	chain, err := crypto.NewKeyChain(seed, s.cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("tesla: %w", err)
+	}
+
+	pkts := make([]*packet.Packet, 0, s.WireCount())
+	bootstrap := &packet.Packet{
+		BlockID: blockID,
+		Index:   1,
+		Payload: s.bootstrapPayload(chain.Commitment()),
+	}
+	bootstrap.Signature = s.signer.Sign(bootstrap.ContentBytes())
+	pkts = append(pkts, bootstrap)
+
+	for i := 1; i <= s.cfg.N; i++ {
+		key, err := chain.Key(i)
+		if err != nil {
+			return nil, fmt.Errorf("tesla: %w", err)
+		}
+		p := &packet.Packet{
+			BlockID:  blockID,
+			Index:    DataWireIndex(i),
+			KeyIndex: uint32(i),
+			Payload:  payloads[i-1],
+		}
+		if disclosed := i - s.cfg.Lag; disclosed >= 1 {
+			dk, err := chain.Key(disclosed)
+			if err != nil {
+				return nil, fmt.Errorf("tesla: %w", err)
+			}
+			p.DisclosedKey = dk
+			p.DisclosedKeyIndex = uint32(disclosed)
+		}
+		p.MAC = crypto.MAC(crypto.DeriveMACKey(key), p.ContentBytes())
+		pkts = append(pkts, p)
+	}
+
+	// Trailing key-only packets disclose the final Lag keys.
+	for t := 1; t <= s.cfg.Lag; t++ {
+		disclosed := s.cfg.N - s.cfg.Lag + t
+		if disclosed < 1 {
+			continue
+		}
+		dk, err := chain.Key(disclosed)
+		if err != nil {
+			return nil, fmt.Errorf("tesla: %w", err)
+		}
+		pkts = append(pkts, &packet.Packet{
+			BlockID:           blockID,
+			Index:             uint32(s.cfg.N + 1 + t),
+			DisclosedKey:      dk,
+			DisclosedKeyIndex: uint32(disclosed),
+		})
+	}
+	return pkts, nil
+}
+
+// Graph implements Scheme using the split message/key encoding of Section
+// 3.2: vertex 1 is the bootstrap (P_sign); vertex 1+i is the message part
+// of data packet i; vertex 1+N+j is the key K_j as carried on the wire.
+// The bootstrap authenticates every key (edges 1 -> key_j), and key K_j
+// authenticates every message with interval <= j (a lost key is recovered
+// from any later one). The timing factor ξ is outside the graph, as in the
+// paper. Note the graph has Θ(N²) edges; build it for analysis-sized N.
+func (s *Scheme) Graph() (*depgraph.Graph, error) {
+	n := s.cfg.N
+	g, err := depgraph.New(2*n+1, 1)
+	if err != nil {
+		return nil, err
+	}
+	msg := func(i int) int { return 1 + i }
+	key := func(j int) int { return 1 + n + j }
+	for j := 1; j <= n; j++ {
+		if err := g.AddEdge(1, key(j)); err != nil {
+			return nil, err
+		}
+		for i := 1; i <= j; i++ {
+			if err := g.AddEdge(key(j), msg(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// NewVerifier implements Scheme.
+func (s *Scheme) NewVerifier() (scheme.Verifier, error) {
+	return &teslaVerifier{pub: s.signer.Public()}, nil
+}
+
+type pendingPacket struct {
+	p       *packet.Packet
+	arrived time.Time
+}
+
+type teslaVerifier struct {
+	pub crypto.Verifier
+
+	params    *bootstrapParams
+	blockID   uint64
+	bestIdx   int    // highest verified chain key index (0 = commitment)
+	bestKey   []byte // verified chain key at bestIdx (commitment at 0)
+	preBoot   []pendingPacket
+	buffered  map[int][]pendingPacket // by key interval, awaiting disclosure
+	authentic map[uint32]bool
+	stats     verifier.Stats
+}
+
+var _ scheme.Verifier = (*teslaVerifier)(nil)
+
+// Ingest implements scheme.Verifier.
+func (tv *teslaVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Event, error) {
+	if p == nil {
+		return nil, errors.New("tesla: nil packet")
+	}
+	tv.stats.Received++
+	if tv.authentic == nil {
+		tv.authentic = make(map[uint32]bool)
+		tv.buffered = make(map[int][]pendingPacket)
+	}
+
+	if len(p.Signature) > 0 {
+		return tv.ingestBootstrap(p)
+	}
+	if tv.params == nil {
+		// Cannot evaluate the safety condition before the bootstrap;
+		// hold the packet with its arrival time.
+		tv.preBoot = append(tv.preBoot, pendingPacket{p: p, arrived: at})
+		tv.trackBufferHighWater()
+		return nil, nil
+	}
+	if p.BlockID != tv.blockID {
+		return nil, fmt.Errorf("tesla: packet block %d, verifier block %d", p.BlockID, tv.blockID)
+	}
+	return tv.ingestData(pendingPacket{p: p, arrived: at})
+}
+
+func (tv *teslaVerifier) ingestBootstrap(p *packet.Packet) ([]verifier.Event, error) {
+	if tv.params != nil {
+		tv.stats.Duplicates++
+		return nil, nil
+	}
+	if !tv.pub.Verify(p.ContentBytes(), p.Signature) {
+		tv.stats.Rejected++
+		return nil, nil
+	}
+	bp, err := parseBootstrap(p.Payload)
+	if err != nil {
+		tv.stats.Rejected++
+		return nil, nil
+	}
+	tv.params = &bp
+	tv.blockID = p.BlockID
+	tv.bestIdx = 0
+	tv.bestKey = bp.commitment
+	tv.stats.Authenticated++
+
+	var events []verifier.Event
+	held := tv.preBoot
+	tv.preBoot = nil
+	for _, pend := range held {
+		if pend.p.BlockID != tv.blockID {
+			continue
+		}
+		evs, err := tv.ingestData(pend)
+		if err != nil {
+			return events, err
+		}
+		events = append(events, evs...)
+	}
+	return events, nil
+}
+
+func (tv *teslaVerifier) ingestData(pend pendingPacket) ([]verifier.Event, error) {
+	p := pend.p
+	var events []verifier.Event
+
+	// Disclosed keys self-authenticate against the commitment chain and
+	// may unlock buffered packets, regardless of this packet's own fate.
+	if len(p.DisclosedKey) > 0 {
+		events = append(events, tv.absorbKey(int(p.DisclosedKeyIndex), p.DisclosedKey)...)
+	}
+
+	if p.KeyIndex == 0 {
+		// Key-only trailing packet: nothing further to verify.
+		return events, nil
+	}
+	if tv.authentic[p.Index] {
+		tv.stats.Duplicates++
+		return events, nil
+	}
+	interval := int(p.KeyIndex)
+	if interval > tv.params.n {
+		tv.stats.Rejected++
+		return events, nil
+	}
+	// Safety condition: the packet must have arrived before the sender
+	// could have disclosed its key (condition (2) of the paper; packets
+	// arriving later must be dropped to prevent forgery with the
+	// now-public key).
+	deadline := tv.params.start.
+		Add(time.Duration(interval+tv.params.lag) * tv.params.interval)
+	if !pend.arrived.Before(deadline) {
+		tv.stats.Unsafe++
+		return events, nil
+	}
+	if tv.bestIdx >= interval {
+		events = append(events, tv.verifyData(p)...)
+		return events, nil
+	}
+	tv.buffered[interval] = append(tv.buffered[interval], pend)
+	tv.trackBufferHighWater()
+	return events, nil
+}
+
+// absorbKey validates a disclosed chain key and releases every buffered
+// packet whose interval it covers.
+func (tv *teslaVerifier) absorbKey(idx int, key []byte) []verifier.Event {
+	if tv.params == nil || idx < 1 || idx > tv.params.n {
+		return nil
+	}
+	if idx <= tv.bestIdx {
+		return nil // already covered by a later verified key
+	}
+	recovered, err := crypto.RecoverEarlierKey(key, idx, tv.bestIdx)
+	if err != nil || !bytesEqual(recovered, tv.bestKey) {
+		tv.stats.Rejected++
+		return nil
+	}
+	tv.bestIdx = idx
+	tv.bestKey = append([]byte(nil), key...)
+
+	var events []verifier.Event
+	for interval, pends := range tv.buffered {
+		if interval > idx {
+			continue
+		}
+		for _, pend := range pends {
+			events = append(events, tv.verifyData(pend.p)...)
+		}
+		delete(tv.buffered, interval)
+	}
+	return events
+}
+
+// verifyData checks a safe packet's MAC under its (now known) interval key.
+func (tv *teslaVerifier) verifyData(p *packet.Packet) []verifier.Event {
+	if tv.authentic[p.Index] {
+		// A duplicate of this wire packet was buffered before the key
+		// arrived; emit nothing twice.
+		tv.stats.Duplicates++
+		return nil
+	}
+	interval := int(p.KeyIndex)
+	chainKey, err := crypto.RecoverEarlierKey(tv.bestKey, tv.bestIdx, interval)
+	if err != nil {
+		if interval == tv.bestIdx {
+			chainKey = tv.bestKey
+		} else {
+			tv.stats.Rejected++
+			return nil
+		}
+	}
+	if !crypto.VerifyMAC(crypto.DeriveMACKey(chainKey), p.ContentBytes(), p.MAC) {
+		tv.stats.Rejected++
+		return nil
+	}
+	tv.authentic[p.Index] = true
+	tv.stats.Authenticated++
+	return []verifier.Event{{Index: p.Index, Payload: p.Payload}}
+}
+
+func (tv *teslaVerifier) trackBufferHighWater() {
+	total := len(tv.preBoot)
+	for _, pends := range tv.buffered {
+		total += len(pends)
+	}
+	if total > tv.stats.MsgBufferHighWater {
+		tv.stats.MsgBufferHighWater = total
+	}
+}
+
+// Stats implements scheme.Verifier.
+func (tv *teslaVerifier) Stats() verifier.Stats { return tv.stats }
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var diff byte
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}

@@ -1,0 +1,113 @@
+package scheme
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcauth/internal/crypto"
+)
+
+func TestTopologySaveLoadRoundTrip(t *testing.T) {
+	topo := Topology{
+		Name:  "hand-made",
+		N:     5,
+		Root:  1,
+		Edges: [][2]int{{1, 2}, {2, 3}, {1, 3}, {3, 4}, {4, 5}, {2, 5}},
+	}
+	var buf bytes.Buffer
+	if err := SaveTopology(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != topo.Name || got.N != topo.N || got.Root != topo.Root {
+		t.Errorf("round trip changed header: %+v", got)
+	}
+	if len(got.Edges) != len(topo.Edges) {
+		t.Errorf("edges %d, want %d", len(got.Edges), len(topo.Edges))
+	}
+}
+
+func TestLoadTopologyValidates(t *testing.T) {
+	cases := []string{
+		`{"n":0,"root":1}`,
+		`{"n":3,"root":4}`,
+		`{"n":3,"root":1,"edges":[[1,2]]}`,       // vertex 3 unreachable
+		`{"n":3,"root":1,"edges":[[1,2],[2,2]]}`, // self loop
+		`{"n":3,"root":1,"edges":[[1,2],[2,1]]}`, // edge into root
+		`not json`,
+	}
+	for _, raw := range cases {
+		if _, err := LoadTopology(strings.NewReader(raw)); err == nil {
+			t.Errorf("topology %q should fail", raw)
+		}
+	}
+}
+
+func TestLoadTopologyDefaultsName(t *testing.T) {
+	got, err := LoadTopology(strings.NewReader(`{"n":2,"root":1,"edges":[[1,2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "custom" {
+		t.Errorf("name = %q, want custom", got.Name)
+	}
+}
+
+func TestTopologyOfAndRebuild(t *testing.T) {
+	// Export a scheme's topology and rebuild an equivalent scheme from
+	// it: the graphs must match edge for edge.
+	signer := crypto.NewSignerFromString("topo")
+	orig, err := NewChained(Topology{
+		Name:  "orig",
+		N:     6,
+		Root:  6,
+		Edges: [][2]int{{6, 5}, {5, 4}, {4, 3}, {3, 2}, {2, 1}, {6, 4}, {4, 2}},
+	}, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := TopologyOf(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTopology(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewChained(loaded, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := orig.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := rebuilt.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() || g1.Root() != g2.Root() {
+		t.Fatal("rebuilt graph differs")
+	}
+	for _, e := range g1.Edges() {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Errorf("rebuilt graph missing edge %v", e)
+		}
+	}
+	// And the rebuilt scheme actually authenticates.
+	payloads := make([][]byte, 6)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	if _, err := rebuilt.Authenticate(1, payloads); err != nil {
+		t.Fatal(err)
+	}
+}

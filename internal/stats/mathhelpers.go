@@ -1,0 +1,11 @@
+package stats
+
+import "math"
+
+func sqrtNeg2Log(u float64) float64 {
+	return math.Sqrt(-2 * math.Log(u))
+}
+
+func cosTwoPi(u float64) float64 {
+	return math.Cos(2 * math.Pi * u)
+}

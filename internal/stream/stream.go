@@ -1,0 +1,229 @@
+// Package stream provides the long-lived multicast session layer on top of
+// per-block schemes: the paper's setting is a stream "whose lifetime could
+// be very long, during which recipients join and leave frequently", so
+// packets are authenticated block by block. The Sender chops an unbounded
+// message sequence into blocks and authenticates each; the Receiver
+// demultiplexes interleaved wire packets into per-block verifiers, lets
+// late joiners synchronize at the next block boundary, and bounds its
+// buffering (the paper notes receiver buffering is a denial-of-service
+// surface) by evicting the oldest incomplete blocks.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mcauth/internal/packet"
+	"mcauth/internal/scheme"
+)
+
+// Sender accumulates messages and emits authenticated wire packets one
+// block at a time.
+type Sender struct {
+	s       scheme.Scheme
+	blockID uint64
+	pending [][]byte
+}
+
+// NewSender creates a sender starting at the given block ID.
+func NewSender(s scheme.Scheme, startBlock uint64) (*Sender, error) {
+	if s == nil {
+		return nil, errors.New("stream: nil scheme")
+	}
+	return &Sender{s: s, blockID: startBlock}, nil
+}
+
+// Push appends one message. When the message completes a block, the
+// block's wire packets are returned (nil otherwise).
+func (snd *Sender) Push(payload []byte) ([]*packet.Packet, error) {
+	snd.pending = append(snd.pending, payload)
+	if len(snd.pending) < snd.s.BlockSize() {
+		return nil, nil
+	}
+	return snd.emit()
+}
+
+// Pending returns the number of messages waiting for a block to fill.
+func (snd *Sender) Pending() int { return len(snd.pending) }
+
+// NextBlockID returns the ID the next emitted block will carry.
+func (snd *Sender) NextBlockID() uint64 { return snd.blockID }
+
+// Flush pads a partial block with empty payloads and emits it; it returns
+// (nil, nil) when nothing is pending. Receivers see the padding as
+// authenticated empty messages and can discard them.
+func (snd *Sender) Flush() ([]*packet.Packet, error) {
+	if len(snd.pending) == 0 {
+		return nil, nil
+	}
+	for len(snd.pending) < snd.s.BlockSize() {
+		snd.pending = append(snd.pending, nil)
+	}
+	return snd.emit()
+}
+
+func (snd *Sender) emit() ([]*packet.Packet, error) {
+	pkts, err := snd.s.Authenticate(snd.blockID, snd.pending)
+	if err != nil {
+		return nil, fmt.Errorf("stream: block %d: %w", snd.blockID, err)
+	}
+	snd.blockID++
+	snd.pending = nil
+	return pkts, nil
+}
+
+// Authenticated is one verified message delivered by a Receiver.
+type Authenticated struct {
+	BlockID uint64
+	Index   uint32
+	Payload []byte
+}
+
+// Totals aggregates a Receiver's lifetime counters.
+type Totals struct {
+	WireBytes     int
+	Packets       int
+	DecodeErrors  int
+	Authenticated int
+	Rejected      int
+	Unsafe        int
+	Duplicates    int
+	EvictedBlocks int
+	ActiveBlocks  int
+}
+
+// Receiver demultiplexes interleaved wire packets into per-block
+// verifiers.
+type Receiver struct {
+	s         scheme.Scheme
+	maxBlocks int
+	verifiers map[uint64]scheme.Verifier
+	order     []uint64 // insertion order, for eviction
+	// closed remembers recently evicted/closed blocks so their late
+	// packets are dropped instead of resurrecting verification state.
+	// It is itself bounded (closedOrder) so an unbounded stream does
+	// not leak one tombstone per block.
+	closed      map[uint64]bool
+	closedOrder []uint64
+	totals      Totals
+}
+
+// closedTombstonesPerBlock sizes the tombstone set relative to the live
+// window: late packets older than several windows are indistinguishable
+// from a brand-new block and will simply allocate (and then starve) a
+// fresh verifier.
+const closedTombstonesPerBlock = 8
+
+// NewReceiver creates a receiver that keeps at most maxBlocks blocks'
+// verification state live at once.
+func NewReceiver(s scheme.Scheme, maxBlocks int) (*Receiver, error) {
+	if s == nil {
+		return nil, errors.New("stream: nil scheme")
+	}
+	if maxBlocks < 1 {
+		return nil, fmt.Errorf("stream: maxBlocks %d must be >= 1", maxBlocks)
+	}
+	return &Receiver{
+		s:         s,
+		maxBlocks: maxBlocks,
+		verifiers: make(map[uint64]scheme.Verifier),
+		closed:    make(map[uint64]bool),
+	}, nil
+}
+
+// IngestWire decodes one wire datagram and routes it to its block's
+// verifier, returning any messages it newly authenticated. Malformed
+// datagrams are counted, not fatal.
+func (r *Receiver) IngestWire(wire []byte, at time.Time) ([]Authenticated, error) {
+	r.totals.WireBytes += len(wire)
+	p, err := packet.Decode(wire)
+	if err != nil {
+		r.totals.DecodeErrors++
+		return nil, nil
+	}
+	return r.Ingest(p, at)
+}
+
+// Ingest routes an already-decoded packet.
+func (r *Receiver) Ingest(p *packet.Packet, at time.Time) ([]Authenticated, error) {
+	if p == nil {
+		return nil, errors.New("stream: nil packet")
+	}
+	r.totals.Packets++
+	if r.closed[p.BlockID] {
+		// The block's state was evicted; late packets are dropped.
+		return nil, nil
+	}
+	v, ok := r.verifiers[p.BlockID]
+	if !ok {
+		newV, err := r.s.NewVerifier()
+		if err != nil {
+			return nil, fmt.Errorf("stream: block %d: %w", p.BlockID, err)
+		}
+		v = newV
+		r.verifiers[p.BlockID] = v
+		r.order = append(r.order, p.BlockID)
+		r.evictIfNeeded()
+	}
+	before := v.Stats()
+	events, err := v.Ingest(p, at)
+	if err != nil {
+		return nil, fmt.Errorf("stream: block %d: %w", p.BlockID, err)
+	}
+	after := v.Stats()
+	r.totals.Rejected += after.Rejected - before.Rejected
+	r.totals.Unsafe += after.Unsafe - before.Unsafe
+	r.totals.Duplicates += after.Duplicates - before.Duplicates
+	out := make([]Authenticated, 0, len(events))
+	for _, e := range events {
+		r.totals.Authenticated++
+		out = append(out, Authenticated{BlockID: p.BlockID, Index: e.Index, Payload: e.Payload})
+	}
+	return out, nil
+}
+
+func (r *Receiver) evictIfNeeded() {
+	for len(r.verifiers) > r.maxBlocks {
+		oldest := r.order[0]
+		r.order = r.order[1:]
+		delete(r.verifiers, oldest)
+		r.markClosed(oldest)
+		r.totals.EvictedBlocks++
+	}
+}
+
+func (r *Receiver) markClosed(blockID uint64) {
+	if r.closed[blockID] {
+		return
+	}
+	r.closed[blockID] = true
+	r.closedOrder = append(r.closedOrder, blockID)
+	for len(r.closedOrder) > closedTombstonesPerBlock*r.maxBlocks {
+		delete(r.closed, r.closedOrder[0])
+		r.closedOrder = r.closedOrder[1:]
+	}
+}
+
+// CloseBlock releases a block's verification state early (e.g. once the
+// application has all it needs); later packets for it are dropped.
+func (r *Receiver) CloseBlock(blockID uint64) {
+	if _, ok := r.verifiers[blockID]; !ok {
+		return
+	}
+	delete(r.verifiers, blockID)
+	for i, id := range r.order {
+		if id == blockID {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.markClosed(blockID)
+}
+
+// Totals returns the receiver's lifetime counters.
+func (r *Receiver) Totals() Totals {
+	t := r.totals
+	t.ActiveBlocks = len(r.verifiers)
+	return t
+}

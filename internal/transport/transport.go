@@ -1,0 +1,232 @@
+// Package transport carries authenticated stream packets over real
+// connections: one datagram per packet for packet-oriented transports
+// (UDP — the natural carrier for the paper's best-effort multicast), and a
+// length-prefixed framing for byte-stream transports (TCP, pipes). The
+// wire format is internal/packet's encoding in both cases.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mcauth/internal/packet"
+	"mcauth/internal/stream"
+)
+
+// MaxFrameSize bounds a single packet's encoding on the wire.
+const MaxFrameSize = 1 << 21 // 2 MiB: payload cap plus headers
+
+// FrameWriter writes length-prefixed packets to a byte stream.
+type FrameWriter struct {
+	w io.Writer
+}
+
+// NewFrameWriter wraps w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// WritePacket encodes and frames one packet.
+func (fw *FrameWriter) WritePacket(p *packet.Packet) error {
+	wire, err := p.Encode()
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if len(wire) > MaxFrameSize {
+		return fmt.Errorf("transport: frame %d exceeds %d bytes", len(wire), MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(wire)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := fw.w.Write(wire); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	return nil
+}
+
+// FrameReader reads length-prefixed packets from a byte stream.
+type FrameReader struct {
+	r *bufio.Reader
+}
+
+// NewFrameReader wraps r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// ReadPacket reads and decodes one packet; it returns io.EOF at a clean
+// end of stream.
+func (fr *FrameReader) ReadPacket() (*packet.Packet, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame %d exceeds %d bytes", size, MaxFrameSize)
+	}
+	wire := make([]byte, size)
+	if _, err := io.ReadFull(fr.r, wire); err != nil {
+		return nil, fmt.Errorf("transport: read frame: %w", err)
+	}
+	p, err := packet.Decode(wire)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return p, nil
+}
+
+// DatagramSender sends one packet per datagram to a fixed address.
+type DatagramSender struct {
+	conn net.PacketConn
+	addr net.Addr
+}
+
+// NewDatagramSender binds a sender to conn and the destination addr.
+func NewDatagramSender(conn net.PacketConn, addr net.Addr) (*DatagramSender, error) {
+	if conn == nil || addr == nil {
+		return nil, errors.New("transport: nil conn or addr")
+	}
+	return &DatagramSender{conn: conn, addr: addr}, nil
+}
+
+// Send transmits one packet as a single datagram.
+func (ds *DatagramSender) Send(p *packet.Packet) error {
+	wire, err := p.Encode()
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if _, err := ds.conn.WriteTo(wire, ds.addr); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+// SendBlock transmits a block's packets with the given inter-packet gap.
+func (ds *DatagramSender) SendBlock(pkts []*packet.Packet, gap time.Duration) error {
+	for _, p := range pkts {
+		if err := ds.Send(p); err != nil {
+			return err
+		}
+		if gap > 0 {
+			time.Sleep(gap)
+		}
+	}
+	return nil
+}
+
+// Listener reads datagrams from a PacketConn, feeds them to a
+// stream.Receiver, and delivers authenticated messages on Events(). It
+// owns one background goroutine whose lifetime is bounded by Close.
+type Listener struct {
+	conn   net.PacketConn
+	rcv    *stream.Receiver
+	now    func() time.Time
+	events chan stream.Authenticated
+
+	stop    chan struct{}
+	done    chan struct{}
+	mu      sync.Mutex
+	readErr error
+	closed  bool
+}
+
+// Listen starts the read loop. The clock is used to timestamp arrivals
+// (TESLA's safety condition); pass time.Now for wall-clock operation.
+func Listen(conn net.PacketConn, rcv *stream.Receiver, clock func() time.Time) (*Listener, error) {
+	if conn == nil {
+		return nil, errors.New("transport: nil conn")
+	}
+	if rcv == nil {
+		return nil, errors.New("transport: nil receiver")
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	l := &Listener{
+		conn:   conn,
+		rcv:    rcv,
+		now:    clock,
+		events: make(chan stream.Authenticated, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go l.loop()
+	return l, nil
+}
+
+// Events delivers authenticated messages; the channel closes when the
+// listener stops.
+func (l *Listener) Events() <-chan stream.Authenticated { return l.events }
+
+func (l *Listener) loop() {
+	defer close(l.done)
+	defer close(l.events)
+	buf := make([]byte, MaxFrameSize)
+	for {
+		n, _, err := l.conn.ReadFrom(buf)
+		if err != nil {
+			l.mu.Lock()
+			if !l.closed {
+				l.readErr = err
+			}
+			l.mu.Unlock()
+			return
+		}
+		wire := make([]byte, n)
+		copy(wire, buf[:n])
+		l.mu.Lock()
+		auths, err := l.rcv.IngestWire(wire, l.now())
+		l.mu.Unlock()
+		if err != nil {
+			l.mu.Lock()
+			l.readErr = err
+			l.mu.Unlock()
+			return
+		}
+		for _, a := range auths {
+			select {
+			case l.events <- a:
+			case <-l.stop:
+				return
+			}
+		}
+	}
+}
+
+// Totals snapshots the underlying receiver's counters.
+func (l *Listener) Totals() stream.Totals {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rcv.Totals()
+}
+
+// Close stops the read loop and waits for it to exit. It returns any read
+// or ingest error the loop hit before closing.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	alreadyClosed := l.closed
+	l.closed = true
+	l.mu.Unlock()
+	if !alreadyClosed {
+		close(l.stop)
+		// Closing the conn unblocks ReadFrom.
+		if err := l.conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			<-l.done
+			return err
+		}
+	}
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readErr
+}

@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/packet"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/stream"
+)
+
+func testBlockPackets(t *testing.T, n int, blockID uint64) ([]*packet.Packet, *stream.Receiver) {
+	t.Helper()
+	s, err := emss.New(emss.Config{N: n, M: 2, D: 1}, crypto.NewSignerFromString("transport"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = fmt.Appendf(nil, "m%02d", i)
+	}
+	pkts, err := s.Authenticate(blockID, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := stream.NewReceiver(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkts, rcv
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	pkts, _ := testBlockPackets(t, 6, 1)
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for _, p := range pkts {
+		if err := fw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for _, want := range pkts {
+		got, err := fr.ReadPacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Digest() != want.Digest() || got.Index != want.Index {
+			t.Fatalf("frame round trip mismatch at index %d", want.Index)
+		}
+	}
+	if _, err := fr.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Errorf("end of stream err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderTruncation(t *testing.T) {
+	pkts, _ := testBlockPackets(t, 4, 1)
+	var buf bytes.Buffer
+	if err := NewFrameWriter(&buf).WritePacket(pkts[0]); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 3, len(full) - 1} {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]))
+		if _, err := fr.ReadPacket(); err == nil {
+			t.Errorf("truncated frame at %d bytes should fail", cut)
+		}
+	}
+}
+
+func TestFrameReaderOversizeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	buf.Write(hdr)
+	fr := NewFrameReader(&buf)
+	if _, err := fr.ReadPacket(); err == nil {
+		t.Error("oversize frame length should fail before allocation")
+	}
+}
+
+func TestFrameWriterPropagatesErrors(t *testing.T) {
+	pkts, _ := testBlockPackets(t, 4, 1)
+	fw := NewFrameWriter(failingWriter{})
+	if err := fw.WritePacket(pkts[0]); err == nil {
+		t.Error("write error should propagate")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("sink failed") }
+
+func TestFrameStreamThroughReceiver(t *testing.T) {
+	// A byte-stream (TCP-like) session end to end, via net.Pipe.
+	pkts, rcv := testBlockPackets(t, 8, 3)
+	client, server := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		fw := NewFrameWriter(client)
+		for _, p := range pkts {
+			if err := fw.WritePacket(p); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- client.Close()
+	}()
+	fr := NewFrameReader(server)
+	authenticated := 0
+	for {
+		p, err := fr.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := rcv.Ingest(p, time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		authenticated += len(events)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if authenticated != 8 {
+		t.Errorf("authenticated %d, want 8", authenticated)
+	}
+}
+
+func udpPair(t *testing.T) (net.PacketConn, net.PacketConn) {
+	t.Helper()
+	recvConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	sendConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		recvConn.Close()
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	return sendConn, recvConn
+}
+
+func TestDatagramUDPEndToEnd(t *testing.T) {
+	sendConn, recvConn := udpPair(t)
+	defer sendConn.Close()
+
+	pkts, rcv := testBlockPackets(t, 8, 5)
+	listener, err := Listen(recvConn, rcv, time.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := NewDatagramSender(sendConn, recvConn.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.SendBlock(pkts, 100*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[uint32]bool)
+	timeout := time.After(5 * time.Second)
+	for len(got) < 8 {
+		select {
+		case a, ok := <-listener.Events():
+			if !ok {
+				t.Fatal("listener closed early")
+			}
+			got[a.Index] = true
+		case <-timeout:
+			t.Fatalf("timed out with %d/8 authenticated (UDP loss on loopback is unexpected)", len(got))
+		}
+	}
+	if err := listener.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	totals := listener.Totals()
+	if totals.Authenticated != 8 {
+		t.Errorf("Authenticated = %d, want 8", totals.Authenticated)
+	}
+}
+
+func TestListenerCloseIdempotent(t *testing.T) {
+	_, recvConn := udpPair(t)
+	_, rcv := testBlockPackets(t, 4, 1)
+	listener, err := Listen(recvConn, rcv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := listener.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := listener.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-listener.Events(); ok {
+		t.Error("events channel should be closed")
+	}
+}
+
+func TestListenerValidation(t *testing.T) {
+	_, recvConn := udpPair(t)
+	defer recvConn.Close()
+	_, rcv := testBlockPackets(t, 4, 1)
+	if _, err := Listen(nil, rcv, nil); err == nil {
+		t.Error("nil conn should fail")
+	}
+	if _, err := Listen(recvConn, nil, nil); err == nil {
+		t.Error("nil receiver should fail")
+	}
+	if _, err := NewDatagramSender(nil, nil); err == nil {
+		t.Error("nil conn should fail")
+	}
+}
+
+func TestDatagramGarbageCounted(t *testing.T) {
+	sendConn, recvConn := udpPair(t)
+	defer sendConn.Close()
+	_, rcv := testBlockPackets(t, 4, 1)
+	listener, err := Listen(recvConn, rcv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sendConn.WriteTo([]byte{1, 2, 3}, recvConn.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for listener.Totals().DecodeErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("garbage datagram never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := listener.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

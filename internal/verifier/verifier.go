@@ -1,0 +1,211 @@
+// Package verifier implements the receiver-side verification engine for
+// hash-chained (signature-amortizing) schemes. It is scheme-agnostic: any
+// chained topology — Rohatgi's chain, EMSS, augmented chains, or graphs
+// produced by the Section 5 construction toolkit — verifies with the same
+// engine, because the wire packets themselves carry the dependence edges.
+//
+// The engine maintains exactly the two buffers the paper attributes to a
+// receiver: a hash buffer (trusted digests received ahead of their packets)
+// and a message buffer (packets received ahead of their authentication
+// information). Packets become authentic when their digest matches a
+// trusted digest; trusted digests originate from the block signature and
+// propagate along dependence edges.
+package verifier
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/packet"
+)
+
+// Event reports a packet newly authenticated by an Ingest call.
+type Event struct {
+	Index   uint32
+	Payload []byte
+}
+
+// Stats summarizes a verifier's lifetime.
+type Stats struct {
+	Received      int // packets ingested
+	Authenticated int // packets proven authentic
+	Rejected      int // packets whose digest or signature failed (tampering)
+	Unsafe        int // TESLA only: packets dropped by the safety condition
+	Duplicates    int // packets ingested more than once
+
+	// MsgBufferHighWater is the peak number of packets buffered while
+	// awaiting authentication information (the paper's message buffer).
+	MsgBufferHighWater int
+	// HashBufferHighWater is the peak number of trusted digests held for
+	// packets not yet arrived (the paper's hash buffer).
+	HashBufferHighWater int
+	// DroppedOverflow counts packets discarded because the message
+	// buffer hit its configured cap (the denial-of-service guard; the
+	// paper notes receiver buffering "is subject to Denial of Service
+	// attacks").
+	DroppedOverflow int
+}
+
+// Option configures a Chained verifier.
+type Option interface {
+	apply(*Chained)
+}
+
+type maxBufferedOption int
+
+func (o maxBufferedOption) apply(v *Chained) { v.maxBuffered = int(o) }
+
+// WithMaxBuffered caps the number of packets held while awaiting
+// authentication information; packets arriving with the buffer full are
+// dropped and counted in Stats.DroppedOverflow. Zero (the default) means
+// unbounded.
+func WithMaxBuffered(n int) Option { return maxBufferedOption(n) }
+
+// Chained verifies one block of a hash-chained scheme.
+type Chained struct {
+	blockID uint64
+	n       uint32
+	pub     crypto.Verifier
+
+	trusted     map[uint32]crypto.Digest // digests proven authentic, by index
+	buffered    map[uint32]*packet.Packet
+	authentic   map[uint32]bool
+	maxBuffered int // 0 = unbounded
+	stats       Stats
+}
+
+// NewChained creates a verifier for one block of n packets signed by the
+// holder of pub.
+func NewChained(blockID uint64, n int, pub crypto.Verifier, opts ...Option) (*Chained, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("verifier: block size %d must be >= 1", n)
+	}
+	if pub == nil {
+		return nil, errors.New("verifier: nil public key")
+	}
+	v := &Chained{
+		blockID:   blockID,
+		n:         uint32(n),
+		pub:       pub,
+		trusted:   make(map[uint32]crypto.Digest),
+		buffered:  make(map[uint32]*packet.Packet),
+		authentic: make(map[uint32]bool),
+	}
+	for _, o := range opts {
+		o.apply(v)
+	}
+	if v.maxBuffered < 0 {
+		return nil, fmt.Errorf("verifier: negative buffer cap %d", v.maxBuffered)
+	}
+	return v, nil
+}
+
+// Ingest processes one arriving packet. The timestamp is unused by
+// hash-chained schemes (they have no timing condition) but kept for
+// interface symmetry with TESLA.
+func (v *Chained) Ingest(p *packet.Packet, _ time.Time) ([]Event, error) {
+	if p == nil {
+		return nil, errors.New("verifier: nil packet")
+	}
+	if p.BlockID != v.blockID {
+		return nil, fmt.Errorf("verifier: packet block %d, verifier block %d", p.BlockID, v.blockID)
+	}
+	if p.Index < 1 || p.Index > v.n {
+		return nil, fmt.Errorf("verifier: index %d out of [1,%d]", p.Index, v.n)
+	}
+	v.stats.Received++
+	if v.authentic[p.Index] || v.buffered[p.Index] != nil {
+		v.stats.Duplicates++
+		return nil, nil
+	}
+
+	var events []Event
+	switch {
+	case len(p.Signature) > 0:
+		if !v.pub.Verify(p.ContentBytes(), p.Signature) {
+			v.stats.Rejected++
+			return nil, nil
+		}
+		events = v.accept(p)
+	default:
+		want, ok := v.trusted[p.Index]
+		if !ok {
+			if v.maxBuffered > 0 && len(v.buffered) >= v.maxBuffered {
+				v.stats.DroppedOverflow++
+				return nil, nil
+			}
+			v.buffered[p.Index] = p
+			if len(v.buffered) > v.stats.MsgBufferHighWater {
+				v.stats.MsgBufferHighWater = len(v.buffered)
+			}
+			return nil, nil
+		}
+		if p.Digest() != want {
+			v.stats.Rejected++
+			return nil, nil
+		}
+		events = v.accept(p)
+	}
+	return events, nil
+}
+
+// accept marks p authentic, trusts its carried hashes, and cascades into
+// the message buffer. It returns the authentication events in cascade
+// order.
+func (v *Chained) accept(p *packet.Packet) []Event {
+	events := []Event{{Index: p.Index, Payload: p.Payload}}
+	v.authentic[p.Index] = true
+	v.stats.Authenticated++
+	delete(v.buffered, p.Index)
+
+	queue := []*packet.Packet{p}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, h := range cur.Hashes {
+			if _, known := v.trusted[h.TargetIndex]; known {
+				continue
+			}
+			v.trusted[h.TargetIndex] = h.Digest
+			waiting, ok := v.buffered[h.TargetIndex]
+			if !ok {
+				continue
+			}
+			if waiting.Digest() != h.Digest {
+				v.stats.Rejected++
+				delete(v.buffered, h.TargetIndex)
+				continue
+			}
+			v.authentic[waiting.Index] = true
+			v.stats.Authenticated++
+			delete(v.buffered, waiting.Index)
+			events = append(events, Event{Index: waiting.Index, Payload: waiting.Payload})
+			queue = append(queue, waiting)
+		}
+	}
+	v.updateHashHighWater()
+	return events
+}
+
+func (v *Chained) updateHashHighWater() {
+	pendingHashes := 0
+	for idx := range v.trusted {
+		if !v.authentic[idx] {
+			pendingHashes++
+		}
+	}
+	if pendingHashes > v.stats.HashBufferHighWater {
+		v.stats.HashBufferHighWater = pendingHashes
+	}
+}
+
+// IsAuthentic reports whether the packet at index has been authenticated.
+func (v *Chained) IsAuthentic(index uint32) bool { return v.authentic[index] }
+
+// PendingCount returns the number of packets still buffered unverified.
+func (v *Chained) PendingCount() int { return len(v.buffered) }
+
+// Stats returns a snapshot of the verifier's counters.
+func (v *Chained) Stats() Stats { return v.stats }

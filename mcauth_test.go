@@ -1,0 +1,82 @@
+package mcauth
+
+import (
+	"testing"
+	"time"
+
+	"mcauth/internal/delay"
+	"mcauth/internal/loss"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	signer := NewSigner("facade-sender")
+	schemes := map[string]func() (Scheme, error){
+		"rohatgi":   func() (Scheme, error) { return NewRohatgi(10, signer) },
+		"emss":      func() (Scheme, error) { return NewEMSS(EMSSConfig{N: 10, M: 2, D: 1}, signer) },
+		"augchain":  func() (Scheme, error) { return NewAugChain(AugChainConfig{N: 13, A: 2, B: 3}, signer) },
+		"authtree":  func() (Scheme, error) { return NewAuthTree(10, signer) },
+		"authtree4": func() (Scheme, error) { return NewAuthTreeArity(10, 4, signer) },
+		"signeach":  func() (Scheme, error) { return NewSignEach(10, signer) },
+		"tesla": func() (Scheme, error) {
+			return NewTESLA(TESLAAt(10, 2, 50*time.Millisecond, time.Unix(0, 0), []byte("k")), signer)
+		},
+	}
+	model, err := loss.NewBernoulli(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, build := range schemes {
+		t.Run(name, func(t *testing.T) {
+			s, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			payloads := make([][]byte, s.BlockSize())
+			for i := range payloads {
+				payloads[i] = []byte{byte(i)}
+			}
+			res, err := Simulate(s, SimConfig{
+				Receivers:    20,
+				Loss:         model,
+				Delay:        delay.Constant{D: time.Millisecond},
+				SendInterval: 50 * time.Millisecond,
+				Start:        time.Unix(0, 0),
+				Seed:         1,
+			}, 1, payloads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalAuthenticated() == 0 {
+				t.Error("nothing authenticated")
+			}
+			g, err := s.Graph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestFacadeAnalytics(t *testing.T) {
+	res, err := AnalyticRohatgi(100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QMin <= 0 || res.QMin >= 1 {
+		t.Errorf("QMin = %v out of (0,1)", res.QMin)
+	}
+	qmin, err := AnalyticEMSS{N: 1000, M: 2, D: 1, P: 0.1}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := AnalyticMarkovExact{N: 1000, Offsets: []int{1, 2}, P: 0.1}.QMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact > qmin {
+		t.Errorf("exact %v exceeds recurrence %v", exact, qmin)
+	}
+}

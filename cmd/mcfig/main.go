@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"mcauth/internal/experiments"
+	"mcauth/internal/obs"
 )
 
 func main() {
@@ -28,20 +29,34 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcfig", flag.ContinueOnError)
 	var (
-		figID   = fs.String("fig", "", "experiment ID to run (see -list)")
-		listAll = fs.Bool("list", false, "list available experiments")
-		runAll  = fs.Bool("all", false, "run every experiment")
+		figID      = fs.String("fig", "", "experiment ID to run (see -list)")
+		listAll    = fs.Bool("list", false, "list available experiments")
+		runAll     = fs.Bool("all", false, "run every experiment")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	if err := dispatch(*figID, *listAll, *runAll); err != nil {
+		stopProfiles()
+		return err
+	}
+	return stopProfiles()
+}
+
+func dispatch(figID string, listAll, runAll bool) error {
 	switch {
-	case *listAll:
+	case listAll:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return nil
-	case *runAll:
+	case runAll:
 		for _, e := range experiments.All() {
 			if err := e.Run(os.Stdout); err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
@@ -49,11 +64,11 @@ func run(args []string) error {
 			fmt.Println()
 		}
 		return nil
-	case *figID != "":
-		e, ok := experiments.Get(*figID)
+	case figID != "":
+		e, ok := experiments.Get(figID)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q; available: %s",
-				*figID, strings.Join(experiments.IDs(), ", "))
+				figID, strings.Join(experiments.IDs(), ", "))
 		}
 		return e.Run(os.Stdout)
 	default:

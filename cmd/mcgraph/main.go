@@ -19,6 +19,7 @@ import (
 	"mcauth/internal/construct"
 	"mcauth/internal/crypto"
 	"mcauth/internal/depgraph"
+	"mcauth/internal/obs"
 	"mcauth/internal/scheme"
 	"mcauth/internal/scheme/augchain"
 	"mcauth/internal/scheme/authtree"
@@ -51,27 +52,52 @@ func run(args []string) error {
 		pruneTo    = fs.Float64("prune", 0, "prune redundant edges while keeping q_min above this target (uses -p as the design loss rate)")
 		perPacket  = fs.Bool("q", false, "print per-packet q_i (exact for n<=22, Monte-Carlo beyond)")
 		trials     = fs.Int("trials", 20000, "Monte-Carlo trials for large blocks")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	signer := crypto.NewSignerFromString("mcgraph")
-	var (
-		s   scheme.Scheme
-		err error
-	)
-	if *topoPath != "" {
-		f, err := os.Open(*topoPath)
-		if err != nil {
-			return err
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	body := func() error {
+		signer := crypto.NewSignerFromString("mcgraph")
+		var s scheme.Scheme
+		if *topoPath != "" {
+			f, err := os.Open(*topoPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			topo, err := scheme.LoadTopology(f)
+			if err != nil {
+				return err
+			}
+			s, err = scheme.NewChained(topo, signer)
+			if err != nil {
+				return err
+			}
+			if s, err = maybePrune(s, signer, *pruneTo, *p); err != nil {
+				return err
+			}
+			return report(s, *dot, *export, *perPacket, *p, *trials)
 		}
-		defer f.Close()
-		topo, err := scheme.LoadTopology(f)
-		if err != nil {
-			return err
+		switch *schemeName {
+		case "rohatgi":
+			s, err = rohatgi.New(*n, signer)
+		case "emss":
+			s, err = emss.New(emss.Config{N: *n, M: *m, D: *d}, signer)
+		case "augchain":
+			s, err = augchain.New(augchain.Config{N: *n, A: *a, B: *b}, signer)
+		case "authtree":
+			s, err = authtree.New(*n, signer)
+		case "signeach":
+			s, err = signeach.New(*n, signer)
+		default:
+			return fmt.Errorf("unknown scheme %q", *schemeName)
 		}
-		s, err = scheme.NewChained(topo, signer)
 		if err != nil {
 			return err
 		}
@@ -80,27 +106,11 @@ func run(args []string) error {
 		}
 		return report(s, *dot, *export, *perPacket, *p, *trials)
 	}
-	switch *schemeName {
-	case "rohatgi":
-		s, err = rohatgi.New(*n, signer)
-	case "emss":
-		s, err = emss.New(emss.Config{N: *n, M: *m, D: *d}, signer)
-	case "augchain":
-		s, err = augchain.New(augchain.Config{N: *n, A: *a, B: *b}, signer)
-	case "authtree":
-		s, err = authtree.New(*n, signer)
-	case "signeach":
-		s, err = signeach.New(*n, signer)
-	default:
-		return fmt.Errorf("unknown scheme %q", *schemeName)
-	}
-	if err != nil {
+	if err := body(); err != nil {
+		stopProfiles()
 		return err
 	}
-	if s, err = maybePrune(s, signer, *pruneTo, *p); err != nil {
-		return err
-	}
-	return report(s, *dot, *export, *perPacket, *p, *trials)
+	return stopProfiles()
 }
 
 // maybePrune applies the Section 5 redundant-edge pruning pass when a

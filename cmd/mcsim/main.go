@@ -12,6 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -21,6 +24,7 @@ import (
 	"mcauth/internal/delay"
 	"mcauth/internal/loss"
 	"mcauth/internal/netsim"
+	"mcauth/internal/obs"
 	"mcauth/internal/scheme"
 	"mcauth/internal/scheme/augchain"
 	"mcauth/internal/scheme/authtree"
@@ -45,6 +49,12 @@ type options struct {
 	a, b      int
 	lag       int
 	latejoin  int
+
+	trace      string
+	metrics    string
+	cpuprofile string
+	memprofile string
+	pprofAddr  string
 }
 
 func main() {
@@ -72,6 +82,11 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.b, "b", 3, "augmented chain b")
 	fs.IntVar(&o.lag, "lag", 4, "TESLA disclosure lag (intervals)")
 	fs.IntVar(&o.latejoin, "latejoin", 0, "number of receivers joining mid-block")
+	fs.StringVar(&o.trace, "trace", "", "write a JSONL packet-lifecycle trace to this file")
+	fs.StringVar(&o.metrics, "metrics", "", "write end-of-run metrics: '-' for a text table on stdout, else JSON to this file")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -173,8 +188,74 @@ func buildScheme(o options, signer crypto.Signer) (scheme.Scheme, []uint32, floa
 	}
 }
 
+// setupObservability opens every requested output up front so an
+// unwritable path fails the run immediately with a clear error instead of
+// silently discarding the data after the simulation has burned CPU.
+// It returns the tracer and registry to wire into the run (either may be
+// nil) plus a finish func that writes/flushes the outputs.
+func setupObservability(o options) (tracer *obs.JSONLTracer, reg *obs.Registry, finish func() error, err error) {
+	var metricsFile *os.File
+
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("trace output unwritable: %w", err)
+		}
+		tracer = obs.NewJSONLTracer(f)
+	}
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+		if o.metrics != "-" {
+			metricsFile, err = os.Create(o.metrics)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("metrics output unwritable: %w", err)
+			}
+		}
+		crypto.Instrument(reg)
+	}
+	stopProfiles, err := obs.StartProfiles(o.cpuprofile, o.memprofile)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if o.pprofAddr != "" {
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("pprof listen %s: %w", o.pprofAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			_ = http.Serve(ln, nil)
+		}()
+	}
+
+	finish = func() error {
+		crypto.Uninstrument()
+		if tracer != nil {
+			if err := tracer.Close(); err != nil {
+				return fmt.Errorf("trace output: %w", err)
+			}
+		}
+		if metricsFile != nil {
+			if err := reg.Snapshot().WriteJSON(metricsFile); err != nil {
+				metricsFile.Close()
+				return fmt.Errorf("metrics output: %w", err)
+			}
+			if err := metricsFile.Close(); err != nil {
+				return fmt.Errorf("metrics output: %w", err)
+			}
+		}
+		return stopProfiles()
+	}
+	return tracer, reg, finish, nil
+}
+
 func run(args []string) error {
 	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+	tracer, reg, finishObs, err := setupObservability(o)
 	if err != nil {
 		return err
 	}
@@ -210,7 +291,7 @@ func run(args []string) error {
 	if o.scheme == "emss" || o.scheme == "augchain" {
 		reliable = []uint32{uint32(o.n)}
 	}
-	res, err := netsim.Run(s, netsim.Config{
+	simCfg := netsim.Config{
 		Receivers:       o.receivers,
 		Loss:            lossModel,
 		Delay:           delayModel,
@@ -219,7 +300,12 @@ func run(args []string) error {
 		Seed:            o.seed,
 		ReliableIndices: reliable,
 		LateJoiners:     o.latejoin,
-	}, 1, payloads)
+		Metrics:         reg,
+	}
+	if tracer != nil {
+		simCfg.Tracer = tracer
+	}
+	res, err := netsim.Run(s, simCfg, 1, payloads)
 	if err != nil {
 		return err
 	}
@@ -227,12 +313,14 @@ func run(args []string) error {
 	measured := res.MinAuthRatio(dataIndices)
 	var delivered, lost, authed, rejected, unsafe int
 	var latencies []float64
+	var timeToAuth obs.HistogramData
 	for _, rep := range res.PerReceiver {
 		delivered += rep.Delivered
 		lost += rep.Lost
 		authed += rep.Stats.Authenticated
 		rejected += rep.Stats.Rejected
 		unsafe += rep.Stats.Unsafe
+		timeToAuth.Merge(rep.Stats.TimeToAuth)
 		for _, l := range rep.AuthLatencies {
 			latencies = append(latencies, float64(l))
 		}
@@ -257,5 +345,20 @@ func run(args []string) error {
 				time.Duration(summary.Mean), time.Duration(summary.Max))
 		}
 	}
-	return w.Flush()
+	if timeToAuth.Count > 0 {
+		fmt.Fprintf(w, "time-to-auth p50/p90/p99\t%v / %v / %v\n",
+			time.Duration(timeToAuth.Quantile(0.50)),
+			time.Duration(timeToAuth.Quantile(0.90)),
+			time.Duration(timeToAuth.Quantile(0.99)))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if o.metrics == "-" {
+		fmt.Println()
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return finishObs()
 }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcauth/internal/obs"
+)
 
 func TestRunSchemes(t *testing.T) {
 	for _, name := range []string{"rohatgi", "emss", "augchain", "authtree", "signeach", "tesla"} {
@@ -36,5 +43,115 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-scheme", "emss", "-n", "2", "-m", "5"}); err == nil {
 		t.Error("invalid EMSS parameters should fail")
+	}
+}
+
+// TestObservabilityOutputs drives a full run with -trace and -metrics and
+// cross-checks the emitted artifacts against each other: per-receiver
+// authenticated event counts in the trace must equal the verifier counter
+// in the metrics JSON, and the metrics must carry the crypto op counts,
+// buffer high-water histograms, and time-to-auth histogram the issue
+// promises.
+func TestObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	err := run([]string{
+		"-scheme", "emss", "-n", "24", "-p", "0.2",
+		"-receivers", "8", "-seed", "11",
+		"-trace", tracePath, "-metrics", metricsPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	authedByRecv := make(map[int]int64)
+	var totalAuthed int64
+	for _, e := range events {
+		if e.Type == obs.EventAuthenticated {
+			authedByRecv[e.Receiver]++
+			totalAuthed++
+		}
+	}
+	if len(authedByRecv) != 8 {
+		t.Errorf("authenticated events span %d receivers, want 8", len(authedByRecv))
+	}
+
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if got := snap.Counters["verifier.authenticated"]; got != totalAuthed {
+		t.Errorf("verifier.authenticated = %d, trace has %d authenticated events", got, totalAuthed)
+	}
+	if snap.Counters["crypto.hash_ops"] <= 0 {
+		t.Error("crypto.hash_ops missing from metrics")
+	}
+	if snap.Counters["crypto.verify_ops"] <= 0 {
+		t.Error("crypto.verify_ops missing from metrics")
+	}
+	h, ok := snap.Histograms["verifier.msg_buffer_high_water"]
+	if !ok || h.Count == 0 {
+		t.Error("verifier.msg_buffer_high_water histogram missing or empty")
+	}
+	tta, ok := snap.Histograms["verifier.time_to_auth_ns"]
+	if !ok {
+		t.Fatal("verifier.time_to_auth_ns histogram missing")
+	}
+	if tta.Count != totalAuthed {
+		t.Errorf("time_to_auth count = %d, want %d", tta.Count, totalAuthed)
+	}
+	if tta.P99 < tta.P50 {
+		t.Errorf("p99 %v < p50 %v", tta.P99, tta.P50)
+	}
+}
+
+// TestProfilesWritten exercises -cpuprofile and -memprofile.
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{
+		"-scheme", "rohatgi", "-n", "8", "-receivers", "2",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestUnwritableOutputsFail verifies the run fails up front, before any
+// simulation work, when an observability path cannot be created.
+func TestUnwritableOutputsFail(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out")
+	for _, flagName := range []string{"-trace", "-metrics", "-cpuprofile", "-memprofile"} {
+		if err := run([]string{"-scheme", "rohatgi", "-n", "4", "-receivers", "1", flagName, bad}); err == nil {
+			t.Errorf("%s %s should fail", flagName, bad)
+		}
 	}
 }

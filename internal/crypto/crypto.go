@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Sizes of the concrete primitives, in bytes.
@@ -31,6 +32,12 @@ type Digest [HashSize]byte
 
 // HashBytes hashes data with SHA-256.
 func HashBytes(data []byte) Digest {
+	if in := instr.Load(); in != nil {
+		start := time.Now()
+		d := sha256.Sum256(data)
+		in.record(in.hashOps, in.hashNS, start)
+		return d
+	}
 	return sha256.Sum256(data)
 }
 
@@ -38,20 +45,37 @@ func HashBytes(data []byte) Digest {
 // to bind a packet's payload together with the hashes it carries, which is
 // the "hash concatenation" linking step of chained-hash schemes.
 func HashConcat(parts ...[]byte) Digest {
+	var start time.Time
+	in := instr.Load()
+	if in != nil {
+		start = time.Now()
+	}
 	h := sha256.New()
 	for _, p := range parts {
 		h.Write(p)
 	}
 	var d Digest
 	copy(d[:], h.Sum(nil))
+	if in != nil {
+		in.record(in.hashOps, in.hashNS, start)
+	}
 	return d
 }
 
 // MAC computes HMAC-SHA256 of data under key.
 func MAC(key, data []byte) []byte {
+	var start time.Time
+	in := instr.Load()
+	if in != nil {
+		start = time.Now()
+	}
 	m := hmac.New(sha256.New, key)
 	m.Write(data)
-	return m.Sum(nil)
+	sum := m.Sum(nil)
+	if in != nil {
+		in.record(in.macOps, in.macNS, start)
+	}
+	return sum
 }
 
 // VerifyMAC reports whether mac is a valid HMAC-SHA256 of data under key,
@@ -113,6 +137,12 @@ func NewSignerFromString(s string) Signer {
 }
 
 func (s *ed25519Signer) Sign(data []byte) []byte {
+	if in := instr.Load(); in != nil {
+		start := time.Now()
+		sig := ed25519.Sign(s.priv, data)
+		in.record(in.signOps, in.signNS, start)
+		return sig
+	}
 	return ed25519.Sign(s.priv, data)
 }
 
@@ -127,6 +157,12 @@ func (s *ed25519Signer) Public() Verifier {
 func (v *ed25519Verifier) Verify(data, sig []byte) bool {
 	if len(sig) != ed25519.SignatureSize {
 		return false
+	}
+	if in := instr.Load(); in != nil {
+		start := time.Now()
+		ok := ed25519.Verify(v.pub, data, sig)
+		in.record(in.verifyOps, in.verifyNS, start)
+		return ok
 	}
 	return ed25519.Verify(v.pub, data, sig)
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
+
+	"mcauth/internal/obs"
 )
 
 func TestHashBytesDeterministic(t *testing.T) {
@@ -272,5 +274,43 @@ func TestIntervalKeyID(t *testing.T) {
 	}
 	if len(a) != 8 {
 		t.Errorf("encoded ID length %d, want 8", len(a))
+	}
+}
+
+func TestInstrumentationCountsOps(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Uninstrument()
+
+	HashBytes([]byte("data"))
+	HashConcat([]byte("a"), []byte("b"))
+	mac := MAC([]byte("key"), []byte("data"))
+	VerifyMAC([]byte("key"), []byte("data"), mac)
+	signer := NewSignerFromString("instr")
+	sig := signer.Sign([]byte("msg"))
+	signer.Public().Verify([]byte("msg"), sig)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["crypto.hash_ops"]; got != 2 {
+		t.Errorf("hash_ops = %d, want 2", got)
+	}
+	// VerifyMAC recomputes the MAC, so two MAC ops total.
+	if got := snap.Counters["crypto.mac_ops"]; got != 2 {
+		t.Errorf("mac_ops = %d, want 2", got)
+	}
+	if got := snap.Counters["crypto.sign_ops"]; got != 1 {
+		t.Errorf("sign_ops = %d, want 1", got)
+	}
+	if got := snap.Counters["crypto.verify_ops"]; got != 1 {
+		t.Errorf("verify_ops = %d, want 1", got)
+	}
+	if snap.Counters["crypto.sign_ns"] <= 0 {
+		t.Error("sign wall time not recorded")
+	}
+
+	Uninstrument()
+	HashBytes([]byte("more"))
+	if got := reg.Snapshot().Counters["crypto.hash_ops"]; got != 2 {
+		t.Errorf("hash_ops after Uninstrument = %d, want 2", got)
 	}
 }

@@ -1,0 +1,56 @@
+package crypto
+
+import (
+	"sync/atomic"
+	"time"
+
+	"mcauth/internal/obs"
+)
+
+// instruments caches the crypto.* registry counters. Publication goes
+// through an atomic pointer so the primitives pay exactly one atomic load
+// and a predictable branch when instrumentation is off — the Wong–Lam
+// parallel-implementation study (ElKabbany & Aslan) locates scheme
+// bottlenecks from precisely these per-primitive op counts and wall
+// times, so they must be cheap enough to leave compiled in.
+type instruments struct {
+	hashOps   *obs.Counter
+	hashNS    *obs.Counter
+	macOps    *obs.Counter
+	macNS     *obs.Counter
+	signOps   *obs.Counter
+	signNS    *obs.Counter
+	verifyOps *obs.Counter
+	verifyNS  *obs.Counter
+}
+
+var instr atomic.Pointer[instruments]
+
+// Instrument starts recording op counts (crypto.*_ops) and cumulative
+// wall time (crypto.*_ns) for hash, MAC, sign, and verify operations into
+// reg. Passing nil stops recording, like Uninstrument.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&instruments{
+		hashOps:   reg.Counter("crypto.hash_ops"),
+		hashNS:    reg.Counter("crypto.hash_ns"),
+		macOps:    reg.Counter("crypto.mac_ops"),
+		macNS:     reg.Counter("crypto.mac_ns"),
+		signOps:   reg.Counter("crypto.sign_ops"),
+		signNS:    reg.Counter("crypto.sign_ns"),
+		verifyOps: reg.Counter("crypto.verify_ops"),
+		verifyNS:  reg.Counter("crypto.verify_ns"),
+	})
+}
+
+// Uninstrument stops recording; subsequent operations pay only the
+// disabled-path branch.
+func Uninstrument() { instr.Store(nil) }
+
+func (in *instruments) record(ops, ns *obs.Counter, start time.Time) {
+	ops.Inc()
+	ns.Add(time.Since(start).Nanoseconds())
+}

@@ -10,6 +10,11 @@
 // It substitutes for the paper's unavailable testbed (the Internet): the
 // loss and delay models are exactly the ones the paper's analysis assumes,
 // which is what makes measured-vs-analytic comparison meaningful.
+//
+// Runs are observable: set Config.Tracer to record every packet's
+// lifecycle (sent, dropped, delivered, buffered, authenticated, ...) as
+// attributed events, and Config.Metrics to aggregate netsim.* and
+// verifier.* instruments. Both default to off and cost nothing when off.
 package netsim
 
 import (
@@ -20,6 +25,7 @@ import (
 
 	"mcauth/internal/delay"
 	"mcauth/internal/loss"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/scheme"
 	"mcauth/internal/stats"
@@ -51,6 +57,13 @@ type Config struct {
 	// position and misses everything sent before it — including
 	// ReliableIndices packets, since it was not yet subscribed.
 	LateJoiners int
+	// Tracer, when non-nil, receives every packet-lifecycle event of the
+	// run with per-receiver attribution. It must be safe for concurrent
+	// use (receivers run in parallel).
+	Tracer obs.Tracer
+	// Metrics, when non-nil, aggregates netsim.* counters and the
+	// verifiers' instruments across all receivers.
+	Metrics *obs.Registry
 }
 
 // Validate checks the configuration.
@@ -82,18 +95,55 @@ type ReceiverReport struct {
 	JoinedAtWire int
 	// Verifier counters (authenticated, rejected, unsafe, buffers).
 	Stats verifier.Stats
-	// ReceivedByIndex and VerifiedByIndex are per-wire-index outcomes.
-	ReceivedByIndex map[uint32]bool
-	VerifiedByIndex map[uint32]bool
+	// ReceivedByIndex and VerifiedByIndex are per-wire-index outcomes,
+	// indexed by packet index (1-based; slot 0 is unused). They are
+	// slices rather than maps because the wire count is known up front —
+	// no per-packet map allocation in the receiver hot loop, and
+	// iteration order is deterministic. Use the Received / Verified
+	// accessors for bounds-safe lookups.
+	ReceivedByIndex []bool
+	VerifiedByIndex []bool
 	// AuthLatencies holds, for each authenticated packet, the time from
 	// its arrival to its authentication (the measured receiver delay).
 	AuthLatencies []time.Duration
+}
+
+// Received reports whether the packet with the given index arrived. It is
+// the bounds-safe accessor over ReceivedByIndex.
+func (r *ReceiverReport) Received(index uint32) bool {
+	return int(index) < len(r.ReceivedByIndex) && r.ReceivedByIndex[index]
+}
+
+// Verified reports whether the packet with the given index authenticated.
+func (r *ReceiverReport) Verified(index uint32) bool {
+	return int(index) < len(r.VerifiedByIndex) && r.VerifiedByIndex[index]
 }
 
 // Result aggregates a run.
 type Result struct {
 	WireCount   int
 	PerReceiver []ReceiverReport
+}
+
+// runMetrics caches the netsim.* instruments so receiver goroutines never
+// touch the registry lock.
+type runMetrics struct {
+	sent       *obs.Counter
+	dropped    *obs.Counter
+	delivered  *obs.Counter
+	outOfOrder *obs.Counter
+}
+
+func newRunMetrics(reg *obs.Registry) *runMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &runMetrics{
+		sent:       reg.Counter("netsim.sent"),
+		dropped:    reg.Counter("netsim.dropped"),
+		delivered:  reg.Counter("netsim.delivered"),
+		outOfOrder: reg.Counter("netsim.delivered_out_of_order"),
+	}
 }
 
 // Run authenticates one block with the scheme and simulates its multicast
@@ -118,10 +168,34 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 		sendTimes[w] = cfg.Start.Add(time.Duration(w) * cfg.SendInterval)
 	}
 
+	metrics := newRunMetrics(cfg.Metrics)
+	if cfg.Tracer != nil {
+		for w, p := range pkts {
+			cfg.Tracer.Emit(obs.Event{
+				Type: obs.EventSent, Receiver: -1, Wire: w + 1,
+				Index: p.Index, Block: p.BlockID, TimeNS: obs.TimeNS(sendTimes[w]),
+			})
+		}
+	}
+	if metrics != nil {
+		metrics.sent.Add(int64(len(pkts)))
+	}
+
+	// All RNG use of root happens here, before the receiver goroutines
+	// start: Split derives every receiver's independent stream and Intn
+	// draws the late-join positions, so the concurrent phase never
+	// touches shared RNG state.
 	root := stats.NewRNG(cfg.Seed)
 	rngs := make([]*stats.RNG, cfg.Receivers)
 	for r := range rngs {
 		rngs[r] = root.Split()
+	}
+	joinAt := make([]int, cfg.Receivers)
+	for r := range joinAt {
+		joinAt[r] = 1
+		if r >= cfg.Receivers-cfg.LateJoiners && len(pkts) > 1 {
+			joinAt[r] = 2 + root.Intn(len(pkts)-1)
+		}
 	}
 
 	result := &Result{
@@ -133,18 +207,11 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 		mu       sync.Mutex
 		firstErr error
 	)
-	joinAt := make([]int, cfg.Receivers)
-	for r := range joinAt {
-		joinAt[r] = 1
-		if r >= cfg.Receivers-cfg.LateJoiners && len(pkts) > 1 {
-			joinAt[r] = 2 + root.Intn(len(pkts)-1)
-		}
-	}
 	for r := 0; r < cfg.Receivers; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			report, err := runReceiver(s, cfg, pkts, sendTimes, reliable, joinAt[r], rngs[r])
+			report, err := runReceiver(s, cfg, r, pkts, sendTimes, reliable, joinAt[r], rngs[r], metrics)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -171,26 +238,50 @@ type arrival struct {
 func runReceiver(
 	s scheme.Scheme,
 	cfg Config,
+	recv int,
 	pkts []*packet.Packet,
 	sendTimes []time.Time,
 	reliable map[uint32]bool,
 	joinAt int,
 	rng *stats.RNG,
+	metrics *runMetrics,
 ) (ReceiverReport, error) {
+	maxIndex := uint32(0)
+	for _, p := range pkts {
+		if p.Index > maxIndex {
+			maxIndex = p.Index
+		}
+	}
 	report := ReceiverReport{
 		JoinedAtWire:    joinAt,
-		ReceivedByIndex: make(map[uint32]bool, len(pkts)),
-		VerifiedByIndex: make(map[uint32]bool, len(pkts)),
+		ReceivedByIndex: make([]bool, maxIndex+1),
+		VerifiedByIndex: make([]bool, maxIndex+1),
+	}
+	var tracer obs.Tracer
+	if cfg.Tracer != nil {
+		tracer = obs.ReceiverTracer{T: cfg.Tracer, Receiver: recv}
+	}
+	drop := func(w int, p *packet.Packet, reason string) {
+		report.Lost++
+		if metrics != nil {
+			metrics.dropped.Inc()
+		}
+		if tracer != nil {
+			tracer.Emit(obs.Event{
+				Type: obs.EventDropped, Wire: w + 1, Index: p.Index,
+				Block: p.BlockID, TimeNS: obs.TimeNS(sendTimes[w]), Reason: reason,
+			})
+		}
 	}
 	received := cfg.Loss.Sample(rng, len(pkts))
 	var arrivals []arrival
 	for w, p := range pkts {
 		if w+1 < joinAt {
-			report.Lost++
+			drop(w, p, "late_join")
 			continue
 		}
 		if !received[w+1] && !reliable[p.Index] {
-			report.Lost++
+			drop(w, p, "loss")
 			continue
 		}
 		arrivals = append(arrivals, arrival{
@@ -205,18 +296,45 @@ func runReceiver(
 	if err != nil {
 		return ReceiverReport{}, fmt.Errorf("netsim: new verifier: %w", err)
 	}
+	if in, ok := v.(obs.Instrumented); ok {
+		if tracer != nil {
+			in.SetTracer(tracer)
+		}
+		if cfg.Metrics != nil {
+			in.SetMetrics(cfg.Metrics)
+		}
+	}
 	arrivedAt := make(map[uint32]time.Time, len(arrivals))
+	maxWireSeen := -1
 	for _, a := range arrivals {
 		p := pkts[a.wire]
 		report.Delivered++
 		report.ReceivedByIndex[p.Index] = true
 		arrivedAt[p.Index] = a.at
+		outOfOrder := a.wire < maxWireSeen
+		if a.wire > maxWireSeen {
+			maxWireSeen = a.wire
+		}
+		if metrics != nil {
+			metrics.delivered.Inc()
+			if outOfOrder {
+				metrics.outOfOrder.Inc()
+			}
+		}
+		if tracer != nil {
+			tracer.Emit(obs.Event{
+				Type: obs.EventDelivered, Wire: a.wire + 1, Index: p.Index,
+				Block: p.BlockID, TimeNS: obs.TimeNS(a.at), OutOfOrder: outOfOrder,
+			})
+		}
 		events, err := v.Ingest(p, a.at)
 		if err != nil {
 			return ReceiverReport{}, fmt.Errorf("netsim: ingest wire %d: %w", a.wire+1, err)
 		}
 		for _, e := range events {
-			report.VerifiedByIndex[e.Index] = true
+			if int(e.Index) < len(report.VerifiedByIndex) {
+				report.VerifiedByIndex[e.Index] = true
+			}
 			if t0, ok := arrivedAt[e.Index]; ok {
 				report.AuthLatencies = append(report.AuthLatencies, a.at.Sub(t0))
 			}
@@ -230,30 +348,47 @@ func runReceiver(
 // that verified each wire index among those that received it — the
 // empirical q_i of the paper's definition.
 func (r *Result) AuthRatioByIndex() map[uint32]float64 {
-	receivedCount := make(map[uint32]int)
-	verifiedCount := make(map[uint32]int)
-	for _, rep := range r.PerReceiver {
-		for idx := range rep.ReceivedByIndex {
+	receivedCount := make([]int, r.maxIndex()+1)
+	verifiedCount := make([]int, r.maxIndex()+1)
+	for i := range r.PerReceiver {
+		rep := &r.PerReceiver[i]
+		for idx := 1; idx < len(rep.ReceivedByIndex); idx++ {
+			if !rep.ReceivedByIndex[idx] {
+				continue
+			}
 			receivedCount[idx]++
-			if rep.VerifiedByIndex[idx] {
+			if rep.Verified(uint32(idx)) {
 				verifiedCount[idx]++
 			}
 		}
 	}
-	out := make(map[uint32]float64, len(receivedCount))
+	out := make(map[uint32]float64)
 	for idx, rc := range receivedCount {
-		out[idx] = float64(verifiedCount[idx]) / float64(rc)
+		if rc > 0 {
+			out[uint32(idx)] = float64(verifiedCount[idx]) / float64(rc)
+		}
 	}
 	return out
+}
+
+func (r *Result) maxIndex() int {
+	max := 0
+	for i := range r.PerReceiver {
+		if n := len(r.PerReceiver[i].ReceivedByIndex) - 1; n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // Counts returns total received and verified tallies for a wire index
 // across receivers, for confidence-interval computation.
 func (r *Result) Counts(index uint32) (received, verified int) {
-	for _, rep := range r.PerReceiver {
-		if rep.ReceivedByIndex[index] {
+	for i := range r.PerReceiver {
+		rep := &r.PerReceiver[i]
+		if rep.Received(index) {
 			received++
-			if rep.VerifiedByIndex[index] {
+			if rep.Verified(index) {
 				verified++
 			}
 		}

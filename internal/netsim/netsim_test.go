@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"mcauth/internal/crypto"
 	"mcauth/internal/delay"
 	"mcauth/internal/loss"
+	"mcauth/internal/obs"
 	"mcauth/internal/scheme/augchain"
 	"mcauth/internal/scheme/authtree"
 	"mcauth/internal/scheme/emss"
@@ -338,6 +340,159 @@ func TestTESLAMeasuredMatchesEquation7(t *testing.T) {
 	}
 	if got := res.MinAuthRatio(indices); math.Abs(got-qmin) > 0.04 {
 		t.Errorf("min ratio %v vs analytic qmin %v", got, qmin)
+	}
+}
+
+func TestTraceRoundTripMatchesStats(t *testing.T) {
+	// A traced run written to JSONL and read back must agree with the
+	// result's counters: per-receiver authenticated events == each
+	// receiver's Stats.Authenticated, and delivered+dropped == wire
+	// count per receiver.
+	s, err := emss.New(emss.Config{N: 12, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer := obs.NewJSONLTracer(&buf)
+	reg := obs.NewRegistry()
+	cfg := baseConfig(t, 0.3, 8)
+	cfg.Tracer = tracer
+	cfg.Metrics = reg
+	res, err := Run(s, cfg, 1, schemetest.Payloads(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authed := make(map[int]int)
+	delivered := make(map[int]int)
+	dropped := make(map[int]int)
+	sent := 0
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventSent:
+			if e.Receiver != -1 {
+				t.Errorf("sent event attributed to receiver %d", e.Receiver)
+			}
+			sent++
+		case obs.EventAuthenticated:
+			authed[e.Receiver]++
+		case obs.EventDelivered:
+			delivered[e.Receiver]++
+		case obs.EventDropped:
+			dropped[e.Receiver]++
+			if e.Reason != "loss" && e.Reason != "late_join" {
+				t.Errorf("drop reason %q", e.Reason)
+			}
+		}
+	}
+	if sent != res.WireCount {
+		t.Errorf("sent events %d, want wire count %d", sent, res.WireCount)
+	}
+	for r, rep := range res.PerReceiver {
+		if authed[r] != rep.Stats.Authenticated {
+			t.Errorf("receiver %d: %d authenticated events, Stats.Authenticated %d",
+				r, authed[r], rep.Stats.Authenticated)
+		}
+		if delivered[r] != rep.Delivered {
+			t.Errorf("receiver %d: %d delivered events, report %d", r, delivered[r], rep.Delivered)
+		}
+		if dropped[r] != rep.Lost {
+			t.Errorf("receiver %d: %d dropped events, report %d", r, dropped[r], rep.Lost)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["verifier.authenticated"]; got != int64(res.TotalAuthenticated()) {
+		t.Errorf("metrics verifier.authenticated = %d, want %d", got, res.TotalAuthenticated())
+	}
+	if got := snap.Counters["netsim.sent"]; got != int64(res.WireCount) {
+		t.Errorf("metrics netsim.sent = %d, want %d", got, res.WireCount)
+	}
+	tta := snap.Histograms["verifier.time_to_auth_ns"]
+	if tta.Count != int64(res.TotalAuthenticated()) {
+		t.Errorf("time-to-auth histogram count %d, want %d", tta.Count, res.TotalAuthenticated())
+	}
+}
+
+func TestTracerOffEmitsNothing(t *testing.T) {
+	// The nil-tracer hot path must not leak events anywhere: run the
+	// same simulation with and without observability and require
+	// identical results.
+	s, err := emss.New(emss.Config{N: 10, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0.3, 6)
+	plain, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &obs.MemTracer{}
+	cfg.Tracer = mem
+	cfg.Metrics = obs.NewRegistry()
+	traced, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Events()) == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	if plain.TotalAuthenticated() != traced.TotalAuthenticated() {
+		t.Error("observability changed simulation outcome")
+	}
+	if !equalRatios(plain.AuthRatioByIndex(), traced.AuthRatioByIndex()) {
+		t.Error("observability changed per-index ratios")
+	}
+}
+
+func TestVerifierTimeToAuthMatchesNetsimLatencies(t *testing.T) {
+	// The verifier-internal receiver-delay histogram must agree with
+	// netsim's own arrival-to-auth measurement (satellite check for
+	// transport-driven runs, which have only the verifier's numbers).
+	s, err := emss.New(emss.Config{N: 10, M: 2, D: 1}, crypto.NewSignerFromString("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t, 0.2, 10)
+	res, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.PerReceiver {
+		if int(rep.Stats.TimeToAuth.Count) != rep.Stats.Authenticated {
+			t.Errorf("receiver %d: histogram count %d, authenticated %d",
+				r, rep.Stats.TimeToAuth.Count, rep.Stats.Authenticated)
+		}
+		var netsimSum int64
+		for _, l := range rep.AuthLatencies {
+			netsimSum += l.Nanoseconds()
+		}
+		if rep.Stats.TimeToAuth.Sum != netsimSum {
+			t.Errorf("receiver %d: verifier latency sum %d, netsim sum %d",
+				r, rep.Stats.TimeToAuth.Sum, netsimSum)
+		}
+	}
+}
+
+func TestReportAccessors(t *testing.T) {
+	rep := ReceiverReport{
+		ReceivedByIndex: []bool{false, true, false},
+		VerifiedByIndex: []bool{false, true, false},
+	}
+	if !rep.Received(1) || !rep.Verified(1) {
+		t.Error("index 1 should be received and verified")
+	}
+	if rep.Received(2) || rep.Verified(2) {
+		t.Error("index 2 should be absent")
+	}
+	if rep.Received(99) || rep.Verified(99) {
+		t.Error("out-of-range index must report false, not panic")
 	}
 }
 

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count values at
+// most Le (and above the previous bucket's Le).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the exposition form of a histogram: only non-empty
+// buckets, plus precomputed summary statistics.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// SnapshotOf condenses histogram data for exposition.
+func SnapshotOf(d HistogramData) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: d.Count,
+		Sum:   d.Sum,
+		Mean:  d.Mean(),
+		P50:   d.Quantile(0.50),
+		P90:   d.Quantile(0.90),
+		P99:   d.Quantile(0.99),
+	}
+	if d.Count > 0 {
+		s.Min = d.MinSeen
+		s.Max = d.MaxSeen
+	}
+	for i, c := range d.Buckets {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: BucketUpperBound(i), Count: c})
+		}
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures all instruments. A nil registry yields an empty (but
+// non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for k, v := range r.ctrs {
+		ctrs[k] = v
+	}
+	gaugs := make(map[string]*Gauge, len(r.gaugs))
+	for k, v := range r.gaugs {
+		gaugs[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range ctrs {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gaugs {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = SnapshotOf(v.Data())
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes a human-readable metrics table: counters and gauges as
+// name/value lines, histograms as count/mean/p50/p90/p99/max lines. Names
+// are sorted, so the output is deterministic.
+func (s Snapshot) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	write := func(kind string, names []string, emit func(name string)) {
+		if len(names) == 0 {
+			return
+		}
+		sort.Strings(names)
+		fmt.Fprintf(tw, "--- %s ---\t\n", kind)
+		for _, n := range names {
+			emit(n)
+		}
+	}
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	write("counters", names, func(n string) {
+		fmt.Fprintf(tw, "%s\t%d\n", n, s.Counters[n])
+	})
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	write("gauges", names, func(n string) {
+		fmt.Fprintf(tw, "%s\t%d\n", n, s.Gauges[n])
+	})
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	write("histograms (count mean p50 p90 p99 max)", names, func(n string) {
+		h := s.Histograms[n]
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%d\n",
+			n, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max)
+	})
+	return tw.Flush()
+}

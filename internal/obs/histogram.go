@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. Buckets are
+// log-scale powers of two: bucket 0 counts values <= 1 (including zero and
+// negatives), bucket i counts values in (2^(i-1), 2^i]. Sixty-four buckets
+// cover the whole int64 range, so nanosecond latencies and buffer depths
+// share one shape with no configuration.
+const NumBuckets = 64
+
+// BucketUpperBound returns the inclusive upper bound of bucket i
+// (math.MaxInt64 for the last bucket).
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+func bucketFor(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	// Index of the highest set bit of v-1, i.e. ceil(log2(v)).
+	b := 0
+	for x := uint64(v - 1); x > 0; x >>= 1 {
+		b++
+	}
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// HistogramData is the plain-value form of a histogram: copyable,
+// comparable, mergeable, embeddable in stats structs (verifier.Stats,
+// stream.Totals). It is NOT safe for concurrent use; Histogram wraps it
+// with a mutex for registry instruments.
+type HistogramData struct {
+	Count   int64
+	Sum     int64
+	MinSeen int64 // valid only when Count > 0
+	MaxSeen int64
+	Buckets [NumBuckets]int64
+}
+
+// Observe records one value.
+func (h *HistogramData) Observe(v int64) {
+	if h.Count == 0 || v < h.MinSeen {
+		h.MinSeen = v
+	}
+	if h.Count == 0 || v > h.MaxSeen {
+		h.MaxSeen = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bucketFor(v)]++
+}
+
+// Merge folds another histogram's observations into h.
+func (h *HistogramData) Merge(o HistogramData) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.MinSeen < h.MinSeen {
+		h.MinSeen = o.MinSeen
+	}
+	if h.Count == 0 || o.MaxSeen > h.MaxSeen {
+		h.MaxSeen = o.MaxSeen
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h HistogramData) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the bucket
+// counts. Within a bucket the estimate interpolates linearly between the
+// bucket bounds; exact for bucket 0 and clamped to the observed min/max.
+func (h HistogramData) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(BucketUpperBound(i - 1))
+			}
+			hi := float64(BucketUpperBound(i))
+			frac := (rank - float64(cum)) / float64(c)
+			est := lo + frac*(hi-lo)
+			if est < float64(h.MinSeen) {
+				est = float64(h.MinSeen)
+			}
+			if est > float64(h.MaxSeen) {
+				est = float64(h.MaxSeen)
+			}
+			return est
+		}
+		cum += c
+	}
+	return float64(h.MaxSeen)
+}
+
+// Histogram is a concurrency-safe registry instrument over HistogramData.
+type Histogram struct {
+	mu   sync.Mutex
+	data HistogramData
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.data.Observe(v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Nanoseconds())
+}
+
+// Data returns a copy of the accumulated histogram.
+func (h *Histogram) Data() HistogramData {
+	if h == nil {
+		return HistogramData{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.data
+}
+
+// MergeData folds a plain HistogramData into the instrument.
+func (h *Histogram) MergeData(o HistogramData) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.data.Merge(o)
+	h.mu.Unlock()
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	// Bucket 0 is (-inf, 1]; bucket i is (2^(i-1), 2^i].
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0}, {-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {16, 4},
+		{17, 5},
+		{1 << 20, 20},
+		{1<<20 + 1, 21},
+		{math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for i := 1; i < NumBuckets-1; i++ {
+		ub := BucketUpperBound(i)
+		if got := bucketFor(ub); got != i {
+			t.Errorf("upper bound %d of bucket %d lands in bucket %d", ub, i, got)
+		}
+		if got := bucketFor(ub + 1); got != i+1 {
+			t.Errorf("value %d just above bucket %d lands in bucket %d, want %d",
+				ub+1, i, got, i+1)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h HistogramData
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count != 1000 || h.MinSeen != 1 || h.MaxSeen != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count, h.MinSeen, h.MaxSeen)
+	}
+	if got := h.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Errorf("mean %v, want 500.5", got)
+	}
+	// Log-scale buckets are coarse: accept the right power-of-two band.
+	p50 := h.Quantile(0.5)
+	if p50 < 256 || p50 > 1000 {
+		t.Errorf("p50 %v outside [256,1000]", p50)
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Errorf("p100 %v, want clamped max 1000", q)
+	}
+	if q := h.Quantile(0); q < 1 {
+		t.Errorf("p0 %v below min", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, sum HistogramData
+	for v := int64(0); v < 100; v++ {
+		a.Observe(v)
+		sum.Observe(v)
+	}
+	for v := int64(100); v < 200; v += 7 {
+		b.Observe(v)
+		sum.Observe(v)
+	}
+	a.Merge(b)
+	if a != sum {
+		t.Error("merge result differs from direct observation")
+	}
+	var empty HistogramData
+	a.Merge(empty)
+	if a != sum {
+		t.Error("merging an empty histogram changed the data")
+	}
+}
+
+func TestConcurrentCountersAndHistograms(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("test.ops")
+			g := reg.Gauge("test.high_water")
+			h := reg.Histogram("test.latency")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(w*perWorker + i))
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("test.ops").Value(); got != workers*perWorker {
+		t.Errorf("counter %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("test.high_water").Value(); got != workers*perWorker-1 {
+		t.Errorf("gauge high-water %d, want %d", got, workers*perWorker-1)
+	}
+	if got := reg.Histogram("test.latency").Data().Count; got != workers*perWorker {
+		t.Errorf("histogram count %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.SetMax(2)
+	g.Add(1)
+	h.Observe(5)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Data().Count != 0 {
+		t.Error("nil instruments must drop updates")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestSnapshotExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("crypto.sign_ops").Add(7)
+	reg.Gauge("stream.active_blocks").Set(3)
+	h := reg.Histogram("verifier.time_to_auth_ns")
+	for _, v := range []int64{10, 100, 1000, 10000} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+
+	var jsonBuf bytes.Buffer
+	if err := snap.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["crypto.sign_ops"] != 7 {
+		t.Errorf("JSON round-trip counter = %d", back.Counters["crypto.sign_ops"])
+	}
+	if back.Histograms["verifier.time_to_auth_ns"].Count != 4 {
+		t.Errorf("JSON round-trip histogram count = %d",
+			back.Histograms["verifier.time_to_auth_ns"].Count)
+	}
+
+	var textBuf bytes.Buffer
+	if err := snap.WriteText(&textBuf); err != nil {
+		t.Fatal(err)
+	}
+	text := textBuf.String()
+	for _, want := range []string{"crypto.sign_ops", "stream.active_blocks", "verifier.time_to_auth_ns"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestJSONLTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	in := []Event{
+		{Type: EventSent, Receiver: -1, Wire: 1, Index: 1, TimeNS: 1000},
+		{Type: EventDropped, Receiver: 0, Wire: 2, Index: 2, Reason: "loss"},
+		{Type: EventDelivered, Receiver: 1, Wire: 3, Index: 3, OutOfOrder: true},
+		{Type: EventAuthenticated, Receiver: 1, Wire: 3, Index: 3, Block: 9, LatencyNS: 12345},
+	}
+	for _, e := range in {
+		tr.Emit(e)
+	}
+	if tr.Events() != int64(len(in)) {
+		t.Fatalf("emitted %d, want %d", tr.Events(), len(in))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("event %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReceiverTracerStampsReceiver(t *testing.T) {
+	mem := &MemTracer{}
+	rt := ReceiverTracer{T: mem, Receiver: 42}
+	rt.Emit(Event{Type: EventAuthenticated, Index: 5})
+	evs := mem.Events()
+	if len(evs) != 1 || evs[0].Receiver != 42 {
+		t.Fatalf("events = %+v, want one event with recv 42", evs)
+	}
+}
+
+type failingWriter struct{ failed bool }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.failed = true
+	return 0, bytes.ErrTooLarge
+}
+
+func TestJSONLTracerReportsWriteError(t *testing.T) {
+	tr := NewJSONLTracer(&failingWriter{})
+	// Overflow the 64 KiB buffer so the flush path hits the writer.
+	big := Event{Type: EventSent, Reason: strings.Repeat("x", 1<<10)}
+	for i := 0; i < 100; i++ {
+		tr.Emit(big)
+	}
+	if err := tr.Close(); err == nil {
+		t.Error("Close should surface the write error")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"mcauth/internal/crypto"
 	"mcauth/internal/depgraph"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/verifier"
 )
@@ -144,13 +145,36 @@ type chainedVerifier struct {
 	n     int
 	pub   crypto.Verifier
 	inner *verifier.Chained
+
+	// Observability wiring is held until the inner engine exists (it is
+	// created lazily by the first packet).
+	tracer  obs.Tracer
+	metrics *obs.Registry
 }
+
+var _ obs.Instrumented = (*chainedVerifier)(nil)
 
 func newChainedVerifier(n int, pub crypto.Verifier) (*chainedVerifier, error) {
 	if pub == nil {
 		return nil, fmt.Errorf("scheme: nil public key")
 	}
 	return &chainedVerifier{n: n, pub: pub}, nil
+}
+
+// SetTracer implements obs.Instrumented.
+func (cv *chainedVerifier) SetTracer(t obs.Tracer) {
+	cv.tracer = t
+	if cv.inner != nil {
+		cv.inner.SetTracer(t)
+	}
+}
+
+// SetMetrics implements obs.Instrumented.
+func (cv *chainedVerifier) SetMetrics(m *obs.Registry) {
+	cv.metrics = m
+	if cv.inner != nil {
+		cv.inner.SetMetrics(m)
+	}
 }
 
 // Ingest implements Verifier. The first packet binds the verifier to its
@@ -163,6 +187,12 @@ func (cv *chainedVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Ev
 		inner, err := verifier.NewChained(p.BlockID, cv.n, cv.pub)
 		if err != nil {
 			return nil, err
+		}
+		if cv.tracer != nil {
+			inner.SetTracer(cv.tracer)
+		}
+		if cv.metrics != nil {
+			inner.SetMetrics(cv.metrics)
 		}
 		cv.inner = inner
 	}

@@ -22,6 +22,7 @@ import (
 
 	"mcauth/internal/crypto"
 	"mcauth/internal/depgraph"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/scheme"
 	"mcauth/internal/verifier"
@@ -276,9 +277,83 @@ type teslaVerifier struct {
 	buffered  map[int][]pendingPacket // by key interval, awaiting disclosure
 	authentic map[uint32]bool
 	stats     verifier.Stats
+
+	tracer obs.Tracer
+	m      *teslaMetrics
 }
 
-var _ scheme.Verifier = (*teslaVerifier)(nil)
+var (
+	_ scheme.Verifier  = (*teslaVerifier)(nil)
+	_ obs.Instrumented = (*teslaVerifier)(nil)
+)
+
+// teslaMetrics caches the registry instruments the verifier updates; the
+// metric names are shared with the hash-chained engine so runs aggregate
+// under one verifier.* namespace.
+type teslaMetrics struct {
+	authenticated *obs.Counter
+	rejected      *obs.Counter
+	unsafe        *obs.Counter
+	msgHighWater  *obs.Histogram
+	timeToAuth    *obs.Histogram
+}
+
+// SetTracer implements obs.Instrumented.
+func (tv *teslaVerifier) SetTracer(t obs.Tracer) { tv.tracer = t }
+
+// SetMetrics implements obs.Instrumented.
+func (tv *teslaVerifier) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		tv.m = nil
+		return
+	}
+	tv.m = &teslaMetrics{
+		authenticated: reg.Counter("verifier.authenticated"),
+		rejected:      reg.Counter("verifier.rejected"),
+		unsafe:        reg.Counter("verifier.unsafe"),
+		msgHighWater:  reg.Histogram("verifier.msg_buffer_high_water"),
+		timeToAuth:    reg.Histogram("verifier.time_to_auth_ns"),
+	}
+}
+
+func (tv *teslaVerifier) emit(e obs.Event) {
+	if tv.tracer == nil {
+		return
+	}
+	tv.tracer.Emit(e)
+}
+
+// markAuthenticated records one successful authentication at time at of a
+// packet that arrived at arrived, feeding the receiver-delay histogram.
+func (tv *teslaVerifier) markAuthenticated(p *packet.Packet, arrived, at time.Time) {
+	tv.stats.Authenticated++
+	latency := at.Sub(arrived)
+	if latency < 0 {
+		latency = 0
+	}
+	tv.stats.TimeToAuth.Observe(latency.Nanoseconds())
+	if tv.m != nil {
+		tv.m.authenticated.Inc()
+		tv.m.timeToAuth.Observe(latency.Nanoseconds())
+	}
+	tv.emit(obs.Event{
+		Type: obs.EventAuthenticated, Index: p.Index, Block: p.BlockID,
+		TimeNS: obs.TimeNS(at), LatencyNS: latency.Nanoseconds(),
+	})
+}
+
+func (tv *teslaVerifier) markRejected(p *packet.Packet, at time.Time) {
+	tv.stats.Rejected++
+	if tv.m != nil {
+		tv.m.rejected.Inc()
+	}
+	e := obs.Event{Type: obs.EventRejected, TimeNS: obs.TimeNS(at)}
+	if p != nil {
+		e.Index = p.Index
+		e.Block = p.BlockID
+	}
+	tv.emit(e)
+}
 
 // Ingest implements scheme.Verifier.
 func (tv *teslaVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Event, error) {
@@ -292,40 +367,40 @@ func (tv *teslaVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Even
 	}
 
 	if len(p.Signature) > 0 {
-		return tv.ingestBootstrap(p)
+		return tv.ingestBootstrap(p, at)
 	}
 	if tv.params == nil {
 		// Cannot evaluate the safety condition before the bootstrap;
 		// hold the packet with its arrival time.
 		tv.preBoot = append(tv.preBoot, pendingPacket{p: p, arrived: at})
-		tv.trackBufferHighWater()
+		tv.trackBufferHighWater(p, at)
 		return nil, nil
 	}
 	if p.BlockID != tv.blockID {
 		return nil, fmt.Errorf("tesla: packet block %d, verifier block %d", p.BlockID, tv.blockID)
 	}
-	return tv.ingestData(pendingPacket{p: p, arrived: at})
+	return tv.ingestData(pendingPacket{p: p, arrived: at}, at)
 }
 
-func (tv *teslaVerifier) ingestBootstrap(p *packet.Packet) ([]verifier.Event, error) {
+func (tv *teslaVerifier) ingestBootstrap(p *packet.Packet, at time.Time) ([]verifier.Event, error) {
 	if tv.params != nil {
 		tv.stats.Duplicates++
 		return nil, nil
 	}
 	if !tv.pub.Verify(p.ContentBytes(), p.Signature) {
-		tv.stats.Rejected++
+		tv.markRejected(p, at)
 		return nil, nil
 	}
 	bp, err := parseBootstrap(p.Payload)
 	if err != nil {
-		tv.stats.Rejected++
+		tv.markRejected(p, at)
 		return nil, nil
 	}
 	tv.params = &bp
 	tv.blockID = p.BlockID
 	tv.bestIdx = 0
 	tv.bestKey = bp.commitment
-	tv.stats.Authenticated++
+	tv.markAuthenticated(p, at, at)
 
 	var events []verifier.Event
 	held := tv.preBoot
@@ -334,7 +409,7 @@ func (tv *teslaVerifier) ingestBootstrap(p *packet.Packet) ([]verifier.Event, er
 		if pend.p.BlockID != tv.blockID {
 			continue
 		}
-		evs, err := tv.ingestData(pend)
+		evs, err := tv.ingestData(pend, at)
 		if err != nil {
 			return events, err
 		}
@@ -343,14 +418,14 @@ func (tv *teslaVerifier) ingestBootstrap(p *packet.Packet) ([]verifier.Event, er
 	return events, nil
 }
 
-func (tv *teslaVerifier) ingestData(pend pendingPacket) ([]verifier.Event, error) {
+func (tv *teslaVerifier) ingestData(pend pendingPacket, at time.Time) ([]verifier.Event, error) {
 	p := pend.p
 	var events []verifier.Event
 
 	// Disclosed keys self-authenticate against the commitment chain and
 	// may unlock buffered packets, regardless of this packet's own fate.
 	if len(p.DisclosedKey) > 0 {
-		events = append(events, tv.absorbKey(int(p.DisclosedKeyIndex), p.DisclosedKey)...)
+		events = append(events, tv.absorbKey(int(p.DisclosedKeyIndex), p.DisclosedKey, at)...)
 	}
 
 	if p.KeyIndex == 0 {
@@ -363,7 +438,7 @@ func (tv *teslaVerifier) ingestData(pend pendingPacket) ([]verifier.Event, error
 	}
 	interval := int(p.KeyIndex)
 	if interval > tv.params.n {
-		tv.stats.Rejected++
+		tv.markRejected(p, at)
 		return events, nil
 	}
 	// Safety condition: the packet must have arrived before the sender
@@ -374,20 +449,27 @@ func (tv *teslaVerifier) ingestData(pend pendingPacket) ([]verifier.Event, error
 		Add(time.Duration(interval+tv.params.lag) * tv.params.interval)
 	if !pend.arrived.Before(deadline) {
 		tv.stats.Unsafe++
+		if tv.m != nil {
+			tv.m.unsafe.Inc()
+		}
+		tv.emit(obs.Event{
+			Type: obs.EventUnsafe, Index: p.Index, Block: p.BlockID,
+			TimeNS: obs.TimeNS(at),
+		})
 		return events, nil
 	}
 	if tv.bestIdx >= interval {
-		events = append(events, tv.verifyData(p)...)
+		events = append(events, tv.verifyData(pend, at)...)
 		return events, nil
 	}
 	tv.buffered[interval] = append(tv.buffered[interval], pend)
-	tv.trackBufferHighWater()
+	tv.trackBufferHighWater(p, at)
 	return events, nil
 }
 
 // absorbKey validates a disclosed chain key and releases every buffered
 // packet whose interval it covers.
-func (tv *teslaVerifier) absorbKey(idx int, key []byte) []verifier.Event {
+func (tv *teslaVerifier) absorbKey(idx int, key []byte, at time.Time) []verifier.Event {
 	if tv.params == nil || idx < 1 || idx > tv.params.n {
 		return nil
 	}
@@ -396,7 +478,7 @@ func (tv *teslaVerifier) absorbKey(idx int, key []byte) []verifier.Event {
 	}
 	recovered, err := crypto.RecoverEarlierKey(key, idx, tv.bestIdx)
 	if err != nil || !bytesEqual(recovered, tv.bestKey) {
-		tv.stats.Rejected++
+		tv.markRejected(nil, at)
 		return nil
 	}
 	tv.bestIdx = idx
@@ -408,7 +490,7 @@ func (tv *teslaVerifier) absorbKey(idx int, key []byte) []verifier.Event {
 			continue
 		}
 		for _, pend := range pends {
-			events = append(events, tv.verifyData(pend.p)...)
+			events = append(events, tv.verifyData(pend, at)...)
 		}
 		delete(tv.buffered, interval)
 	}
@@ -416,7 +498,8 @@ func (tv *teslaVerifier) absorbKey(idx int, key []byte) []verifier.Event {
 }
 
 // verifyData checks a safe packet's MAC under its (now known) interval key.
-func (tv *teslaVerifier) verifyData(p *packet.Packet) []verifier.Event {
+func (tv *teslaVerifier) verifyData(pend pendingPacket, at time.Time) []verifier.Event {
+	p := pend.p
 	if tv.authentic[p.Index] {
 		// A duplicate of this wire packet was buffered before the key
 		// arrived; emit nothing twice.
@@ -429,27 +512,34 @@ func (tv *teslaVerifier) verifyData(p *packet.Packet) []verifier.Event {
 		if interval == tv.bestIdx {
 			chainKey = tv.bestKey
 		} else {
-			tv.stats.Rejected++
+			tv.markRejected(p, at)
 			return nil
 		}
 	}
 	if !crypto.VerifyMAC(crypto.DeriveMACKey(chainKey), p.ContentBytes(), p.MAC) {
-		tv.stats.Rejected++
+		tv.markRejected(p, at)
 		return nil
 	}
 	tv.authentic[p.Index] = true
-	tv.stats.Authenticated++
+	tv.markAuthenticated(p, pend.arrived, at)
 	return []verifier.Event{{Index: p.Index, Payload: p.Payload}}
 }
 
-func (tv *teslaVerifier) trackBufferHighWater() {
+func (tv *teslaVerifier) trackBufferHighWater(p *packet.Packet, at time.Time) {
 	total := len(tv.preBoot)
 	for _, pends := range tv.buffered {
 		total += len(pends)
 	}
 	if total > tv.stats.MsgBufferHighWater {
 		tv.stats.MsgBufferHighWater = total
+		if tv.m != nil {
+			tv.m.msgHighWater.Observe(int64(total))
+		}
 	}
+	tv.emit(obs.Event{
+		Type: obs.EventMsgBuffered, Index: p.Index, Block: p.BlockID,
+		TimeNS: obs.TimeNS(at), Depth: total,
+	})
 }
 
 // Stats implements scheme.Verifier.

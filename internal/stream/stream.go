@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/scheme"
 )
@@ -91,6 +92,10 @@ type Totals struct {
 	Duplicates    int
 	EvictedBlocks int
 	ActiveBlocks  int
+	// TimeToAuth merges the per-block verifiers' arrival-to-
+	// authentication histograms — the measured receiver delay of a
+	// transport-driven run, in nanoseconds.
+	TimeToAuth obs.HistogramData
 }
 
 // Receiver demultiplexes interleaved wire packets into per-block
@@ -187,10 +192,19 @@ func (r *Receiver) evictIfNeeded() {
 	for len(r.verifiers) > r.maxBlocks {
 		oldest := r.order[0]
 		r.order = r.order[1:]
-		delete(r.verifiers, oldest)
+		r.retireVerifier(oldest)
 		r.markClosed(oldest)
 		r.totals.EvictedBlocks++
 	}
+}
+
+// retireVerifier folds a departing block verifier's latency histogram
+// into the lifetime totals before dropping its state.
+func (r *Receiver) retireVerifier(blockID uint64) {
+	if v, ok := r.verifiers[blockID]; ok {
+		r.totals.TimeToAuth.Merge(v.Stats().TimeToAuth)
+	}
+	delete(r.verifiers, blockID)
 }
 
 func (r *Receiver) markClosed(blockID uint64) {
@@ -211,7 +225,7 @@ func (r *Receiver) CloseBlock(blockID uint64) {
 	if _, ok := r.verifiers[blockID]; !ok {
 		return
 	}
-	delete(r.verifiers, blockID)
+	r.retireVerifier(blockID)
 	for i, id := range r.order {
 		if id == blockID {
 			r.order = append(r.order[:i], r.order[i+1:]...)
@@ -221,9 +235,13 @@ func (r *Receiver) CloseBlock(blockID uint64) {
 	r.markClosed(blockID)
 }
 
-// Totals returns the receiver's lifetime counters.
+// Totals returns the receiver's lifetime counters. The latency histogram
+// covers retired blocks plus the live verifiers' state at call time.
 func (r *Receiver) Totals() Totals {
 	t := r.totals
 	t.ActiveBlocks = len(r.verifiers)
+	for _, v := range r.verifiers {
+		t.TimeToAuth.Merge(v.Stats().TimeToAuth)
+	}
 	return t
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/stream"
 )
@@ -22,13 +23,48 @@ import (
 // MaxFrameSize bounds a single packet's encoding on the wire.
 const MaxFrameSize = 1 << 21 // 2 MiB: payload cap plus headers
 
+// wireMetrics caches the transport.* instruments; a nil *wireMetrics (the
+// default) disables all accounting.
+type wireMetrics struct {
+	framesWritten  *obs.Counter
+	bytesWritten   *obs.Counter
+	framesRead     *obs.Counter
+	bytesRead      *obs.Counter
+	shortReads     *obs.Counter
+	oversizeFrames *obs.Counter
+	decodeErrors   *obs.Counter
+	datagramsSent  *obs.Counter
+	datagramsRead  *obs.Counter
+}
+
+func newWireMetrics(reg *obs.Registry) *wireMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &wireMetrics{
+		framesWritten:  reg.Counter("transport.frames_written"),
+		bytesWritten:   reg.Counter("transport.bytes_written"),
+		framesRead:     reg.Counter("transport.frames_read"),
+		bytesRead:      reg.Counter("transport.bytes_read"),
+		shortReads:     reg.Counter("transport.short_reads"),
+		oversizeFrames: reg.Counter("transport.oversize_frames"),
+		decodeErrors:   reg.Counter("transport.decode_errors"),
+		datagramsSent:  reg.Counter("transport.datagrams_sent"),
+		datagramsRead:  reg.Counter("transport.datagrams_read"),
+	}
+}
+
 // FrameWriter writes length-prefixed packets to a byte stream.
 type FrameWriter struct {
 	w io.Writer
+	m *wireMetrics
 }
 
 // NewFrameWriter wraps w.
 func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// SetMetrics enables transport.* accounting in reg (nil disables).
+func (fw *FrameWriter) SetMetrics(reg *obs.Registry) { fw.m = newWireMetrics(reg) }
 
 // WritePacket encodes and frames one packet.
 func (fw *FrameWriter) WritePacket(p *packet.Packet) error {
@@ -37,6 +73,9 @@ func (fw *FrameWriter) WritePacket(p *packet.Packet) error {
 		return fmt.Errorf("transport: encode: %w", err)
 	}
 	if len(wire) > MaxFrameSize {
+		if fw.m != nil {
+			fw.m.oversizeFrames.Inc()
+		}
 		return fmt.Errorf("transport: frame %d exceeds %d bytes", len(wire), MaxFrameSize)
 	}
 	var hdr [4]byte
@@ -47,18 +86,26 @@ func (fw *FrameWriter) WritePacket(p *packet.Packet) error {
 	if _, err := fw.w.Write(wire); err != nil {
 		return fmt.Errorf("transport: write frame: %w", err)
 	}
+	if fw.m != nil {
+		fw.m.framesWritten.Inc()
+		fw.m.bytesWritten.Add(int64(len(hdr) + len(wire)))
+	}
 	return nil
 }
 
 // FrameReader reads length-prefixed packets from a byte stream.
 type FrameReader struct {
 	r *bufio.Reader
+	m *wireMetrics
 }
 
 // NewFrameReader wraps r.
 func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{r: bufio.NewReader(r)}
 }
+
+// SetMetrics enables transport.* accounting in reg (nil disables).
+func (fr *FrameReader) SetMetrics(reg *obs.Registry) { fr.m = newWireMetrics(reg) }
 
 // ReadPacket reads and decodes one packet; it returns io.EOF at a clean
 // end of stream.
@@ -68,19 +115,35 @@ func (fr *FrameReader) ReadPacket() (*packet.Packet, error) {
 		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
 		}
+		if errors.Is(err, io.ErrUnexpectedEOF) && fr.m != nil {
+			fr.m.shortReads.Inc()
+		}
 		return nil, fmt.Errorf("transport: read header: %w", err)
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
 	if size > MaxFrameSize {
+		if fr.m != nil {
+			fr.m.oversizeFrames.Inc()
+		}
 		return nil, fmt.Errorf("transport: frame %d exceeds %d bytes", size, MaxFrameSize)
 	}
 	wire := make([]byte, size)
 	if _, err := io.ReadFull(fr.r, wire); err != nil {
+		if fr.m != nil {
+			fr.m.shortReads.Inc()
+		}
 		return nil, fmt.Errorf("transport: read frame: %w", err)
 	}
 	p, err := packet.Decode(wire)
 	if err != nil {
+		if fr.m != nil {
+			fr.m.decodeErrors.Inc()
+		}
 		return nil, fmt.Errorf("transport: %w", err)
+	}
+	if fr.m != nil {
+		fr.m.framesRead.Inc()
+		fr.m.bytesRead.Add(int64(len(hdr) + len(wire)))
 	}
 	return p, nil
 }
@@ -89,7 +152,11 @@ func (fr *FrameReader) ReadPacket() (*packet.Packet, error) {
 type DatagramSender struct {
 	conn net.PacketConn
 	addr net.Addr
+	m    *wireMetrics
 }
+
+// SetMetrics enables transport.* accounting in reg (nil disables).
+func (ds *DatagramSender) SetMetrics(reg *obs.Registry) { ds.m = newWireMetrics(reg) }
 
 // NewDatagramSender binds a sender to conn and the destination addr.
 func NewDatagramSender(conn net.PacketConn, addr net.Addr) (*DatagramSender, error) {
@@ -107,6 +174,10 @@ func (ds *DatagramSender) Send(p *packet.Packet) error {
 	}
 	if _, err := ds.conn.WriteTo(wire, ds.addr); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
+	}
+	if ds.m != nil {
+		ds.m.datagramsSent.Inc()
+		ds.m.bytesWritten.Add(int64(len(wire)))
 	}
 	return nil
 }
@@ -136,8 +207,18 @@ type Listener struct {
 	stop    chan struct{}
 	done    chan struct{}
 	mu      sync.Mutex
+	m       *wireMetrics
 	readErr error
 	closed  bool
+}
+
+// SetMetrics enables transport.* accounting in reg (nil disables). Safe
+// to call while the read loop runs.
+func (l *Listener) SetMetrics(reg *obs.Registry) {
+	m := newWireMetrics(reg)
+	l.mu.Lock()
+	l.m = m
+	l.mu.Unlock()
 }
 
 // Listen starts the read loop. The clock is used to timestamp arrivals
@@ -185,6 +266,10 @@ func (l *Listener) loop() {
 		wire := make([]byte, n)
 		copy(wire, buf[:n])
 		l.mu.Lock()
+		if l.m != nil {
+			l.m.datagramsRead.Inc()
+			l.m.bytesRead.Add(int64(n))
+		}
 		auths, err := l.rcv.IngestWire(wire, l.now())
 		l.mu.Unlock()
 		if err != nil {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"mcauth/internal/crypto"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/scheme/emss"
 	"mcauth/internal/stream"
@@ -241,5 +243,73 @@ func TestDatagramGarbageCounted(t *testing.T) {
 	}
 	if err := listener.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFrameMetrics(t *testing.T) {
+	pkts, _ := testBlockPackets(t, 4, 1)
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.SetMetrics(reg)
+	for _, p := range pkts {
+		if err := fw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	written := buf.Len()
+	fr := NewFrameReader(&buf)
+	fr.SetMetrics(reg)
+	for range pkts {
+		if _, err := fr.ReadPacket(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["transport.frames_written"]; got != int64(len(pkts)) {
+		t.Errorf("frames_written = %d, want %d", got, len(pkts))
+	}
+	if got := snap.Counters["transport.frames_read"]; got != int64(len(pkts)) {
+		t.Errorf("frames_read = %d, want %d", got, len(pkts))
+	}
+	if got := snap.Counters["transport.bytes_written"]; got != int64(written) {
+		t.Errorf("bytes_written = %d, want %d", got, written)
+	}
+	if got := snap.Counters["transport.bytes_read"]; got != int64(written) {
+		t.Errorf("bytes_read = %d, want %d", got, written)
+	}
+}
+
+func TestShortReadCounted(t *testing.T) {
+	pkts, _ := testBlockPackets(t, 4, 1)
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WritePacket(pkts[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-frame: the reader sees a short body read.
+	truncated := buf.Bytes()[:buf.Len()-3]
+	fr := NewFrameReader(bytes.NewReader(truncated))
+	fr.SetMetrics(reg)
+	if _, err := fr.ReadPacket(); err == nil {
+		t.Fatal("truncated frame should fail")
+	}
+	if got := reg.Snapshot().Counters["transport.short_reads"]; got != 1 {
+		t.Errorf("short_reads = %d, want 1", got)
+	}
+}
+
+func TestOversizeFrameCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	fr := NewFrameReader(bytes.NewReader(hdr[:]))
+	fr.SetMetrics(reg)
+	if _, err := fr.ReadPacket(); err == nil {
+		t.Fatal("oversize frame should fail")
+	}
+	if got := reg.Snapshot().Counters["transport.oversize_frames"]; got != 1 {
+		t.Errorf("oversize_frames = %d, want 1", got)
 	}
 }

@@ -10,6 +10,11 @@
 // information). Packets become authentic when their digest matches a
 // trusted digest; trusted digests originate from the block signature and
 // propagate along dependence edges.
+//
+// The engine is observable: it always measures arrival-to-authentication
+// latency (the paper's receiver delay) into Stats.TimeToAuth, and can
+// additionally emit per-packet lifecycle events and registry metrics when
+// wired up via SetTracer / SetMetrics (see internal/obs).
 package verifier
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"mcauth/internal/crypto"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 )
 
@@ -46,6 +52,12 @@ type Stats struct {
 	// paper notes receiver buffering "is subject to Denial of Service
 	// attacks").
 	DroppedOverflow int
+
+	// TimeToAuth is the histogram of arrival-to-authentication latency
+	// over this verifier's authenticated packets, in nanoseconds — the
+	// measured receiver delay of the paper, recorded inside the engine
+	// so transport-driven runs get receiver-delay numbers too.
+	TimeToAuth obs.HistogramData
 }
 
 // Option configures a Chained verifier.
@@ -63,6 +75,40 @@ func (o maxBufferedOption) apply(v *Chained) { v.maxBuffered = int(o) }
 // unbounded.
 func WithMaxBuffered(n int) Option { return maxBufferedOption(n) }
 
+// metrics caches the registry instruments the engine updates, looked up
+// once at SetMetrics time so Ingest never touches the registry's lock.
+type metrics struct {
+	authenticated *obs.Counter
+	rejected      *obs.Counter
+	duplicates    *obs.Counter
+	overflow      *obs.Counter
+	msgHighWater  *obs.Histogram
+	hashHighWater *obs.Histogram
+	timeToAuth    *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		authenticated: reg.Counter("verifier.authenticated"),
+		rejected:      reg.Counter("verifier.rejected"),
+		duplicates:    reg.Counter("verifier.duplicates"),
+		overflow:      reg.Counter("verifier.overflow_dropped"),
+		msgHighWater:  reg.Histogram("verifier.msg_buffer_high_water"),
+		hashHighWater: reg.Histogram("verifier.hash_buffer_high_water"),
+		timeToAuth:    reg.Histogram("verifier.time_to_auth_ns"),
+	}
+}
+
+// buffered is one message-buffer entry: the packet plus its arrival time,
+// kept so the cascade can measure arrival-to-authentication latency.
+type bufferedPacket struct {
+	p       *packet.Packet
+	arrived time.Time
+}
+
 // Chained verifies one block of a hash-chained scheme.
 type Chained struct {
 	blockID uint64
@@ -70,11 +116,16 @@ type Chained struct {
 	pub     crypto.Verifier
 
 	trusted     map[uint32]crypto.Digest // digests proven authentic, by index
-	buffered    map[uint32]*packet.Packet
+	buffered    map[uint32]bufferedPacket
 	authentic   map[uint32]bool
 	maxBuffered int // 0 = unbounded
 	stats       Stats
+
+	tracer obs.Tracer
+	m      *metrics
 }
+
+var _ obs.Instrumented = (*Chained)(nil)
 
 // NewChained creates a verifier for one block of n packets signed by the
 // holder of pub.
@@ -90,7 +141,7 @@ func NewChained(blockID uint64, n int, pub crypto.Verifier, opts ...Option) (*Ch
 		n:         uint32(n),
 		pub:       pub,
 		trusted:   make(map[uint32]crypto.Digest),
-		buffered:  make(map[uint32]*packet.Packet),
+		buffered:  make(map[uint32]bufferedPacket),
 		authentic: make(map[uint32]bool),
 	}
 	for _, o := range opts {
@@ -102,10 +153,19 @@ func NewChained(blockID uint64, n int, pub crypto.Verifier, opts ...Option) (*Ch
 	return v, nil
 }
 
-// Ingest processes one arriving packet. The timestamp is unused by
-// hash-chained schemes (they have no timing condition) but kept for
-// interface symmetry with TESLA.
-func (v *Chained) Ingest(p *packet.Packet, _ time.Time) ([]Event, error) {
+// SetTracer implements obs.Instrumented: subsequent ingests emit lifecycle
+// events to t (nil disables tracing).
+func (v *Chained) SetTracer(t obs.Tracer) { v.tracer = t }
+
+// SetMetrics implements obs.Instrumented: subsequent ingests update
+// verifier.* instruments in reg (nil disables).
+func (v *Chained) SetMetrics(reg *obs.Registry) { v.m = newMetrics(reg) }
+
+// Ingest processes one arriving packet at the given receiver-local time.
+// The timestamp orders buffering against authentication for the receiver-
+// delay measurement; hash-chained schemes have no timing condition of
+// their own.
+func (v *Chained) Ingest(p *packet.Packet, at time.Time) ([]Event, error) {
 	if p == nil {
 		return nil, errors.New("verifier: nil packet")
 	}
@@ -116,8 +176,9 @@ func (v *Chained) Ingest(p *packet.Packet, _ time.Time) ([]Event, error) {
 		return nil, fmt.Errorf("verifier: index %d out of [1,%d]", p.Index, v.n)
 	}
 	v.stats.Received++
-	if v.authentic[p.Index] || v.buffered[p.Index] != nil {
+	if _, dup := v.buffered[p.Index]; v.authentic[p.Index] || dup {
 		v.stats.Duplicates++
+		v.m.countDuplicate()
 		return nil, nil
 	}
 
@@ -125,39 +186,79 @@ func (v *Chained) Ingest(p *packet.Packet, _ time.Time) ([]Event, error) {
 	switch {
 	case len(p.Signature) > 0:
 		if !v.pub.Verify(p.ContentBytes(), p.Signature) {
-			v.stats.Rejected++
+			v.reject(p, at)
 			return nil, nil
 		}
-		events = v.accept(p)
+		events = v.accept(p, at)
 	default:
 		want, ok := v.trusted[p.Index]
 		if !ok {
 			if v.maxBuffered > 0 && len(v.buffered) >= v.maxBuffered {
 				v.stats.DroppedOverflow++
+				v.m.countOverflow()
+				v.emit(obs.Event{
+					Type: obs.EventOverflowDropped, Index: p.Index,
+					Block: p.BlockID, TimeNS: obs.TimeNS(at), Depth: len(v.buffered),
+				})
 				return nil, nil
 			}
-			v.buffered[p.Index] = p
+			v.buffered[p.Index] = bufferedPacket{p: p, arrived: at}
 			if len(v.buffered) > v.stats.MsgBufferHighWater {
 				v.stats.MsgBufferHighWater = len(v.buffered)
+				if v.m != nil {
+					v.m.msgHighWater.Observe(int64(len(v.buffered)))
+				}
 			}
+			v.emit(obs.Event{
+				Type: obs.EventMsgBuffered, Index: p.Index,
+				Block: p.BlockID, TimeNS: obs.TimeNS(at), Depth: len(v.buffered),
+			})
 			return nil, nil
 		}
 		if p.Digest() != want {
-			v.stats.Rejected++
+			v.reject(p, at)
 			return nil, nil
 		}
-		events = v.accept(p)
+		events = v.accept(p, at)
 	}
 	return events, nil
+}
+
+func (v *Chained) reject(p *packet.Packet, at time.Time) {
+	v.stats.Rejected++
+	v.m.countRejected()
+	v.emit(obs.Event{
+		Type: obs.EventRejected, Index: p.Index,
+		Block: p.BlockID, TimeNS: obs.TimeNS(at),
+	})
+}
+
+// authenticate records one successful authentication at time `at` of a
+// packet that arrived at `arrived`.
+func (v *Chained) authenticate(p *packet.Packet, arrived, at time.Time) {
+	v.authentic[p.Index] = true
+	v.stats.Authenticated++
+	latency := at.Sub(arrived)
+	if latency < 0 {
+		latency = 0
+	}
+	v.stats.TimeToAuth.Observe(latency.Nanoseconds())
+	if v.m != nil {
+		v.m.authenticated.Inc()
+		v.m.timeToAuth.Observe(latency.Nanoseconds())
+	}
+	v.emit(obs.Event{
+		Type: obs.EventAuthenticated, Index: p.Index, Block: p.BlockID,
+		TimeNS: obs.TimeNS(at), LatencyNS: latency.Nanoseconds(),
+	})
 }
 
 // accept marks p authentic, trusts its carried hashes, and cascades into
 // the message buffer. It returns the authentication events in cascade
 // order.
-func (v *Chained) accept(p *packet.Packet) []Event {
+func (v *Chained) accept(p *packet.Packet, at time.Time) []Event {
 	events := []Event{{Index: p.Index, Payload: p.Payload}}
-	v.authentic[p.Index] = true
-	v.stats.Authenticated++
+	v.authenticate(p, at, at)
 	delete(v.buffered, p.Index)
 
 	queue := []*packet.Packet{p}
@@ -171,18 +272,23 @@ func (v *Chained) accept(p *packet.Packet) []Event {
 			v.trusted[h.TargetIndex] = h.Digest
 			waiting, ok := v.buffered[h.TargetIndex]
 			if !ok {
+				if !v.authentic[h.TargetIndex] {
+					v.emit(obs.Event{
+						Type: obs.EventHashBuffered, Index: h.TargetIndex,
+						Block: p.BlockID, TimeNS: obs.TimeNS(at),
+					})
+				}
 				continue
 			}
-			if waiting.Digest() != h.Digest {
-				v.stats.Rejected++
+			if waiting.p.Digest() != h.Digest {
+				v.reject(waiting.p, at)
 				delete(v.buffered, h.TargetIndex)
 				continue
 			}
-			v.authentic[waiting.Index] = true
-			v.stats.Authenticated++
-			delete(v.buffered, waiting.Index)
-			events = append(events, Event{Index: waiting.Index, Payload: waiting.Payload})
-			queue = append(queue, waiting)
+			v.authenticate(waiting.p, waiting.arrived, at)
+			delete(v.buffered, waiting.p.Index)
+			events = append(events, Event{Index: waiting.p.Index, Payload: waiting.p.Payload})
+			queue = append(queue, waiting.p)
 		}
 	}
 	v.updateHashHighWater()
@@ -198,6 +304,34 @@ func (v *Chained) updateHashHighWater() {
 	}
 	if pendingHashes > v.stats.HashBufferHighWater {
 		v.stats.HashBufferHighWater = pendingHashes
+		if v.m != nil {
+			v.m.hashHighWater.Observe(int64(pendingHashes))
+		}
+	}
+}
+
+func (v *Chained) emit(e obs.Event) {
+	if v.tracer == nil {
+		return
+	}
+	v.tracer.Emit(e)
+}
+
+func (m *metrics) countDuplicate() {
+	if m != nil {
+		m.duplicates.Inc()
+	}
+}
+
+func (m *metrics) countRejected() {
+	if m != nil {
+		m.rejected.Inc()
+	}
+}
+
+func (m *metrics) countOverflow() {
+	if m != nil {
+		m.overflow.Inc()
 	}
 }
 

@@ -6,3 +6,9 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Robustness tier: a short seeded chaos soak under the race detector, then
+# a fuzz smoke pass over the two attacker-facing decoders.
+go run -race ./cmd/mcsim -chaos -n 24 -receivers 6 -chaosseeds 2 >/dev/null
+go test -fuzz=FuzzDecode -fuzztime=10s -run='^$' ./internal/packet
+go test -fuzz=FuzzFrameReader -fuzztime=10s -run='^$' ./internal/transport

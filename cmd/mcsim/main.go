@@ -50,6 +50,10 @@ type options struct {
 	lag       int
 	latejoin  int
 
+	chaos      bool
+	chaosRate  float64
+	chaosSeeds int
+
 	trace      string
 	metrics    string
 	cpuprofile string
@@ -82,6 +86,9 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.b, "b", 3, "augmented chain b")
 	fs.IntVar(&o.lag, "lag", 4, "TESLA disclosure lag (intervals)")
 	fs.IntVar(&o.latejoin, "latejoin", 0, "number of receivers joining mid-block")
+	fs.BoolVar(&o.chaos, "chaos", false, "run the fault-injection soak: every scheme x every fault preset x -chaosseeds seeds")
+	fs.Float64Var(&o.chaosRate, "chaosrate", 0.02, "per-packet fault injection rate for -chaos")
+	fs.IntVar(&o.chaosSeeds, "chaosseeds", 3, "seeds per scheme/preset cell for -chaos")
 	fs.StringVar(&o.trace, "trace", "", "write a JSONL packet-lifecycle trace to this file")
 	fs.StringVar(&o.metrics, "metrics", "", "write end-of-run metrics: '-' for a text table on stdout, else JSON to this file")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
@@ -254,6 +261,9 @@ func run(args []string) error {
 	o, err := parseOptions(args)
 	if err != nil {
 		return err
+	}
+	if o.chaos {
+		return runChaos(o)
 	}
 	tracer, reg, finishObs, err := setupObservability(o)
 	if err != nil {

@@ -71,11 +71,19 @@ func run() error {
 				log.Printf("push: %v", err)
 				return
 			}
-			if pkts != nil {
-				if err := sender.SendBlock(pkts, 200*time.Microsecond); err != nil {
-					log.Printf("send: %v", err)
+			for _, p := range pkts {
+				// A saturated loopback socket (ENOBUFS, EAGAIN) is not a
+				// reason to kill the feed: retry with capped backoff and
+				// give up only on permanent errors.
+				if err := sender.SendWithRetry(p, 5, time.Millisecond); err != nil {
+					if transport.IsTransientSendErr(err) {
+						log.Printf("send %d/%d: still transient after retries, dropping: %v", p.BlockID, p.Index, err)
+						continue
+					}
+					log.Printf("send %d/%d: permanent error, stopping feed: %v", p.BlockID, p.Index, err)
 					return
 				}
+				time.Sleep(200 * time.Microsecond)
 			}
 		}
 	}()

@@ -1,0 +1,238 @@
+// Package fault is a seeded, composable fault-injection layer that mutates
+// the wire between sender and verifier. The paper's analysis assumes a
+// benign lossy channel (Bernoulli loss, Section 4.1); a deployed multicast
+// authenticator also faces an *active* adversary who corrupts, truncates,
+// duplicates, replays, delays and outright forges packets. An Injector
+// models that adversary: every encoded packet passes through it and comes
+// out as zero or more deliveries, each possibly mutated, duplicated,
+// delayed, or accompanied by a forged packet.
+//
+// All randomness comes from an explicit *stats.RNG, so an adversarial run
+// is exactly as reproducible as a benign one. The injector operates on
+// encoded wire bytes — the same representation a real attacker touches —
+// which means a bit-flip can land anywhere: payload, carried hashes,
+// indices, or the length fields of the encoding itself.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"mcauth/internal/packet"
+	"mcauth/internal/stats"
+)
+
+// Config parameterizes the adversarial channel. All rates are per-packet
+// probabilities in [0,1]; a zero Config injects nothing.
+type Config struct {
+	// CorruptRate is the probability a delivery has 1-3 random bits
+	// flipped somewhere in its encoding.
+	CorruptRate float64
+	// TruncateRate is the probability a delivery is cut to a strict
+	// prefix of its encoding.
+	TruncateRate float64
+	// DuplicateRate is the probability the packet is delivered twice
+	// (the second copy slightly later).
+	DuplicateRate float64
+	// ForgeRate is the probability a forged packet is injected alongside
+	// the genuine one. Forged packets are built by Forger (or
+	// NewWrongKeyForger's default when nil): plausible packets signed by
+	// a wrong key or carrying spoofed hash references.
+	ForgeRate float64
+	// ReorderRate is the probability a delivery is hit by a delay spike
+	// of ReorderSpike, making it overtake or be overtaken by its
+	// neighbors.
+	ReorderRate float64
+	// ReorderSpike is the extra delay of a reorder hit (default 50ms).
+	ReorderSpike time.Duration
+	// StallRate is the probability a sender stall *starts* at a packet;
+	// the stall delays that packet and the following StallLength-1
+	// packets by StallDelay (a sender pause or route flap).
+	StallRate float64
+	// StallLength is the number of consecutive packets a stall covers
+	// (default 8).
+	StallLength int
+	// StallDelay is the extra delay a stalled packet suffers (default
+	// 200ms).
+	StallDelay time.Duration
+	// Forger fabricates injected packets when ForgeRate > 0. Nil selects
+	// a default wrong-key forger.
+	Forger Forger
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	rates := map[string]float64{
+		"corrupt":   c.CorruptRate,
+		"truncate":  c.TruncateRate,
+		"duplicate": c.DuplicateRate,
+		"forge":     c.ForgeRate,
+		"reorder":   c.ReorderRate,
+		"stall":     c.StallRate,
+	}
+	for name, r := range rates {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("fault: %s rate %v out of [0,1]", name, r)
+		}
+	}
+	if c.ReorderSpike < 0 {
+		return fmt.Errorf("fault: negative reorder spike %v", c.ReorderSpike)
+	}
+	if c.StallLength < 0 {
+		return fmt.Errorf("fault: negative stall length %d", c.StallLength)
+	}
+	if c.StallDelay < 0 {
+		return fmt.Errorf("fault: negative stall delay %v", c.StallDelay)
+	}
+	return nil
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.CorruptRate > 0 || c.TruncateRate > 0 || c.DuplicateRate > 0 ||
+		c.ForgeRate > 0 || c.ReorderRate > 0 || c.StallRate > 0
+}
+
+// Defaults for optional knobs.
+const (
+	defaultReorderSpike = 50 * time.Millisecond
+	defaultStallLength  = 8
+	defaultStallDelay   = 200 * time.Millisecond
+)
+
+// Kind classifies what the channel did to produce one delivery.
+type Kind int
+
+const (
+	// KindPass is the genuine packet, unmodified (it may still carry a
+	// delay from a reorder spike or stall).
+	KindPass Kind = iota
+	// KindCorrupted is the genuine packet with flipped bits.
+	KindCorrupted
+	// KindTruncated is a strict prefix of the genuine encoding.
+	KindTruncated
+	// KindDuplicate is an extra, identical copy of the genuine packet.
+	KindDuplicate
+	// KindForged is an attacker-fabricated packet.
+	KindForged
+)
+
+// String names the kind for traces and reports.
+func (k Kind) String() string {
+	switch k {
+	case KindPass:
+		return "pass"
+	case KindCorrupted:
+		return "corrupted"
+	case KindTruncated:
+		return "truncated"
+	case KindDuplicate:
+		return "duplicate"
+	case KindForged:
+		return "forged"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Delivery is one datagram the adversarial channel hands onward.
+type Delivery struct {
+	// Wire is the (possibly mutated) encoding reaching the receiver.
+	Wire []byte
+	// Kind records what happened.
+	Kind Kind
+	// Delay is extra latency on top of the channel's own delay model.
+	Delay time.Duration
+}
+
+// Injector applies one Config to a packet sequence. It is stateful (stall
+// windows span packets) and not safe for concurrent use; derive one
+// injector per receiver from split RNGs.
+type Injector struct {
+	cfg       Config
+	rng       *stats.RNG
+	forger    Forger
+	stallLeft int
+}
+
+// NewInjector builds an injector drawing randomness from rng.
+func NewInjector(cfg Config, rng *stats.RNG) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fault: nil rng")
+	}
+	if cfg.ReorderSpike == 0 {
+		cfg.ReorderSpike = defaultReorderSpike
+	}
+	if cfg.StallLength == 0 {
+		cfg.StallLength = defaultStallLength
+	}
+	if cfg.StallDelay == 0 {
+		cfg.StallDelay = defaultStallDelay
+	}
+	forger := cfg.Forger
+	if forger == nil && cfg.ForgeRate > 0 {
+		forger = NewWrongKeyForger("fault-injector-default")
+	}
+	return &Injector{cfg: cfg, rng: rng, forger: forger}, nil
+}
+
+// Apply passes one encoded packet through the adversarial channel and
+// returns the deliveries that reach the receiver, in injection order. The
+// original packet (possibly mutated) is always among them — dropping is the
+// loss model's job, not the adversary's; an undecodable mutation is
+// equivalent to a drop at the receiver. p is the decoded packet the wire
+// bytes came from, used as the forger's template; it may be nil when
+// forgery is disabled.
+func (in *Injector) Apply(wire []byte, p *packet.Packet) []Delivery {
+	var stallDelay time.Duration
+	if in.stallLeft > 0 {
+		in.stallLeft--
+		stallDelay = in.cfg.StallDelay
+	} else if in.rng.Bernoulli(in.cfg.StallRate) {
+		in.stallLeft = in.cfg.StallLength - 1
+		stallDelay = in.cfg.StallDelay
+	}
+	genuine := Delivery{Wire: wire, Kind: KindPass, Delay: stallDelay}
+	if in.rng.Bernoulli(in.cfg.ReorderRate) {
+		genuine.Delay += in.cfg.ReorderSpike
+	}
+	// Corruption and truncation are mutually exclusive per delivery;
+	// truncation wins the coin toss order arbitrarily but deterministically.
+	if in.rng.Bernoulli(in.cfg.TruncateRate) && len(wire) > 1 {
+		genuine.Wire = append([]byte(nil), wire[:1+in.rng.Intn(len(wire)-1)]...)
+		genuine.Kind = KindTruncated
+	} else if in.rng.Bernoulli(in.cfg.CorruptRate) && len(wire) > 0 {
+		genuine.Wire = in.flipBits(wire)
+		genuine.Kind = KindCorrupted
+	}
+	out := []Delivery{genuine}
+	if in.rng.Bernoulli(in.cfg.DuplicateRate) {
+		out = append(out, Delivery{
+			Wire:  genuine.Wire,
+			Kind:  KindDuplicate,
+			Delay: genuine.Delay + time.Millisecond,
+		})
+	}
+	if in.forger != nil && in.rng.Bernoulli(in.cfg.ForgeRate) && p != nil {
+		if forged := in.forger.Forge(in.rng, p); forged != nil {
+			if fw, err := forged.Encode(); err == nil {
+				out = append(out, Delivery{Wire: fw, Kind: KindForged, Delay: stallDelay})
+			}
+		}
+	}
+	return out
+}
+
+// flipBits returns a copy of wire with 1-3 random bits flipped.
+func (in *Injector) flipBits(wire []byte) []byte {
+	mutated := append([]byte(nil), wire...)
+	flips := 1 + in.rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		pos := in.rng.Intn(len(mutated))
+		mutated[pos] ^= 1 << uint(in.rng.Intn(8))
+	}
+	return mutated
+}

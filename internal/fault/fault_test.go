@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/packet"
+	"mcauth/internal/stats"
+)
+
+func testPacket() *packet.Packet {
+	p := &packet.Packet{
+		BlockID: 3,
+		Index:   5,
+		Payload: []byte("genuine payload"),
+		Hashes: []packet.HashRef{
+			{TargetIndex: 2, Digest: crypto.HashBytes([]byte("two"))},
+		},
+	}
+	p.Signature = crypto.NewSignerFromString("sender").Sign(p.ContentBytes())
+	return p
+}
+
+func encode(t *testing.T, p *packet.Packet) []byte {
+	t.Helper()
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{CorruptRate: -0.1},
+		{TruncateRate: 1.5},
+		{ForgeRate: 2},
+		{ReorderSpike: -time.Second},
+		{StallLength: -1},
+		{StallDelay: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+		if _, err := NewInjector(cfg, stats.NewRNG(1)); err == nil {
+			t.Errorf("case %d should fail NewInjector", i)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config should validate: %v", err)
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config must report disabled")
+	}
+	if !(Config{CorruptRate: 0.1}).Enabled() {
+		t.Error("non-zero rate must report enabled")
+	}
+	if _, err := NewInjector(Config{}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestZeroConfigPassesThrough(t *testing.T) {
+	in, err := NewInjector(Config{}, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPacket()
+	wire := encode(t, p)
+	for i := 0; i < 100; i++ {
+		out := in.Apply(wire, p)
+		if len(out) != 1 || out[0].Kind != KindPass || out[0].Delay != 0 {
+			t.Fatalf("zero config mutated delivery: %+v", out)
+		}
+		if !bytes.Equal(out[0].Wire, wire) {
+			t.Fatal("zero config changed wire bytes")
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	cfg := Config{CorruptRate: 0.3, DuplicateRate: 0.3, ForgeRate: 0.3, TruncateRate: 0.1}
+	p := testPacket()
+	wire := encode(t, p)
+	run := func(seed uint64) []Delivery {
+		in, err := NewInjector(cfg, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []Delivery
+		for i := 0; i < 200; i++ {
+			all = append(all, in.Apply(wire, p)...)
+		}
+		return all
+	}
+	a, b := run(11), run(11)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d deliveries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || !bytes.Equal(a[i].Wire, b[i].Wire) || a[i].Delay != b[i].Delay {
+			t.Fatalf("delivery %d differs across same-seed runs", i)
+		}
+	}
+	c := run(12)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Kind != c[i].Kind {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences (suspicious)")
+	}
+}
+
+func TestCorruptionMutatesButPreservesLength(t *testing.T) {
+	in, err := NewInjector(Config{CorruptRate: 1}, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPacket()
+	wire := encode(t, p)
+	out := in.Apply(wire, p)
+	if len(out) != 1 || out[0].Kind != KindCorrupted {
+		t.Fatalf("want one corrupted delivery, got %+v", out)
+	}
+	if bytes.Equal(out[0].Wire, wire) {
+		t.Error("corruption left wire unchanged")
+	}
+	if len(out[0].Wire) != len(wire) {
+		t.Error("corruption changed length")
+	}
+	if !bytes.Equal(wire, encode(t, p)) {
+		t.Error("corruption mutated the caller's buffer")
+	}
+}
+
+func TestTruncationShortens(t *testing.T) {
+	in, err := NewInjector(Config{TruncateRate: 1}, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPacket()
+	wire := encode(t, p)
+	for i := 0; i < 50; i++ {
+		out := in.Apply(wire, p)
+		if out[0].Kind != KindTruncated {
+			t.Fatalf("want truncated, got %v", out[0].Kind)
+		}
+		if len(out[0].Wire) >= len(wire) || len(out[0].Wire) < 1 {
+			t.Fatalf("truncated length %d out of [1,%d)", len(out[0].Wire), len(wire))
+		}
+	}
+}
+
+func TestDuplicationDelivesTwice(t *testing.T) {
+	in, err := NewInjector(Config{DuplicateRate: 1}, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPacket()
+	wire := encode(t, p)
+	out := in.Apply(wire, p)
+	if len(out) != 2 {
+		t.Fatalf("want 2 deliveries, got %d", len(out))
+	}
+	if out[0].Kind != KindPass || out[1].Kind != KindDuplicate {
+		t.Fatalf("kinds %v/%v", out[0].Kind, out[1].Kind)
+	}
+	if !bytes.Equal(out[0].Wire, out[1].Wire) {
+		t.Error("duplicate differs from original")
+	}
+	if out[1].Delay <= out[0].Delay {
+		t.Error("duplicate should arrive after the original")
+	}
+}
+
+func TestForgedPacketNeverVerifies(t *testing.T) {
+	in, err := NewInjector(Config{ForgeRate: 1}, stats.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer := crypto.NewSignerFromString("sender")
+	p := testPacket()
+	wire := encode(t, p)
+	out := in.Apply(wire, p)
+	if len(out) != 2 || out[1].Kind != KindForged {
+		t.Fatalf("want pass+forged, got %+v", out)
+	}
+	forged, err := packet.Decode(out[1].Wire)
+	if err != nil {
+		t.Fatalf("forged packet must be well-formed: %v", err)
+	}
+	if !IsForgedPayload(forged.Payload) {
+		t.Error("forged payload not marked")
+	}
+	if IsForgedPayload(p.Payload) {
+		t.Error("genuine payload misdetected as forged")
+	}
+	if forged.BlockID != p.BlockID || forged.Index != p.Index {
+		t.Error("forgery should mimic the template's framing")
+	}
+	if signer.Public().Verify(forged.ContentBytes(), forged.Signature) {
+		t.Fatal("wrong-key forgery verified under the genuine key")
+	}
+}
+
+func TestReorderSpikeAddsDelay(t *testing.T) {
+	in, err := NewInjector(Config{ReorderRate: 1, ReorderSpike: 30 * time.Millisecond}, stats.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPacket()
+	out := in.Apply(encode(t, p), p)
+	if out[0].Delay != 30*time.Millisecond {
+		t.Errorf("delay %v, want 30ms", out[0].Delay)
+	}
+}
+
+func TestStallCoversWindow(t *testing.T) {
+	in, err := NewInjector(Config{StallRate: 1, StallLength: 3, StallDelay: 100 * time.Millisecond}, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPacket()
+	wire := encode(t, p)
+	for i := 0; i < 6; i++ {
+		out := in.Apply(wire, p)
+		if out[0].Delay < 100*time.Millisecond {
+			t.Errorf("packet %d: delay %v, want >= 100ms (stall restarts at rate 1)", i, out[0].Delay)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name, 0.05)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if !cfg.Enabled() {
+			t.Errorf("preset %s disabled at rate 0.05", name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("nosuch", 0.1); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if _, err := Preset("corruption", 2); err == nil {
+		t.Error("out-of-range rate should fail")
+	}
+}

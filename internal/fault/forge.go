@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/packet"
+	"mcauth/internal/stats"
+)
+
+// forgedPayloadPrefix marks attacker-fabricated payloads so harnesses can
+// detect the catastrophic failure — a forged payload emitted as authentic —
+// without guessing. A real attacker would not label their forgery, but the
+// label changes nothing for the verifier: the payload differs from the
+// genuine one, which is all that matters cryptographically.
+var forgedPayloadPrefix = []byte("FORGED\x00")
+
+// ForgedPayload builds a marked adversarial payload derived from seed.
+func ForgedPayload(seed uint64) []byte {
+	return fmt.Appendf(append([]byte(nil), forgedPayloadPrefix...), "%016x", seed)
+}
+
+// IsForgedPayload reports whether a payload was fabricated by this package's
+// forgers. Chaos harnesses assert that no such payload ever authenticates.
+func IsForgedPayload(p []byte) bool {
+	return bytes.HasPrefix(p, forgedPayloadPrefix)
+}
+
+// Forger fabricates adversarial packets that plausibly belong to the
+// stream: same block, in-range index, well-formed encoding — everything an
+// eavesdropping attacker can copy — but with attacker-chosen content.
+type Forger interface {
+	// Forge returns a forged packet modeled on the template (a genuine
+	// packet the attacker observed), or nil if no forgery applies.
+	Forge(rng *stats.RNG, template *packet.Packet) *packet.Packet
+}
+
+// WrongKeyForger is the strongest realistic injection attacker: it copies a
+// genuine packet's framing (block, index, key index, hash-ref targets),
+// substitutes its own payload, and where the original carried a signature
+// re-signs the forged content — under the attacker's key. Carried hash
+// digests are recomputed over attacker-chosen bytes, i.e. spoofed
+// references: structurally valid, cryptographically worthless.
+type WrongKeyForger struct {
+	signer crypto.Signer
+	serial uint64
+}
+
+var _ Forger = (*WrongKeyForger)(nil)
+
+// NewWrongKeyForger derives the attacker's signing key from id.
+func NewWrongKeyForger(id string) *WrongKeyForger {
+	return &WrongKeyForger{signer: crypto.NewSignerFromString("attacker:" + id)}
+}
+
+// Forge implements Forger.
+func (f *WrongKeyForger) Forge(rng *stats.RNG, template *packet.Packet) *packet.Packet {
+	if template == nil {
+		return nil
+	}
+	f.serial++
+	forged := &packet.Packet{
+		BlockID:           template.BlockID,
+		Index:             template.Index,
+		KeyIndex:          template.KeyIndex,
+		Payload:           ForgedPayload(f.serial ^ rng.Uint64()),
+		DisclosedKeyIndex: template.DisclosedKeyIndex,
+	}
+	// Spoofed hash references: same edge targets, digests of attacker
+	// bytes. A verifier that trusted these would cascade forgeries.
+	for _, h := range template.Hashes {
+		forged.Hashes = append(forged.Hashes, packet.HashRef{
+			TargetIndex: h.TargetIndex,
+			Digest:      crypto.HashBytes(ForgedPayload(rng.Uint64())),
+		})
+	}
+	if len(template.Signature) > 0 {
+		forged.Signature = f.signer.Sign(forged.ContentBytes())
+	}
+	if len(template.MAC) > 0 {
+		// The attacker does not hold the interval key; a MAC under a
+		// made-up key is the best available.
+		forged.MAC = crypto.MAC(ForgedPayload(rng.Uint64())[:16], forged.ContentBytes())
+	}
+	if len(template.DisclosedKey) > 0 {
+		forged.DisclosedKey = ForgedPayload(rng.Uint64())[:len(template.DisclosedKey)]
+	}
+	return forged
+}
+
+// Preset names a ready-made single-fault mix for chaos sweeps.
+var presetNames = []string{"corruption", "forgery", "duplication", "truncation", "reorder"}
+
+// PresetNames lists the available Preset mixes in sweep order.
+func PresetNames() []string {
+	return append([]string(nil), presetNames...)
+}
+
+// Preset returns the named single-fault configuration at the given
+// injection rate. The five presets cover the chaos matrix: corruption,
+// forgery, duplication, truncation, and burst reorder.
+func Preset(name string, rate float64) (Config, error) {
+	if rate < 0 || rate > 1 {
+		return Config{}, fmt.Errorf("fault: preset rate %v out of [0,1]", rate)
+	}
+	switch name {
+	case "corruption":
+		return Config{CorruptRate: rate}, nil
+	case "forgery":
+		return Config{ForgeRate: rate}, nil
+	case "duplication":
+		return Config{DuplicateRate: rate}, nil
+	case "truncation":
+		return Config{TruncateRate: rate}, nil
+	case "reorder":
+		return Config{ReorderRate: rate}, nil
+	default:
+		return Config{}, fmt.Errorf("fault: unknown preset %q", name)
+	}
+}

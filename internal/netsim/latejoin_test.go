@@ -7,7 +7,6 @@ import (
 	"mcauth/internal/scheme/authtree"
 	"mcauth/internal/scheme/emss"
 	"mcauth/internal/scheme/rohatgi"
-	"mcauth/internal/schemetest"
 )
 
 func TestLateJoinersValidation(t *testing.T) {
@@ -29,7 +28,7 @@ func TestLateJoinersMissPreJoinPackets(t *testing.T) {
 	}
 	cfg := baseConfig(t, 0, 10)
 	cfg.LateJoiners = 10
-	res, err := Run(s, cfg, 1, schemetest.Payloads(16))
+	res, err := Run(s, cfg, 1, testPayloads(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +60,7 @@ func TestLateJoinersRohatgiCannotSync(t *testing.T) {
 	}
 	cfg := baseConfig(t, 0, 8)
 	cfg.LateJoiners = 8
-	res, err := Run(s, cfg, 1, schemetest.Payloads(12))
+	res, err := Run(s, cfg, 1, testPayloads(12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +81,7 @@ func TestLateJoinersEMSSSyncAtSignature(t *testing.T) {
 	}
 	cfg := baseConfig(t, 0, 8)
 	cfg.LateJoiners = 8
-	res, err := Run(s, cfg, 1, schemetest.Payloads(12))
+	res, err := Run(s, cfg, 1, testPayloads(12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +100,11 @@ func TestMixedJoinersDeterministic(t *testing.T) {
 	}
 	cfg := baseConfig(t, 0.2, 20)
 	cfg.LateJoiners = 5
-	a, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	a, err := Run(s, cfg, 1, testPayloads(10))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	b, err := Run(s, cfg, 1, testPayloads(10))
 	if err != nil {
 		t.Fatal(err)
 	}

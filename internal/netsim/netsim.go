@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"mcauth/internal/delay"
+	"mcauth/internal/fault"
 	"mcauth/internal/loss"
 	"mcauth/internal/obs"
 	"mcauth/internal/packet"
@@ -48,9 +49,27 @@ type Config struct {
 	Seed uint64
 	// ReliableIndices lists wire indices that are never lost — used for
 	// the signature/bootstrap packet, per the paper's assumption that
-	// P_sign always arrives (achieved in practice by sending it multiple
-	// times).
+	// P_sign always arrives ("achieved in practice by sending it multiple
+	// times"). It is the *assumption*; set SigRetransmits to replace it
+	// with the real mechanism.
 	ReliableIndices []uint32
+	// SigRetransmits, when > 0, disables the ReliableIndices magic and
+	// instead retransmits each listed index that many extra times at the
+	// tail of the block — the paper's "sent multiple times" remedy made
+	// real: every copy is subject to loss, delay and faults like any
+	// other packet, so the depgraph SigCopies overhead term becomes a
+	// measured quantity instead of an analytic assumption.
+	SigRetransmits int
+	// Faults, when non-nil and enabled, passes every surviving delivery
+	// through a seeded adversarial channel (internal/fault): corruption,
+	// truncation, duplication, forged-packet injection, reorder spikes
+	// and sender stalls. Each receiver draws its own fault stream from
+	// the run seed, so adversarial runs stay reproducible.
+	Faults *fault.Config
+	// MaxBuffered, when > 0, caps every receiver verifier's pending-
+	// packet buffer (via scheme.BufferBounded) so adversarial floods
+	// cannot grow memory without bound.
+	MaxBuffered int
 	// LateJoiners is how many of the Receivers join mid-stream (the
 	// paper's long-lived sessions where "recipients join and leave
 	// frequently"): each late joiner starts at a uniformly random wire
@@ -83,8 +102,24 @@ func (c Config) Validate() error {
 	if c.LateJoiners < 0 || c.LateJoiners > c.Receivers {
 		return fmt.Errorf("netsim: late joiners %d out of [0,%d]", c.LateJoiners, c.Receivers)
 	}
+	if c.SigRetransmits < 0 || c.SigRetransmits > maxSigRetransmits {
+		return fmt.Errorf("netsim: sig retransmits %d out of [0,%d]", c.SigRetransmits, maxSigRetransmits)
+	}
+	if c.MaxBuffered < 0 {
+		return fmt.Errorf("netsim: max buffered %d must be >= 0", c.MaxBuffered)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("netsim: %w", err)
+		}
+	}
 	return nil
 }
+
+// maxSigRetransmits mirrors the scheme layer's root-copy bound: residual
+// loss falls as p^(copies+1), so a handful of copies already makes the
+// "P_sign always arrives" assumption hold to any practical precision.
+const maxSigRetransmits = 8
 
 // ReceiverReport summarizes one receiver's run.
 type ReceiverReport struct {
@@ -106,6 +141,22 @@ type ReceiverReport struct {
 	// AuthLatencies holds, for each authenticated packet, the time from
 	// its arrival to its authentication (the measured receiver delay).
 	AuthLatencies []time.Duration
+	// Adversarial-channel tallies, populated only when Config.Faults is
+	// enabled. Corrupted/Truncated count mutated genuine deliveries,
+	// Duplicated counts extra copies, ForgedInjected counts fabricated
+	// packets reaching the verifier. ForgedRejected counts forgeries the
+	// verifier refused at ingest; ForgedAuthenticated counts forged
+	// payloads that authenticated — the security invariant is that it is
+	// always zero. InvalidDeliveries counts decodable deliveries the
+	// verifier refused outright (e.g. out-of-range index after a bit
+	// flip), tolerated under faults rather than treated as fatal.
+	Corrupted           int
+	Truncated           int
+	Duplicated          int
+	ForgedInjected      int
+	ForgedRejected      int
+	ForgedAuthenticated int
+	InvalidDeliveries   int
 }
 
 // Received reports whether the packet with the given index arrived. It is
@@ -128,22 +179,38 @@ type Result struct {
 // runMetrics caches the netsim.* instruments so receiver goroutines never
 // touch the registry lock.
 type runMetrics struct {
-	sent       *obs.Counter
-	dropped    *obs.Counter
-	delivered  *obs.Counter
-	outOfOrder *obs.Counter
+	sent           *obs.Counter
+	dropped        *obs.Counter
+	delivered      *obs.Counter
+	outOfOrder     *obs.Counter
+	corrupted      *obs.Counter
+	truncated      *obs.Counter
+	duplicated     *obs.Counter
+	forgedInjected *obs.Counter
+	forgedRejected *obs.Counter
 }
 
-func newRunMetrics(reg *obs.Registry) *runMetrics {
+// newRunMetrics registers the netsim.* instruments; the adversarial-channel
+// counters are registered only for faulted runs so a fault-free registry
+// dump is unchanged by this feature.
+func newRunMetrics(reg *obs.Registry, faultsOn bool) *runMetrics {
 	if reg == nil {
 		return nil
 	}
-	return &runMetrics{
+	m := &runMetrics{
 		sent:       reg.Counter("netsim.sent"),
 		dropped:    reg.Counter("netsim.dropped"),
 		delivered:  reg.Counter("netsim.delivered"),
 		outOfOrder: reg.Counter("netsim.delivered_out_of_order"),
 	}
+	if faultsOn {
+		m.corrupted = reg.Counter("netsim.corrupted")
+		m.truncated = reg.Counter("netsim.truncated")
+		m.duplicated = reg.Counter("netsim.duplicated")
+		m.forgedInjected = reg.Counter("netsim.forged_injected")
+		m.forgedRejected = reg.Counter("netsim.forged_rejected")
+	}
+	return m
 }
 
 // Run authenticates one block with the scheme and simulates its multicast
@@ -160,15 +227,46 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 		return nil, fmt.Errorf("netsim: authenticate: %w", err)
 	}
 	reliable := make(map[uint32]bool, len(cfg.ReliableIndices))
-	for _, idx := range cfg.ReliableIndices {
-		reliable[idx] = true
+	if cfg.SigRetransmits > 0 {
+		// Real recovery replaces the assumption: each "reliable" index is
+		// re-sent at the tail of the block, and every copy is subject to
+		// loss, delay and faults like any other packet.
+		orig := pkts
+		for k := 0; k < cfg.SigRetransmits; k++ {
+			for _, idx := range cfg.ReliableIndices {
+				for _, p := range orig {
+					if p.Index == idx {
+						pkts = append(pkts, p)
+						break
+					}
+				}
+			}
+		}
+	} else {
+		for _, idx := range cfg.ReliableIndices {
+			reliable[idx] = true
+		}
 	}
 	sendTimes := make([]time.Time, len(pkts))
 	for w := range pkts {
 		sendTimes[w] = cfg.Start.Add(time.Duration(w) * cfg.SendInterval)
 	}
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
+	// The adversary mutates wire bytes, so faulted runs need each packet's
+	// encoding; encode once here rather than per receiver.
+	var wires [][]byte
+	if faultsOn {
+		wires = make([][]byte, len(pkts))
+		for w, p := range pkts {
+			enc, err := p.Encode()
+			if err != nil {
+				return nil, fmt.Errorf("netsim: encode wire %d: %w", w+1, err)
+			}
+			wires[w] = enc
+		}
+	}
 
-	metrics := newRunMetrics(cfg.Metrics)
+	metrics := newRunMetrics(cfg.Metrics, faultsOn)
 	if cfg.Tracer != nil {
 		for w, p := range pkts {
 			cfg.Tracer.Emit(obs.Event{
@@ -211,7 +309,7 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			report, err := runReceiver(s, cfg, r, pkts, sendTimes, reliable, joinAt[r], rngs[r], metrics)
+			report, err := runReceiver(s, cfg, r, pkts, wires, sendTimes, reliable, joinAt[r], rngs[r], metrics)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -233,6 +331,10 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 type arrival struct {
 	wire int // 0-based position in pkts
 	at   time.Time
+	// p is the decoded packet the verifier will see: the genuine packet
+	// for pass deliveries, a re-decoded mutation or forgery otherwise.
+	p    *packet.Packet
+	kind fault.Kind
 }
 
 func runReceiver(
@@ -240,6 +342,7 @@ func runReceiver(
 	cfg Config,
 	recv int,
 	pkts []*packet.Packet,
+	wires [][]byte,
 	sendTimes []time.Time,
 	reliable map[uint32]bool,
 	joinAt int,
@@ -273,6 +376,69 @@ func runReceiver(
 			})
 		}
 	}
+	// noteFault tallies one adversarial delivery and traces it. Corruption
+	// and truncation share EventCorrupted with a distinguishing reason.
+	noteFault := func(w int, p *packet.Packet, at time.Time, k fault.Kind) {
+		var (
+			typ    obs.EventType
+			reason string
+		)
+		switch k {
+		case fault.KindCorrupted:
+			report.Corrupted++
+			if metrics != nil {
+				metrics.corrupted.Inc()
+			}
+			typ, reason = obs.EventCorrupted, "corrupted"
+		case fault.KindTruncated:
+			report.Truncated++
+			if metrics != nil {
+				metrics.truncated.Inc()
+			}
+			typ, reason = obs.EventCorrupted, "truncated"
+		case fault.KindDuplicate:
+			report.Duplicated++
+			if metrics != nil {
+				metrics.duplicated.Inc()
+			}
+			return
+		case fault.KindForged:
+			report.ForgedInjected++
+			if metrics != nil {
+				metrics.forgedInjected.Inc()
+			}
+			typ = obs.EventForgedInjected
+		default:
+			return
+		}
+		if tracer != nil {
+			tracer.Emit(obs.Event{
+				Type: typ, Wire: w + 1, Index: p.Index,
+				Block: p.BlockID, TimeNS: obs.TimeNS(at), Reason: reason,
+			})
+		}
+	}
+	forgedRejected := func(w int, p *packet.Packet, at time.Time) {
+		report.ForgedRejected++
+		if metrics != nil {
+			metrics.forgedRejected.Inc()
+		}
+		if tracer != nil {
+			tracer.Emit(obs.Event{
+				Type: obs.EventForgedRejected, Wire: w + 1, Index: p.Index,
+				Block: p.BlockID, TimeNS: obs.TimeNS(at),
+			})
+		}
+	}
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
+	var inj *fault.Injector
+	if faultsOn {
+		in, err := fault.NewInjector(*cfg.Faults, rng.Split())
+		if err != nil {
+			return ReceiverReport{}, fmt.Errorf("netsim: %w", err)
+		}
+		inj = in
+	}
 	received := cfg.Loss.Sample(rng, len(pkts))
 	var arrivals []arrival
 	for w, p := range pkts {
@@ -284,10 +450,33 @@ func runReceiver(
 			drop(w, p, "loss")
 			continue
 		}
-		arrivals = append(arrivals, arrival{
-			wire: w,
-			at:   sendTimes[w].Add(cfg.Delay.Sample(rng)),
-		})
+		at := sendTimes[w].Add(cfg.Delay.Sample(rng))
+		if inj == nil {
+			arrivals = append(arrivals, arrival{wire: w, at: at, p: p})
+			continue
+		}
+		for _, d := range inj.Apply(wires[w], p) {
+			dp := p
+			if d.Kind != fault.KindPass {
+				decoded, derr := packet.Decode(d.Wire)
+				if decoded != nil {
+					dp = decoded
+				}
+				noteFault(w, dp, at, d.Kind)
+				if derr != nil {
+					// The mutation destroyed the framing; the datagram
+					// dies at the parser — equivalent to a channel drop.
+					if tracer != nil {
+						tracer.Emit(obs.Event{
+							Type: obs.EventDropped, Wire: w + 1, Index: p.Index,
+							Block: p.BlockID, TimeNS: obs.TimeNS(at), Reason: d.Kind.String(),
+						})
+					}
+					continue
+				}
+			}
+			arrivals = append(arrivals, arrival{wire: w, at: at.Add(d.Delay), p: dp, kind: d.Kind})
+		}
 	}
 	// Deliver in arrival order: jitter reorders packets naturally.
 	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].at.Before(arrivals[j].at) })
@@ -304,13 +493,19 @@ func runReceiver(
 			in.SetMetrics(cfg.Metrics)
 		}
 	}
+	if bb, ok := v.(scheme.BufferBounded); ok && cfg.MaxBuffered > 0 {
+		bb.SetMaxBuffered(cfg.MaxBuffered)
+	}
 	arrivedAt := make(map[uint32]time.Time, len(arrivals))
 	maxWireSeen := -1
 	for _, a := range arrivals {
-		p := pkts[a.wire]
+		p := a.p
 		report.Delivered++
-		report.ReceivedByIndex[p.Index] = true
-		arrivedAt[p.Index] = a.at
+		genuine := a.kind == fault.KindPass || a.kind == fault.KindDuplicate
+		if genuine && int(p.Index) < len(report.ReceivedByIndex) {
+			report.ReceivedByIndex[p.Index] = true
+			arrivedAt[p.Index] = a.at
+		}
 		outOfOrder := a.wire < maxWireSeen
 		if a.wire > maxWireSeen {
 			maxWireSeen = a.wire
@@ -327,11 +522,35 @@ func runReceiver(
 				Block: p.BlockID, TimeNS: obs.TimeNS(a.at), OutOfOrder: outOfOrder,
 			})
 		}
+		var before verifier.Stats
+		if a.kind == fault.KindForged {
+			before = v.Stats()
+		}
 		events, err := v.Ingest(p, a.at)
 		if err != nil {
-			return ReceiverReport{}, fmt.Errorf("netsim: ingest wire %d: %w", a.wire+1, err)
+			if !faultsOn {
+				return ReceiverReport{}, fmt.Errorf("netsim: ingest wire %d: %w", a.wire+1, err)
+			}
+			// Under an adversarial channel a refused delivery (index out
+			// of range after a bit flip, block mismatch, ...) is expected
+			// input, not a programming error: count it and keep going.
+			report.InvalidDeliveries++
+			if a.kind == fault.KindForged {
+				forgedRejected(a.wire, p, a.at)
+			}
+			continue
+		}
+		if a.kind == fault.KindForged && v.Stats().Rejected > before.Rejected {
+			forgedRejected(a.wire, p, a.at)
 		}
 		for _, e := range events {
+			if faultsOn && fault.IsForgedPayload(e.Payload) {
+				// Security invariant violation: a fabricated packet made it
+				// through verification. Surfaced in the report (and asserted
+				// zero by the chaos soak), never silently counted as a win.
+				report.ForgedAuthenticated++
+				continue
+			}
 			if int(e.Index) < len(report.VerifiedByIndex) {
 				report.VerifiedByIndex[e.Index] = true
 			}
@@ -421,4 +640,45 @@ func (r *Result) TotalAuthenticated() int {
 		total += rep.Stats.Authenticated
 	}
 	return total
+}
+
+// FaultTotals aggregates the adversarial-channel tallies across receivers.
+type FaultTotals struct {
+	Corrupted           int
+	Truncated           int
+	Duplicated          int
+	ForgedInjected      int
+	ForgedRejected      int
+	ForgedAuthenticated int
+	InvalidDeliveries   int
+}
+
+// FaultTotals sums each receiver's adversarial-channel counters; all zero
+// for fault-free runs.
+func (r *Result) FaultTotals() FaultTotals {
+	var t FaultTotals
+	for i := range r.PerReceiver {
+		rep := &r.PerReceiver[i]
+		t.Corrupted += rep.Corrupted
+		t.Truncated += rep.Truncated
+		t.Duplicated += rep.Duplicated
+		t.ForgedInjected += rep.ForgedInjected
+		t.ForgedRejected += rep.ForgedRejected
+		t.ForgedAuthenticated += rep.ForgedAuthenticated
+		t.InvalidDeliveries += rep.InvalidDeliveries
+	}
+	return t
+}
+
+// MaxBufferHighWater returns the largest pending message-buffer high-water
+// mark any receiver's verifier reached — the quantity Config.MaxBuffered
+// bounds.
+func (r *Result) MaxBufferHighWater() int {
+	max := 0
+	for i := range r.PerReceiver {
+		if hw := r.PerReceiver[i].Stats.MsgBufferHighWater; hw > max {
+			max = hw
+		}
+	}
+	return max
 }

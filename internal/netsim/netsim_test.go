@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -16,7 +17,6 @@ import (
 	"mcauth/internal/scheme/emss"
 	"mcauth/internal/scheme/rohatgi"
 	"mcauth/internal/scheme/tesla"
-	"mcauth/internal/schemetest"
 	"mcauth/internal/stats"
 )
 
@@ -58,10 +58,10 @@ func TestConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(s, mutateReceivers(good, 0), 1, schemetest.Payloads(4)); err == nil {
+	if _, err := Run(s, mutateReceivers(good, 0), 1, testPayloads(4)); err == nil {
 		t.Error("invalid config should fail Run")
 	}
-	if _, err := Run(nil, good, 1, schemetest.Payloads(4)); err == nil {
+	if _, err := Run(nil, good, 1, testPayloads(4)); err == nil {
 		t.Error("nil scheme should fail Run")
 	}
 }
@@ -77,11 +77,11 @@ func TestDeterministicBySeed(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := baseConfig(t, 0.3, 20)
-	a, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	a, err := Run(s, cfg, 1, testPayloads(10))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	b, err := Run(s, cfg, 1, testPayloads(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestDeterministicBySeed(t *testing.T) {
 		t.Error("same seed must reproduce the run")
 	}
 	cfg.Seed = 43
-	c, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	c, err := Run(s, cfg, 1, testPayloads(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestNoLossEverythingVerifies(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := baseConfig(t, 0, 10)
-	res, err := Run(s, cfg, 1, schemetest.Payloads(20))
+	res, err := Run(s, cfg, 1, testPayloads(20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestHeavyJitterReorderingStillVerifies(t *testing.T) {
 	}
 	cfg := baseConfig(t, 0, 10)
 	cfg.Delay = g
-	res, err := Run(s, cfg, 1, schemetest.Payloads(15))
+	res, err := Run(s, cfg, 1, testPayloads(15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestReliableIndicesHonored(t *testing.T) {
 	}
 	cfg := baseConfig(t, 0.9, 50)
 	cfg.ReliableIndices = []uint32{1}
-	res, err := Run(s, cfg, 1, schemetest.Payloads(6))
+	res, err := Run(s, cfg, 1, testPayloads(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestRohatgiMeasuredMatchesClosedForm(t *testing.T) {
 	}
 	cfg := baseConfig(t, p, 3000)
 	cfg.ReliableIndices = []uint32{1}
-	res, err := Run(s, cfg, 1, schemetest.Payloads(n))
+	res, err := Run(s, cfg, 1, testPayloads(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestEMSSMeasuredMatchesMarkovExact(t *testing.T) {
 	}
 	cfg := baseConfig(t, p, 3000)
 	cfg.ReliableIndices = []uint32{uint32(n)} // signature packet
-	res, err := Run(s, cfg, 1, schemetest.Payloads(n))
+	res, err := Run(s, cfg, 1, testPayloads(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestAugChainSurvivesBurstEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.ReliableIndices = []uint32{21}
-	res, err := Run(s, cfg, 1, schemetest.Payloads(21))
+	res, err := Run(s, cfg, 1, testPayloads(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestAuthTreeImmuneToLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := baseConfig(t, 0.5, 200)
-	res, err := Run(s, cfg, 1, schemetest.Payloads(16))
+	res, err := Run(s, cfg, 1, testPayloads(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +308,7 @@ func TestTESLAMeasuredMatchesEquation7(t *testing.T) {
 		Seed:            7,
 		ReliableIndices: []uint32{1}, // bootstrap
 	}
-	res, err := Run(s, cfg, 1, schemetest.Payloads(n))
+	res, err := Run(s, cfg, 1, testPayloads(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +358,7 @@ func TestTraceRoundTripMatchesStats(t *testing.T) {
 	cfg := baseConfig(t, 0.3, 8)
 	cfg.Tracer = tracer
 	cfg.Metrics = reg
-	res, err := Run(s, cfg, 1, schemetest.Payloads(12))
+	res, err := Run(s, cfg, 1, testPayloads(12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,14 +429,14 @@ func TestTracerOffEmitsNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := baseConfig(t, 0.3, 6)
-	plain, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	plain, err := Run(s, cfg, 1, testPayloads(10))
 	if err != nil {
 		t.Fatal(err)
 	}
 	mem := &obs.MemTracer{}
 	cfg.Tracer = mem
 	cfg.Metrics = obs.NewRegistry()
-	traced, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	traced, err := Run(s, cfg, 1, testPayloads(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +460,7 @@ func TestVerifierTimeToAuthMatchesNetsimLatencies(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := baseConfig(t, 0.2, 10)
-	res, err := Run(s, cfg, 1, schemetest.Payloads(10))
+	res, err := Run(s, cfg, 1, testPayloads(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +504,7 @@ func TestLatencyMeasurement(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := baseConfig(t, 0, 5)
-	res, err := Run(s, cfg, 1, schemetest.Payloads(8))
+	res, err := Run(s, cfg, 1, testPayloads(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -521,7 +521,7 @@ func TestLatencyMeasurement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := Run(s2, cfg, 1, schemetest.Payloads(8))
+	res2, err := Run(s2, cfg, 1, testPayloads(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -536,4 +536,15 @@ func TestLatencyMeasurement(t *testing.T) {
 	if !positive {
 		t.Error("signature-last scheme should show positive auth latency")
 	}
+}
+
+// testPayloads builds n distinct payloads. It mirrors schemetest.Payloads,
+// which in-package tests cannot use: schemetest drives netsim (its
+// corruption sweep), so importing it here would close an import cycle.
+func testPayloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("payload-%03d", i))
+	}
+	return out
 }

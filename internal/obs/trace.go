@@ -27,6 +27,14 @@ const (
 	EventRejected        EventType = "rejected"
 	EventUnsafe          EventType = "unsafe"
 	EventOverflowDropped EventType = "overflow_dropped"
+	// Adversarial-channel events (fault injection): the channel mutated a
+	// delivery in flight, injected a fabricated packet, or the verifier
+	// rejected a known-forged packet. A forged packet *authenticating*
+	// has no event — it is an invariant violation surfaced by the run's
+	// counters, never a normal lifecycle step.
+	EventCorrupted      EventType = "corrupted"
+	EventForgedInjected EventType = "forged_injected"
+	EventForgedRejected EventType = "forged_rejected"
 )
 
 // Event is one JSONL trace record. Zero-valued optional fields are elided
@@ -52,8 +60,9 @@ type Event struct {
 	Depth int `json:"depth,omitempty"`
 	// OutOfOrder marks a delivery that overtook a later-sent packet.
 	OutOfOrder bool `json:"ooo,omitempty"`
-	// Reason qualifies drops: "loss" (channel) or "late_join" (receiver
-	// not yet subscribed).
+	// Reason qualifies drops: "loss" (channel), "late_join" (receiver
+	// not yet subscribed), or — under fault injection — "corrupted" /
+	// "truncated" (the mutation left the datagram undecodable).
 	Reason string `json:"reason,omitempty"`
 }
 

@@ -225,3 +225,11 @@ func TestGraphMatchesAugChainExact(t *testing.T) {
 		}
 	}
 }
+
+func TestCorruptionSweep(t *testing.T) {
+	s, err := New(Config{N: 17, A: 2, B: 3}, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.CorruptionSweep(t, s, schemetest.SweepParams{Reliable: []uint32{17}})
+}

@@ -283,3 +283,11 @@ func TestArityTamperedSiblingSlotRejected(t *testing.T) {
 		t.Error("reordered sibling path accepted")
 	}
 }
+
+func TestCorruptionSweep(t *testing.T) {
+	s, err := New(16, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.CorruptionSweep(t, s, schemetest.SweepParams{Reliable: []uint32{1}})
+}

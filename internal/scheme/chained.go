@@ -146,13 +146,17 @@ type chainedVerifier struct {
 	pub   crypto.Verifier
 	inner *verifier.Chained
 
-	// Observability wiring is held until the inner engine exists (it is
-	// created lazily by the first packet).
-	tracer  obs.Tracer
-	metrics *obs.Registry
+	// Observability and bounding wiring is held until the inner engine
+	// exists (it is created lazily by the first packet).
+	tracer      obs.Tracer
+	metrics     *obs.Registry
+	maxBuffered int
 }
 
-var _ obs.Instrumented = (*chainedVerifier)(nil)
+var (
+	_ obs.Instrumented = (*chainedVerifier)(nil)
+	_ BufferBounded    = (*chainedVerifier)(nil)
+)
 
 func newChainedVerifier(n int, pub crypto.Verifier) (*chainedVerifier, error) {
 	if pub == nil {
@@ -177,6 +181,17 @@ func (cv *chainedVerifier) SetMetrics(m *obs.Registry) {
 	}
 }
 
+// SetMaxBuffered implements BufferBounded.
+func (cv *chainedVerifier) SetMaxBuffered(n int) {
+	if n < 0 {
+		return
+	}
+	cv.maxBuffered = n
+	if cv.inner != nil {
+		cv.inner.SetMaxBuffered(n)
+	}
+}
+
 // Ingest implements Verifier. The first packet binds the verifier to its
 // block ID.
 func (cv *chainedVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Event, error) {
@@ -194,6 +209,7 @@ func (cv *chainedVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Ev
 		if cv.metrics != nil {
 			inner.SetMetrics(cv.metrics)
 		}
+		inner.SetMaxBuffered(cv.maxBuffered)
 		cv.inner = inner
 	}
 	return cv.inner.Ingest(p, at)

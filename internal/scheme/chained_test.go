@@ -105,3 +105,7 @@ func TestChainedRuntimeErrors(t *testing.T) {
 		t.Errorf("stats before first packet: %+v", st)
 	}
 }
+
+func TestChainedCorruptionSweep(t *testing.T) {
+	schemetest.CorruptionSweep(t, diamond(t), schemetest.SweepParams{Reliable: []uint32{1}})
+}

@@ -236,3 +236,11 @@ func TestSigCopiesOnWire(t *testing.T) {
 		t.Errorf("found %d signature copies, want 3", sigs)
 	}
 }
+
+func TestCorruptionSweep(t *testing.T) {
+	s, err := New(Config{N: 12, M: 2, D: 1}, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.CorruptionSweep(t, s, schemetest.SweepParams{Reliable: []uint32{12}})
+}

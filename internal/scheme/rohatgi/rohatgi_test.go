@@ -85,3 +85,11 @@ func TestGraphMatchesClosedForm(t *testing.T) {
 		}
 	}
 }
+
+func TestCorruptionSweep(t *testing.T) {
+	s, err := New(8, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.CorruptionSweep(t, s, schemetest.SweepParams{Reliable: []uint32{1}})
+}

@@ -43,3 +43,13 @@ type Verifier interface {
 	// Stats returns the verifier's counters.
 	Stats() verifier.Stats
 }
+
+// BufferBounded is implemented by verifiers whose pending-packet buffers
+// can be capped after construction. Scheme factories (NewVerifier) cannot
+// thread options through, so layers that must bound receiver memory under
+// adversarial floods — netsim, the stream demultiplexer — apply the cap via
+// this interface, mirroring verifier.WithMaxBuffered. Overflowing packets
+// are dropped and counted in Stats.DroppedOverflow.
+type BufferBounded interface {
+	SetMaxBuffered(n int)
+}

@@ -126,3 +126,11 @@ func TestErrorsAndDuplicates(t *testing.T) {
 		t.Error("wrong payload count should fail")
 	}
 }
+
+func TestCorruptionSweep(t *testing.T) {
+	s, err := New(6, crypto.NewSignerFromString("sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.CorruptionSweep(t, s, schemetest.SweepParams{})
+}

@@ -45,6 +45,12 @@ type Config struct {
 	// ClockSkew is the maximum receiver clock error budgeted by the
 	// safety condition (subtracted from the disclosure deadline).
 	ClockSkew time.Duration
+	// MaxBuffered caps the verifier's pending-packet buffers (pre-
+	// bootstrap holds plus packets awaiting key disclosure); packets
+	// arriving with the buffers full are dropped and counted in
+	// Stats.DroppedOverflow, so an adversarial flood cannot grow receiver
+	// memory without bound. Zero means unbounded.
+	MaxBuffered int
 }
 
 // Validate checks the parameters.
@@ -63,6 +69,9 @@ func (c Config) Validate() error {
 	}
 	if c.ClockSkew < 0 {
 		return fmt.Errorf("tesla: negative clock skew %v", c.ClockSkew)
+	}
+	if c.MaxBuffered < 0 {
+		return fmt.Errorf("tesla: negative buffer cap %d", c.MaxBuffered)
 	}
 	return nil
 }
@@ -258,7 +267,7 @@ func (s *Scheme) Graph() (*depgraph.Graph, error) {
 
 // NewVerifier implements Scheme.
 func (s *Scheme) NewVerifier() (scheme.Verifier, error) {
-	return &teslaVerifier{pub: s.signer.Public()}, nil
+	return &teslaVerifier{pub: s.signer.Public(), maxBuffered: s.cfg.MaxBuffered}, nil
 }
 
 type pendingPacket struct {
@@ -269,33 +278,39 @@ type pendingPacket struct {
 type teslaVerifier struct {
 	pub crypto.Verifier
 
-	params    *bootstrapParams
-	blockID   uint64
-	bestIdx   int    // highest verified chain key index (0 = commitment)
-	bestKey   []byte // verified chain key at bestIdx (commitment at 0)
-	preBoot   []pendingPacket
-	buffered  map[int][]pendingPacket // by key interval, awaiting disclosure
-	authentic map[uint32]bool
-	stats     verifier.Stats
+	params      *bootstrapParams
+	blockID     uint64
+	bestIdx     int    // highest verified chain key index (0 = commitment)
+	bestKey     []byte // verified chain key at bestIdx (commitment at 0)
+	preBoot     []pendingPacket
+	buffered    map[int][]pendingPacket // by key interval, awaiting disclosure
+	authentic   map[uint32]bool
+	maxBuffered int // cap on preBoot+buffered; 0 = unbounded
+	stats       verifier.Stats
 
 	tracer obs.Tracer
 	m      *teslaMetrics
 }
 
 var (
-	_ scheme.Verifier  = (*teslaVerifier)(nil)
-	_ obs.Instrumented = (*teslaVerifier)(nil)
+	_ scheme.Verifier      = (*teslaVerifier)(nil)
+	_ obs.Instrumented     = (*teslaVerifier)(nil)
+	_ scheme.BufferBounded = (*teslaVerifier)(nil)
 )
 
 // teslaMetrics caches the registry instruments the verifier updates; the
 // metric names are shared with the hash-chained engine so runs aggregate
 // under one verifier.* namespace.
 type teslaMetrics struct {
+	reg           *obs.Registry
 	authenticated *obs.Counter
 	rejected      *obs.Counter
 	unsafe        *obs.Counter
-	msgHighWater  *obs.Histogram
-	timeToAuth    *obs.Histogram
+	// overflow is registered lazily on the first eviction so unbounded
+	// (and never-overflowing) runs keep their metrics dump unchanged.
+	overflow     *obs.Counter
+	msgHighWater *obs.Histogram
+	timeToAuth   *obs.Histogram
 }
 
 // SetTracer implements obs.Instrumented.
@@ -308,12 +323,50 @@ func (tv *teslaVerifier) SetMetrics(reg *obs.Registry) {
 		return
 	}
 	tv.m = &teslaMetrics{
+		reg:           reg,
 		authenticated: reg.Counter("verifier.authenticated"),
 		rejected:      reg.Counter("verifier.rejected"),
 		unsafe:        reg.Counter("verifier.unsafe"),
 		msgHighWater:  reg.Histogram("verifier.msg_buffer_high_water"),
 		timeToAuth:    reg.Histogram("verifier.time_to_auth_ns"),
 	}
+}
+
+// SetMaxBuffered implements scheme.BufferBounded, capping the pending
+// buffers after construction. Negative values are ignored.
+func (tv *teslaVerifier) SetMaxBuffered(n int) {
+	if n >= 0 {
+		tv.maxBuffered = n
+	}
+}
+
+// pendingTotal is the current pending-buffer occupancy.
+func (tv *teslaVerifier) pendingTotal() int {
+	total := len(tv.preBoot)
+	for _, pends := range tv.buffered {
+		total += len(pends)
+	}
+	return total
+}
+
+// bufferFull reports whether another pending packet would exceed the cap;
+// when full the packet is dropped and counted, never stored.
+func (tv *teslaVerifier) bufferFull(p *packet.Packet, at time.Time) bool {
+	if tv.maxBuffered <= 0 || tv.pendingTotal() < tv.maxBuffered {
+		return false
+	}
+	tv.stats.DroppedOverflow++
+	if tv.m != nil {
+		if tv.m.overflow == nil {
+			tv.m.overflow = tv.m.reg.Counter("verifier.overflow_dropped")
+		}
+		tv.m.overflow.Inc()
+	}
+	tv.emit(obs.Event{
+		Type: obs.EventOverflowDropped, Index: p.Index,
+		Block: p.BlockID, TimeNS: obs.TimeNS(at), Depth: tv.pendingTotal(),
+	})
+	return true
 }
 
 func (tv *teslaVerifier) emit(e obs.Event) {
@@ -371,7 +424,11 @@ func (tv *teslaVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Even
 	}
 	if tv.params == nil {
 		// Cannot evaluate the safety condition before the bootstrap;
-		// hold the packet with its arrival time.
+		// hold the packet with its arrival time (bounded: a pre-
+		// bootstrap flood must not grow memory without limit).
+		if tv.bufferFull(p, at) {
+			return nil, nil
+		}
 		tv.preBoot = append(tv.preBoot, pendingPacket{p: p, arrived: at})
 		tv.trackBufferHighWater(p, at)
 		return nil, nil
@@ -462,6 +519,9 @@ func (tv *teslaVerifier) ingestData(pend pendingPacket, at time.Time) ([]verifie
 		events = append(events, tv.verifyData(pend, at)...)
 		return events, nil
 	}
+	if tv.bufferFull(p, at) {
+		return events, nil
+	}
 	tv.buffered[interval] = append(tv.buffered[interval], pend)
 	tv.trackBufferHighWater(p, at)
 	return events, nil
@@ -526,10 +586,7 @@ func (tv *teslaVerifier) verifyData(pend pendingPacket, at time.Time) []verifier
 }
 
 func (tv *teslaVerifier) trackBufferHighWater(p *packet.Packet, at time.Time) {
-	total := len(tv.preBoot)
-	for _, pends := range tv.buffered {
-		total += len(pends)
-	}
+	total := tv.pendingTotal()
 	if total > tv.stats.MsgBufferHighWater {
 		tv.stats.MsgBufferHighWater = total
 		if tv.m != nil {

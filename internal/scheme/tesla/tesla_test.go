@@ -8,6 +8,7 @@ import (
 	"mcauth/internal/analysis"
 	"mcauth/internal/crypto"
 	"mcauth/internal/depgraph"
+	"mcauth/internal/packet"
 	"mcauth/internal/schemetest"
 	"mcauth/internal/stats"
 )
@@ -399,4 +400,74 @@ func TestDuplicateBufferedPacketEmitsOnce(t *testing.T) {
 	if v.Stats().Duplicates == 0 {
 		t.Error("duplicate never counted")
 	}
+}
+
+func TestBufferCapBoundsFlood(t *testing.T) {
+	// An adversarial pre-bootstrap flood must be bounded: with MaxBuffered
+	// set, the verifier drops (and counts) overflowing packets instead of
+	// growing its buffers without limit.
+	cfg := testConfig(10, 2)
+	cfg.MaxBuffered = 4
+	s := newScheme(t, cfg)
+	v, err := s.NewVerifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := cfg.Start.Add(time.Millisecond)
+	const flood = 100
+	for i := 0; i < flood; i++ {
+		p := &packet.Packet{
+			BlockID:  1,
+			Index:    DataWireIndex(1),
+			KeyIndex: 1,
+			Payload:  []byte{byte(i)},
+			MAC:      []byte("junk-mac-junk-mac-junk-mac-junk-"),
+		}
+		if _, err := v.Ingest(p, at); err != nil {
+			t.Fatalf("flood packet %d: %v", i, err)
+		}
+	}
+	st := v.Stats()
+	if st.MsgBufferHighWater > 4 {
+		t.Errorf("buffer high water %d exceeds cap 4", st.MsgBufferHighWater)
+	}
+	if st.DroppedOverflow != flood-4 {
+		t.Errorf("DroppedOverflow = %d, want %d", st.DroppedOverflow, flood-4)
+	}
+}
+
+func TestBufferCapStillAuthenticatesGenuine(t *testing.T) {
+	// With a cap no smaller than the block, a benign in-order run is
+	// unaffected: everything authenticates.
+	cfg := testConfig(8, 2)
+	cfg.MaxBuffered = cfg.N + cfg.Lag + 1
+	s := newScheme(t, cfg)
+	events := schemetest.DeliverAll(t, s, 4, schemetest.Payloads(8), promptClock(cfg))
+	data := 0
+	for _, e := range events {
+		if e.Index >= DataWireIndex(1) && e.Index <= DataWireIndex(cfg.N) {
+			data++
+		}
+	}
+	if data != cfg.N {
+		t.Errorf("authenticated %d data packets under cap, want %d", data, cfg.N)
+	}
+}
+
+func TestValidationRejectsNegativeBufferCap(t *testing.T) {
+	cfg := testConfig(5, 1)
+	cfg.MaxBuffered = -1
+	if _, err := New(cfg, crypto.NewSignerFromString("s")); err == nil {
+		t.Error("negative MaxBuffered should fail validation")
+	}
+}
+
+func TestCorruptionSweep(t *testing.T) {
+	cfg := testConfig(10, 2)
+	s := newScheme(t, cfg)
+	schemetest.CorruptionSweep(t, s, schemetest.SweepParams{
+		Reliable: []uint32{1},
+		Interval: cfg.Interval,
+		Start:    cfg.Start,
+	})
 }

@@ -90,8 +90,12 @@ type Totals struct {
 	Rejected      int
 	Unsafe        int
 	Duplicates    int
-	EvictedBlocks int
-	ActiveBlocks  int
+	// InvalidPackets counts well-formed datagrams the block verifier
+	// refused outright (out-of-range index, block mismatch) — adversarial
+	// input, tolerated and counted rather than treated as fatal.
+	InvalidPackets int
+	EvictedBlocks  int
+	ActiveBlocks   int
 	// TimeToAuth merges the per-block verifiers' arrival-to-
 	// authentication histograms — the measured receiver delay of a
 	// transport-driven run, in nanoseconds.
@@ -111,7 +115,11 @@ type Receiver struct {
 	// not leak one tombstone per block.
 	closed      map[uint64]bool
 	closedOrder []uint64
-	totals      Totals
+	// maxBufferedPerBlock, when > 0, is applied to every new block
+	// verifier that supports scheme.BufferBounded, so one flooded block
+	// cannot grow memory without bound.
+	maxBufferedPerBlock int
+	totals              Totals
 }
 
 // closedTombstonesPerBlock sizes the tombstone set relative to the live
@@ -150,7 +158,21 @@ func (r *Receiver) IngestWire(wire []byte, at time.Time) ([]Authenticated, error
 	return r.Ingest(p, at)
 }
 
-// Ingest routes an already-decoded packet.
+// SetMaxBufferedPerBlock caps the pending-packet buffer of every block
+// verifier created from now on (via scheme.BufferBounded); zero or negative
+// restores the default (unbounded). Together with the block-count bound
+// this caps the receiver's total buffering at maxBlocks * n packets under
+// any flood.
+func (r *Receiver) SetMaxBufferedPerBlock(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.maxBufferedPerBlock = n
+}
+
+// Ingest routes an already-decoded packet. Adversarial input — packets the
+// block verifier refuses outright — is counted in Totals.InvalidPackets and
+// tolerated: a forged datagram must never be able to stop the stream.
 func (r *Receiver) Ingest(p *packet.Packet, at time.Time) ([]Authenticated, error) {
 	if p == nil {
 		return nil, errors.New("stream: nil packet")
@@ -167,6 +189,9 @@ func (r *Receiver) Ingest(p *packet.Packet, at time.Time) ([]Authenticated, erro
 			return nil, fmt.Errorf("stream: block %d: %w", p.BlockID, err)
 		}
 		v = newV
+		if bb, ok := v.(scheme.BufferBounded); ok && r.maxBufferedPerBlock > 0 {
+			bb.SetMaxBuffered(r.maxBufferedPerBlock)
+		}
 		r.verifiers[p.BlockID] = v
 		r.order = append(r.order, p.BlockID)
 		r.evictIfNeeded()
@@ -174,7 +199,8 @@ func (r *Receiver) Ingest(p *packet.Packet, at time.Time) ([]Authenticated, erro
 	before := v.Stats()
 	events, err := v.Ingest(p, at)
 	if err != nil {
-		return nil, fmt.Errorf("stream: block %d: %w", p.BlockID, err)
+		r.totals.InvalidPackets++
+		return nil, nil
 	}
 	after := v.Stats()
 	r.totals.Rejected += after.Rejected - before.Rejected
@@ -233,6 +259,25 @@ func (r *Receiver) CloseBlock(blockID uint64) {
 		}
 	}
 	r.markClosed(blockID)
+}
+
+// Starved returns the IDs of live blocks that have ingested packets but
+// authenticated none — the signature/bootstrap packet is missing, so every
+// received packet sits in the buffer unverifiable. These are the blocks a
+// NACK-capable transport should re-request authentication material for.
+func (r *Receiver) Starved() []uint64 {
+	var out []uint64
+	for _, id := range r.order {
+		v, ok := r.verifiers[id]
+		if !ok {
+			continue
+		}
+		st := v.Stats()
+		if st.Received > 0 && st.Authenticated == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Totals returns the receiver's lifetime counters. The latency histogram

@@ -477,3 +477,96 @@ func TestClosedTombstonesBounded(t *testing.T) {
 		t.Errorf("EvictedBlocks = %d, want 498", rcv.Totals().EvictedBlocks)
 	}
 }
+
+func TestInvalidPacketToleratedNotFatal(t *testing.T) {
+	// A forged datagram with an out-of-range index must be counted, not
+	// kill the stream: later genuine packets still authenticate.
+	s := emssScheme(t, 4)
+	rcv, err := NewReceiver(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := s.Authenticate(1, [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := &packet.Packet{BlockID: 1, Index: 9999, Payload: []byte("forged")}
+	if _, err := rcv.Ingest(evil, time.Unix(0, 0)); err != nil {
+		t.Fatalf("adversarial packet must not error the stream: %v", err)
+	}
+	var authed int
+	for _, p := range pkts {
+		evs, err := rcv.Ingest(p, time.Unix(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		authed += len(evs)
+	}
+	if authed != 4 {
+		t.Errorf("authenticated %d after adversarial packet, want 4", authed)
+	}
+	if got := rcv.Totals().InvalidPackets; got != 1 {
+		t.Errorf("InvalidPackets = %d, want 1", got)
+	}
+}
+
+func TestStarvedReportsSignaturelessBlocks(t *testing.T) {
+	s := emssScheme(t, 4)
+	rcv, err := NewReceiver(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := s.Authenticate(7, [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver everything except the signature packet (EMSS: the last).
+	for _, p := range pkts[:len(pkts)-1] {
+		if _, err := rcv.Ingest(p, time.Unix(0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	starved := rcv.Starved()
+	if len(starved) != 1 || starved[0] != 7 {
+		t.Fatalf("Starved = %v, want [7]", starved)
+	}
+	// The signature packet unblocks the block; it leaves the starved set.
+	if _, err := rcv.Ingest(pkts[len(pkts)-1], time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := rcv.Starved(); len(got) != 0 {
+		t.Fatalf("Starved after signature = %v, want empty", got)
+	}
+}
+
+func TestMaxBufferedPerBlockBoundsFlood(t *testing.T) {
+	// Distinct unverifiable packets for one block must stop accumulating
+	// at the per-block cap.
+	s := emssScheme(t, 64)
+	rcv, err := NewReceiver(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv.SetMaxBufferedPerBlock(8)
+	payloads := make([][]byte, 64)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	pkts, err := s.Authenticate(1, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood with every packet except the signature: all buffer.
+	for _, p := range pkts[:len(pkts)-1] {
+		if _, err := rcv.Ingest(p, time.Unix(0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rcv.verifiers[1].Stats()
+	if st.MsgBufferHighWater > 8 {
+		t.Errorf("per-block high water %d exceeds cap 8", st.MsgBufferHighWater)
+	}
+	if st.DroppedOverflow == 0 {
+		t.Error("flood should have triggered overflow drops")
+	}
+}

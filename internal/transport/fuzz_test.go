@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/packet"
+)
+
+// FuzzFrameReader feeds arbitrary byte streams to the framed reader: it
+// must never panic, must return an error (or io.EOF) for malformed input,
+// and — because the length prefix is attacker-controlled — must not
+// allocate the full claimed frame size before the bytes actually arrive.
+func FuzzFrameReader(f *testing.F) {
+	// Seed with a valid framed stream and interesting corruptions of it.
+	var valid bytes.Buffer
+	fw := NewFrameWriter(&valid)
+	seedPkts := []*packet.Packet{
+		{BlockID: 1, Index: 1, Payload: []byte("hello")},
+		{
+			BlockID: 1, Index: 2, Payload: []byte("world"),
+			Hashes:    []packet.HashRef{{TargetIndex: 3, Digest: crypto.HashBytes([]byte("x"))}},
+			Signature: []byte("sig"),
+		},
+	}
+	for _, p := range seedPkts {
+		if err := fw.WritePacket(p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	// A header claiming 2 MiB with no bytes behind it.
+	huge := make([]byte, 4)
+	binary.BigEndian.PutUint32(huge, MaxFrameSize)
+	f.Add(huge)
+	// A header claiming more than the cap.
+	over := make([]byte, 4)
+	binary.BigEndian.PutUint32(over, MaxFrameSize+1)
+	f.Add(over)
+	// Truncated mid-frame.
+	f.Add(valid.Bytes()[:valid.Len()/2])
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		fr := NewFrameReader(bytes.NewReader(stream))
+		for i := 0; i < 64; i++ {
+			p, err := fr.ReadPacket()
+			if err != nil {
+				return // any error ends the stream; it must just not panic
+			}
+			if p == nil {
+				t.Fatal("nil packet with nil error")
+			}
+			// A decoded packet must re-encode: decoder output is always a
+			// well-formed structure.
+			if _, err := p.Encode(); err != nil {
+				t.Fatalf("decoded packet does not re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// TestFrameReaderLyingPrefixStopsEarly pins the allocation cap: a header
+// claiming a huge frame backed by a short stream must error out after at
+// most one chunk, not try to fill 2 MiB.
+func TestFrameReaderLyingPrefixStopsEarly(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, MaxFrameSize)
+	buf.Write(hdr)
+	buf.Write([]byte("only a few bytes"))
+	fr := NewFrameReader(&buf)
+	if _, err := fr.ReadPacket(); err == nil {
+		t.Fatal("truncated frame should error")
+	}
+}
+
+// TestFrameReaderLargeFrameStillWorks: the chunked read path must remain
+// correct for frames bigger than one chunk.
+func TestFrameReaderLargeFrameStillWorks(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), (frameAllocChunk/8)+100)
+	p := &packet.Packet{BlockID: 9, Index: 1, Payload: payload}
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WritePacket(p); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	got, err := fr.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatal("multi-chunk frame corrupted")
+	}
+	if _, err := fr.ReadPacket(); err != io.EOF {
+		t.Fatalf("want EOF after the only frame, got %v", err)
+	}
+}

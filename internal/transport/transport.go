@@ -13,8 +13,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mcauth/internal/fault"
 	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/stream"
@@ -22,6 +24,13 @@ import (
 
 // MaxFrameSize bounds a single packet's encoding on the wire.
 const MaxFrameSize = 1 << 21 // 2 MiB: payload cap plus headers
+
+// frameAllocChunk caps how much ReadPacket allocates before frame bytes
+// actually arrive: the 4-byte length prefix is attacker-controlled on a raw
+// stream, so the buffer grows chunk by chunk as data is read instead of
+// trusting the prefix — a lying 2 MiB header backed by a truncated stream
+// costs one chunk, not 2 MiB.
+const frameAllocChunk = 64 * 1024
 
 // wireMetrics caches the transport.* instruments; a nil *wireMetrics (the
 // default) disables all accounting.
@@ -127,12 +136,17 @@ func (fr *FrameReader) ReadPacket() (*packet.Packet, error) {
 		}
 		return nil, fmt.Errorf("transport: frame %d exceeds %d bytes", size, MaxFrameSize)
 	}
-	wire := make([]byte, size)
-	if _, err := io.ReadFull(fr.r, wire); err != nil {
-		if fr.m != nil {
-			fr.m.shortReads.Inc()
+	wire := make([]byte, 0, min(int(size), frameAllocChunk))
+	for len(wire) < int(size) {
+		chunk := min(int(size)-len(wire), frameAllocChunk)
+		start := len(wire)
+		wire = append(wire, make([]byte, chunk)...)
+		if _, err := io.ReadFull(fr.r, wire[start:]); err != nil {
+			if fr.m != nil {
+				fr.m.shortReads.Inc()
+			}
+			return nil, fmt.Errorf("transport: read frame: %w", err)
 		}
-		return nil, fmt.Errorf("transport: read frame: %w", err)
 	}
 	p, err := packet.Decode(wire)
 	if err != nil {
@@ -153,6 +167,9 @@ type DatagramSender struct {
 	conn net.PacketConn
 	addr net.Addr
 	m    *wireMetrics
+	// inj, when non-nil, is the chaos hook: Send routes every datagram
+	// through the adversarial channel (see SetFaults).
+	inj *fault.Injector
 }
 
 // SetMetrics enables transport.* accounting in reg (nil disables).
@@ -171,6 +188,9 @@ func (ds *DatagramSender) Send(p *packet.Packet) error {
 	wire, err := p.Encode()
 	if err != nil {
 		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if ds.inj != nil {
+		return ds.sendFaulted(wire, p)
 	}
 	if _, err := ds.conn.WriteTo(wire, ds.addr); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
@@ -210,6 +230,11 @@ type Listener struct {
 	m       *wireMetrics
 	readErr error
 	closed  bool
+
+	// NACK re-request loop state (see EnableNACK in recovery.go).
+	nackStop  chan struct{}
+	nackDone  chan struct{}
+	nacksSent atomic.Int64
 }
 
 // SetMetrics enables transport.* accounting in reg (nil disables). Safe
@@ -301,8 +326,13 @@ func (l *Listener) Close() error {
 	l.mu.Lock()
 	alreadyClosed := l.closed
 	l.closed = true
+	nackStop, nackDone := l.nackStop, l.nackDone
 	l.mu.Unlock()
 	if !alreadyClosed {
+		if nackStop != nil {
+			close(nackStop)
+			<-nackDone
+		}
 		close(l.stop)
 		// Closing the conn unblocks ReadFrom.
 		if err := l.conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {

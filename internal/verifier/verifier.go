@@ -75,12 +75,25 @@ func (o maxBufferedOption) apply(v *Chained) { v.maxBuffered = int(o) }
 // unbounded.
 func WithMaxBuffered(n int) Option { return maxBufferedOption(n) }
 
+// SetMaxBuffered applies the WithMaxBuffered cap after construction — the
+// hook layers that obtain verifiers from scheme factories (netsim, stream)
+// use to bound buffering under adversarial floods. Negative values are
+// ignored.
+func (v *Chained) SetMaxBuffered(n int) {
+	if n >= 0 {
+		v.maxBuffered = n
+	}
+}
+
 // metrics caches the registry instruments the engine updates, looked up
 // once at SetMetrics time so Ingest never touches the registry's lock.
 type metrics struct {
+	reg           *obs.Registry
 	authenticated *obs.Counter
 	rejected      *obs.Counter
 	duplicates    *obs.Counter
+	// overflow is registered lazily on the first eviction so unbounded
+	// (and never-overflowing) runs keep their metrics dump unchanged.
 	overflow      *obs.Counter
 	msgHighWater  *obs.Histogram
 	hashHighWater *obs.Histogram
@@ -92,10 +105,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 		return nil
 	}
 	return &metrics{
+		reg:           reg,
 		authenticated: reg.Counter("verifier.authenticated"),
 		rejected:      reg.Counter("verifier.rejected"),
 		duplicates:    reg.Counter("verifier.duplicates"),
-		overflow:      reg.Counter("verifier.overflow_dropped"),
 		msgHighWater:  reg.Histogram("verifier.msg_buffer_high_water"),
 		hashHighWater: reg.Histogram("verifier.hash_buffer_high_water"),
 		timeToAuth:    reg.Histogram("verifier.time_to_auth_ns"),
@@ -330,9 +343,13 @@ func (m *metrics) countRejected() {
 }
 
 func (m *metrics) countOverflow() {
-	if m != nil {
-		m.overflow.Inc()
+	if m == nil {
+		return
 	}
+	if m.overflow == nil {
+		m.overflow = m.reg.Counter("verifier.overflow_dropped")
+	}
+	m.overflow.Inc()
 }
 
 // IsAuthentic reports whether the packet at index has been authenticated.

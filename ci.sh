@@ -12,3 +12,7 @@ go test -race ./...
 go run -race ./cmd/mcsim -chaos -n 24 -receivers 6 -chaosseeds 2 >/dev/null
 go test -fuzz=FuzzDecode -fuzztime=10s -run='^$' ./internal/packet
 go test -fuzz=FuzzFrameReader -fuzztime=10s -run='^$' ./internal/transport
+
+# Perf tier: compile and run every benchmark once so the bench harness
+# cannot bit-rot; real measurements come from scripts/bench.sh.
+go test -run='^$' -bench=. -benchtime=1x . >/dev/null

@@ -34,10 +34,15 @@ func run(args []string) error {
 		runAll     = fs.Bool("all", false, "run every experiment")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		workers    = fs.Int("workers", 0, "worker pool size for sweep evaluation (0 = GOMAXPROCS); results are identical for any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d must be >= 0", *workers)
+	}
+	experiments.Workers = *workers
 	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		return err
@@ -57,13 +62,7 @@ func dispatch(figID string, listAll, runAll bool) error {
 		}
 		return nil
 	case runAll:
-		for _, e := range experiments.All() {
-			if err := e.Run(os.Stdout); err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
-			}
-			fmt.Println()
-		}
-		return nil
+		return experiments.RunAll(os.Stdout)
 	case figID != "":
 		e, ok := experiments.Get(figID)
 		if !ok {

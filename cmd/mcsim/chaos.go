@@ -77,6 +77,7 @@ func runChaos(o options) error {
 					SigRetransmits:  2,
 					Faults:          &fc,
 					MaxBuffered:     chaosMaxBuffered,
+					Workers:         o.workers,
 				}
 				res, err := netsim.Run(s, cfg, 1, payloads)
 				if err != nil {

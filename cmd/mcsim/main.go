@@ -45,6 +45,7 @@ type options struct {
 	sigma     time.Duration
 	interval  time.Duration
 	seed      uint64
+	workers   int
 	m, d      int
 	a, b      int
 	lag       int
@@ -80,6 +81,7 @@ func parseOptions(args []string) (options, error) {
 	fs.DurationVar(&o.sigma, "sigma", 5*time.Millisecond, "delay standard deviation")
 	fs.DurationVar(&o.interval, "interval", 10*time.Millisecond, "packet send interval")
 	fs.Uint64Var(&o.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&o.workers, "workers", 0, "receiver simulation worker pool size (0 = GOMAXPROCS); results are identical for any setting")
 	fs.IntVar(&o.m, "m", 2, "EMSS m")
 	fs.IntVar(&o.d, "d", 1, "EMSS d")
 	fs.IntVar(&o.a, "a", 3, "augmented chain a")
@@ -310,6 +312,7 @@ func run(args []string) error {
 		Seed:            o.seed,
 		ReliableIndices: reliable,
 		LateJoiners:     o.latejoin,
+		Workers:         o.workers,
 		Metrics:         reg,
 	}
 	if tracer != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mcauth/internal/parallel"
 	"mcauth/internal/stats"
 )
 
@@ -13,26 +14,69 @@ import (
 // covers the paper's i.i.d. model.
 type ReceivePattern func(rng *stats.RNG, n int) []bool
 
-// BernoulliPattern returns a ReceivePattern where each packet is lost
-// independently with probability p (the paper's Section 4.1 network model).
+// ReceivePatternInto is the scratch-reuse form of ReceivePattern: it fills
+// received[1..len(received)-1] in place instead of allocating a fresh slice
+// per trial. It is the form the Monte-Carlo hot loop consumes; a pattern
+// that draws the same RNG values as its allocating counterpart produces
+// bit-identical estimates through either entry point.
+type ReceivePatternInto func(rng *stats.RNG, received []bool) error
+
+// Into adapts an allocating pattern to the scratch interface. The adapter
+// still allocates one slice per call; hot paths should prefer a native
+// Into pattern (BernoulliPatternInto, loss.PatternInto).
+func (p ReceivePattern) Into() ReceivePatternInto {
+	return func(rng *stats.RNG, received []bool) error {
+		n := len(received) - 1
+		sampled := p(rng, n)
+		if len(sampled) != n+1 {
+			return fmt.Errorf("depgraph: pattern returned %d flags, want %d", len(sampled), n+1)
+		}
+		copy(received, sampled)
+		return nil
+	}
+}
+
+// BernoulliPatternInto fills the pattern where each packet is lost
+// independently with probability p (the paper's Section 4.1 network model)
+// without allocating.
+func BernoulliPatternInto(p float64) ReceivePatternInto {
+	return func(rng *stats.RNG, received []bool) error {
+		for i := 1; i < len(received); i++ {
+			received[i] = !rng.Bernoulli(p)
+		}
+		return nil
+	}
+}
+
+// BernoulliPattern is the allocating form of BernoulliPatternInto; both
+// draw the same RNG stream.
 func BernoulliPattern(p float64) ReceivePattern {
+	into := BernoulliPatternInto(p)
 	return func(rng *stats.RNG, n int) []bool {
 		recv := make([]bool, n+1)
-		for i := 1; i <= n; i++ {
-			recv[i] = !rng.Bernoulli(p)
-		}
+		_ = into(rng, recv) // never fails
 		return recv
 	}
 }
 
-// HeterogeneousPattern returns a ReceivePattern with per-packet loss
-// probabilities probs (index 0 unused, length n+1 at sample time).
+// HeterogeneousPatternInto fills a pattern with per-packet loss
+// probabilities probs (index 0 unused) without allocating.
+func HeterogeneousPatternInto(probs []float64) ReceivePatternInto {
+	return func(rng *stats.RNG, received []bool) error {
+		for i := 1; i < len(received) && i < len(probs); i++ {
+			received[i] = !rng.Bernoulli(probs[i])
+		}
+		return nil
+	}
+}
+
+// HeterogeneousPattern is the allocating form of HeterogeneousPatternInto;
+// both draw the same RNG stream.
 func HeterogeneousPattern(probs []float64) ReceivePattern {
+	into := HeterogeneousPatternInto(probs)
 	return func(rng *stats.RNG, n int) []bool {
 		recv := make([]bool, n+1)
-		for i := 1; i <= n && i < len(probs); i++ {
-			recv[i] = !rng.Bernoulli(probs[i])
-		}
+		_ = into(rng, recv) // never fails
 		return recv
 	}
 }
@@ -46,15 +90,30 @@ func HeterogeneousPattern(probs []float64) ReceivePattern {
 //
 // received must have length n+1 (index 0 ignored).
 func (g *Graph) VerifiableSet(received []bool) ([]bool, error) {
-	if len(received) != g.n+1 {
-		return nil, fmt.Errorf("depgraph: received slice length %d, want %d", len(received), g.n+1)
-	}
 	verifiable := make([]bool, g.n+1)
+	if _, err := g.VerifiableSetInto(received, verifiable, nil); err != nil {
+		return nil, err
+	}
+	return verifiable, nil
+}
+
+// VerifiableSetInto is the scratch-reuse form of VerifiableSet: it writes
+// the result into verifiable (length n+1, overwritten) and uses queue as
+// BFS scratch, returning the possibly-grown queue for the next call. A
+// Monte-Carlo trial loop that reuses both performs zero allocations per
+// trial once the scratch has reached steady-state capacity.
+func (g *Graph) VerifiableSetInto(received, verifiable []bool, queue []int) ([]int, error) {
+	if len(received) != g.n+1 {
+		return queue, fmt.Errorf("depgraph: received slice length %d, want %d", len(received), g.n+1)
+	}
+	if len(verifiable) != g.n+1 {
+		return queue, fmt.Errorf("depgraph: verifiable slice length %d, want %d", len(verifiable), g.n+1)
+	}
+	clear(verifiable)
 	verifiable[g.root] = true
-	queue := []int{g.root}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	queue = append(queue[:0], g.root)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, w := range g.out[v] {
 			if verifiable[w] || !received[w] {
 				continue
@@ -63,7 +122,7 @@ func (g *Graph) VerifiableSet(received []bool) ([]bool, error) {
 			queue = append(queue, w)
 		}
 	}
-	return verifiable, nil
+	return queue, nil
 }
 
 // AuthResult reports estimated (or exact) per-packet authentication
@@ -79,34 +138,108 @@ type AuthResult struct {
 	VerifiedCounts []int
 }
 
+// MCOptions tunes the Monte-Carlo execution plan.
+//
+// The trial budget is split into fixed shards of ShardSize trials; each
+// shard draws an independent RNG stream derived from the caller's
+// generator by Split, in shard order. Because the shard plan depends only
+// on (trials, ShardSize) — never on Workers — and per-packet counts are
+// additive, the merged AuthResult is bit-identical for a given seed and
+// shard plan regardless of how many workers ran the shards.
+type MCOptions struct {
+	// Workers bounds the worker pool; <= 0 selects
+	// parallel.DefaultWorkers (GOMAXPROCS).
+	Workers int
+	// ShardSize is the number of trials per shard; <= 0 selects
+	// DefaultMCShardSize. Changing it changes the sample streams (and so
+	// the estimate), exactly like changing the seed would.
+	ShardSize int
+}
+
+// DefaultMCShardSize is the default trials-per-shard: small enough that
+// typical trial budgets (10^3..10^5) spread across every core, large
+// enough that per-shard scratch setup is amortized to noise.
+const DefaultMCShardSize = 512
+
 // MonteCarloAuthProb estimates q_i for every packet by sampling trials loss
 // patterns from pattern and propagating verifiability through the graph.
+// Trials run on the shared worker pool (see MCOptions); the result is
+// deterministic for a given rng state and trial count.
 func (g *Graph) MonteCarloAuthProb(pattern ReceivePattern, trials int, rng *stats.RNG) (AuthResult, error) {
+	if pattern == nil {
+		return AuthResult{}, fmt.Errorf("depgraph: nil receive pattern")
+	}
+	return g.MonteCarloAuthProbInto(pattern.Into(), trials, rng, MCOptions{})
+}
+
+// mcShard is one unit of the deterministic execution plan: an independent
+// RNG stream and a trial count.
+type mcShard struct {
+	rng    *stats.RNG
+	trials int
+}
+
+// mcCounts are one shard's per-packet tallies.
+type mcCounts struct {
+	recv []int
+	ver  []int
+}
+
+// MonteCarloAuthProbInto is MonteCarloAuthProb with a scratch-reuse
+// pattern: each worker keeps one received/verifiable/queue scratch set for
+// its whole shard, so a native Into pattern makes the trial loop
+// allocation-free.
+func (g *Graph) MonteCarloAuthProbInto(pattern ReceivePatternInto, trials int, rng *stats.RNG, opts MCOptions) (AuthResult, error) {
 	if trials <= 0 {
 		return AuthResult{}, fmt.Errorf("depgraph: trials %d must be positive", trials)
 	}
 	if pattern == nil {
 		return AuthResult{}, fmt.Errorf("depgraph: nil receive pattern")
 	}
-	recvCount := make([]int, g.n+1)
-	verCount := make([]int, g.n+1)
-	for t := 0; t < trials; t++ {
-		received := pattern(rng, g.n)
-		if len(received) != g.n+1 {
-			return AuthResult{}, fmt.Errorf("depgraph: pattern returned %d flags, want %d", len(received), g.n+1)
-		}
-		received[g.root] = true
-		verifiable, err := g.VerifiableSet(received)
-		if err != nil {
-			return AuthResult{}, err
-		}
-		for i := 1; i <= g.n; i++ {
-			if received[i] {
-				recvCount[i]++
-				if verifiable[i] {
-					verCount[i]++
+	shardSize := opts.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultMCShardSize
+	}
+	// Build the shard plan up front: all use of the caller's rng happens
+	// here, sequentially, so the caller's generator advances identically
+	// for any worker count.
+	shards := make([]mcShard, 0, (trials+shardSize-1)/shardSize)
+	for remaining := trials; remaining > 0; remaining -= shardSize {
+		shards = append(shards, mcShard{rng: rng.Split(), trials: min(shardSize, remaining)})
+	}
+	counts, err := parallel.Map(opts.Workers, shards, func(_ int, sh mcShard) (mcCounts, error) {
+		c := mcCounts{recv: make([]int, g.n+1), ver: make([]int, g.n+1)}
+		received := make([]bool, g.n+1)
+		verifiable := make([]bool, g.n+1)
+		queue := make([]int, 0, g.n)
+		for t := 0; t < sh.trials; t++ {
+			if err := pattern(sh.rng, received); err != nil {
+				return mcCounts{}, err
+			}
+			received[g.root] = true
+			queue, _ = g.VerifiableSetInto(received, verifiable, queue)
+			for i := 1; i <= g.n; i++ {
+				if received[i] {
+					c.recv[i]++
+					if verifiable[i] {
+						c.ver[i]++
+					}
 				}
 			}
+		}
+		return c, nil
+	})
+	if err != nil {
+		return AuthResult{}, err
+	}
+	// Merge in shard order. Integer addition is commutative, so any order
+	// gives the same counts; fixed order keeps the code auditable.
+	recvCount := make([]int, g.n+1)
+	verCount := make([]int, g.n+1)
+	for _, c := range counts {
+		for i := 1; i <= g.n; i++ {
+			recvCount[i] += c.recv[i]
+			verCount[i] += c.ver[i]
 		}
 	}
 	res := AuthResult{
@@ -186,6 +319,9 @@ func (g *Graph) ExactAuthProbVector(probs []float64) (AuthResult, error) {
 	probReceived := make([]float64, g.n+1)   // sum of pattern probs where i received
 	probVerifiable := make([]float64, g.n+1) // ... and verifiable
 	received := make([]bool, g.n+1)
+	verifiable := make([]bool, g.n+1)
+	queue := make([]int, 0, g.n)
+	var err error
 	patterns := 1 << len(others)
 	for mask := 0; mask < patterns; mask++ {
 		prob := 1.0
@@ -199,7 +335,7 @@ func (g *Graph) ExactAuthProbVector(probs []float64) (AuthResult, error) {
 			}
 		}
 		received[g.root] = true
-		verifiable, err := g.VerifiableSet(received)
+		queue, err = g.VerifiableSetInto(received, verifiable, queue)
 		if err != nil {
 			return AuthResult{}, err
 		}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"mcauth/internal/analysis"
+	"mcauth/internal/parallel"
 )
 
 // Fig5Row is one point of the augmented-chain parameter sweep.
@@ -14,24 +15,28 @@ type Fig5Row struct {
 	QMin float64
 }
 
-// Fig5Series computes C_{a,b} q_min over (a, b) at fixed n = 1000.
+// Fig5Series computes C_{a,b} q_min over (a, b) at fixed n = 1000,
+// evaluating the sweep points on the worker pool.
 func Fig5Series() ([]Fig5Row, error) {
 	as := []int{1, 2, 3, 5, 8}
 	bs := []int{1, 2, 3, 5, 8}
 	ps := []float64{0.1, 0.3, 0.5}
-	rows := make([]Fig5Row, 0, len(as)*len(bs)*len(ps))
+	points := make([]Fig5Row, 0, len(as)*len(bs)*len(ps))
 	for _, p := range ps {
 		for _, a := range as {
 			for _, b := range bs {
-				qmin, err := analysis.AugChain{N: analysis.AlignN(1000, b), A: a, B: b, P: p}.QMin()
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, Fig5Row{P: p, A: a, B: b, QMin: qmin})
+				points = append(points, Fig5Row{P: p, A: a, B: b})
 			}
 		}
 	}
-	return rows, nil
+	return parallel.Map(Workers, points, func(_ int, pt Fig5Row) (Fig5Row, error) {
+		qmin, err := analysis.AugChain{N: analysis.AlignN(1000, pt.B), A: pt.A, B: pt.B, P: pt.P}.QMin()
+		if err != nil {
+			return Fig5Row{}, err
+		}
+		pt.QMin = qmin
+		return pt, nil
+	})
 }
 
 func fig5Experiment() Experiment {
@@ -70,22 +75,24 @@ type Fig6Row struct {
 const fig6Level1 = 200
 
 // Fig6Series computes C_{3,b} q_min with the first-level length held
-// constant.
+// constant, evaluating the sweep points on the worker pool.
 func Fig6Series() ([]Fig6Row, error) {
 	bs := []int{1, 2, 4, 8, 16}
 	ps := []float64{0.1, 0.3, 0.5}
-	rows := make([]Fig6Row, 0, len(bs)*len(ps))
+	points := make([]Fig6Row, 0, len(bs)*len(ps))
 	for _, p := range ps {
 		for _, b := range bs {
-			n := analysis.NForLevel1Length(fig6Level1, b)
-			qmin, err := analysis.AugChain{N: n, A: 3, B: b, P: p}.QMin()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig6Row{P: p, B: b, N: n, QMin: qmin})
+			points = append(points, Fig6Row{P: p, B: b, N: analysis.NForLevel1Length(fig6Level1, b)})
 		}
 	}
-	return rows, nil
+	return parallel.Map(Workers, points, func(_ int, pt Fig6Row) (Fig6Row, error) {
+		qmin, err := analysis.AugChain{N: pt.N, A: 3, B: pt.B, P: pt.P}.QMin()
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		pt.QMin = qmin
+		return pt, nil
+	})
 }
 
 func fig6Experiment() Experiment {
@@ -119,27 +126,31 @@ type Fig7Row struct {
 	QMin float64
 }
 
-// Fig7Series computes E_{m,d} q_min over (m, d) at n = 1000.
+// Fig7Series computes E_{m,d} q_min over (m, d) at n = 1000, evaluating
+// the sweep points on the worker pool.
 func Fig7Series() ([]Fig7Row, error) {
 	ms := []int{1, 2, 3, 4, 5, 6}
 	ds := []int{1, 5, 10, 50, 100, 200}
 	ps := []float64{0.1, 0.3, 0.5}
-	var rows []Fig7Row
+	var points []Fig7Row
 	for _, p := range ps {
 		for _, m := range ms {
 			for _, d := range ds {
 				if m*d >= 1000 {
 					continue
 				}
-				qmin, err := analysis.EMSS{N: 1000, M: m, D: d, P: p}.QMin()
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, Fig7Row{P: p, M: m, D: d, QMin: qmin})
+				points = append(points, Fig7Row{P: p, M: m, D: d})
 			}
 		}
 	}
-	return rows, nil
+	return parallel.Map(Workers, points, func(_ int, pt Fig7Row) (Fig7Row, error) {
+		qmin, err := analysis.EMSS{N: 1000, M: pt.M, D: pt.D, P: pt.P}.QMin()
+		if err != nil {
+			return Fig7Row{}, err
+		}
+		pt.QMin = qmin
+		return pt, nil
+	})
 }
 
 func fig7Experiment() Experiment {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mcauth/internal/analysis"
+	"mcauth/internal/parallel"
 )
 
 // TESLA comparison parameters for Figures 8-9: a disclosure delay chosen
@@ -56,36 +57,46 @@ type Fig8Row struct {
 	QMin   float64
 }
 
+// fig8Point is one (scheme, p, n) cell of a comparison sweep; the points
+// are enumerated up front and evaluated on the worker pool.
+type fig8Point struct {
+	scheme string
+	p      float64
+	n      int
+}
+
+func fig8Sweep(points []fig8Point) ([]Fig8Row, error) {
+	return parallel.Map(Workers, points, func(_ int, pt fig8Point) (Fig8Row, error) {
+		qmin, err := SchemeQMin(pt.scheme, pt.n, pt.p)
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		return Fig8Row{Scheme: pt.scheme, P: pt.p, N: pt.n, QMin: qmin}, nil
+	})
+}
+
 // Fig8aSeries sweeps loss rate at n = 1000.
 func Fig8aSeries() ([]Fig8Row, error) {
 	ps := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	var rows []Fig8Row
+	var points []fig8Point
 	for _, name := range ComparisonSchemes() {
 		for _, p := range ps {
-			qmin, err := SchemeQMin(name, 1000, p)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig8Row{Scheme: name, P: p, N: 1000, QMin: qmin})
+			points = append(points, fig8Point{scheme: name, p: p, n: 1000})
 		}
 	}
-	return rows, nil
+	return fig8Sweep(points)
 }
 
 // Fig8bSeries sweeps block size at p = 0.1.
 func Fig8bSeries() ([]Fig8Row, error) {
 	ns := []int{100, 200, 500, 1000, 2000}
-	var rows []Fig8Row
+	var points []fig8Point
 	for _, name := range ComparisonSchemes() {
 		for _, n := range ns {
-			qmin, err := SchemeQMin(name, n, 0.1)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig8Row{Scheme: name, P: 0.1, N: n, QMin: qmin})
+			points = append(points, fig8Point{scheme: name, p: 0.1, n: n})
 		}
 	}
-	return rows, nil
+	return fig8Sweep(points)
 }
 
 func fig8Experiment() Experiment {
@@ -134,19 +145,15 @@ func fig8Experiment() Experiment {
 func Fig9Series() ([]Fig8Row, error) {
 	ns := []int{200, 500, 1000, 2000, 5000}
 	schemes := []string{"emss(E21)", "ac(C33)", "tesla"}
-	var rows []Fig8Row
+	var points []fig8Point
 	for _, p := range []float64{0.1, 0.5} {
 		for _, name := range schemes {
 			for _, n := range ns {
-				qmin, err := SchemeQMin(name, n, p)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, Fig8Row{Scheme: name, P: p, N: n, QMin: qmin})
+				points = append(points, fig8Point{scheme: name, p: p, n: n})
 			}
 		}
 	}
-	return rows, nil
+	return fig8Sweep(points)
 }
 
 func fig9Experiment() Experiment {

@@ -10,12 +10,23 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"text/tabwriter"
+
+	"mcauth/internal/parallel"
 )
+
+// Workers bounds the worker pool used for sweep-point evaluation and
+// RunAll; <= 0 (the default) selects parallel.DefaultWorkers. Because
+// every fan-out collects results in input order, the rendered output is
+// byte-identical for any setting. Set it before running experiments (the
+// mcfig/mcsim -workers flag does); it is not synchronized with running
+// experiments.
+var Workers int
 
 // Experiment is one reproducible figure or extension study.
 type Experiment struct {
@@ -49,6 +60,30 @@ func All() []Experiment {
 		tradeoffExperiment(),
 		markovGapExperiment(),
 	}
+}
+
+// RunAll renders every experiment in presentation order, separated by
+// blank lines. Independent experiments run concurrently on the worker
+// pool, each into its own buffer, so the concatenated output is
+// byte-identical to a sequential run.
+func RunAll(w io.Writer) error {
+	bufs, err := parallel.Map(Workers, All(), func(_ int, e Experiment) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := e.Run(&buf); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		buf.WriteString("\n")
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Get looks an experiment up by ID.

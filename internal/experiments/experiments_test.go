@@ -416,3 +416,30 @@ func TestMarkovGapSeriesShape(t *testing.T) {
 		t.Errorf("gap should widen with n: %v vs %v", gap50, gap1000)
 	}
 }
+
+// TestWorkersDeterminism pins the engine contract: rendered experiment
+// output is byte-identical regardless of the Workers setting.
+func TestWorkersDeterminism(t *testing.T) {
+	defer func(old int) { Workers = old }(Workers)
+	render := func(id string, workers int) []byte {
+		t.Helper()
+		Workers = workers
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf); err != nil {
+			t.Fatalf("%s with %d workers: %v", id, workers, err)
+		}
+		return buf.Bytes()
+	}
+	for _, id := range []string{"fig8", "markovgap"} {
+		base := render(id, 1)
+		for _, workers := range []int{2, 8} {
+			if got := render(id, workers); !bytes.Equal(got, base) {
+				t.Errorf("%s: output with %d workers differs from sequential run", id, workers)
+			}
+		}
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"mcauth/internal/construct"
 	"mcauth/internal/crypto"
 	"mcauth/internal/delay"
+	"mcauth/internal/depgraph"
 	"mcauth/internal/loss"
 	"mcauth/internal/netsim"
+	"mcauth/internal/parallel"
 	"mcauth/internal/scheme"
 	"mcauth/internal/scheme/augchain"
 	"mcauth/internal/scheme/emss"
@@ -178,7 +180,8 @@ func BurstSeries() ([]BurstRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := g.MonteCarloAuthProb(loss.Pattern(bern), burstTrials, stats.NewRNG(100))
+		mcOpts := depgraph.MCOptions{Workers: Workers}
+		base, err := g.MonteCarloAuthProbInto(loss.PatternInto(bern), burstTrials, stats.NewRNG(100), mcOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +195,7 @@ func BurstSeries() ([]BurstRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			mc, err := g.MonteCarloAuthProb(loss.Pattern(ge), burstTrials, stats.NewRNG(uint64(bl*17)))
+			mc, err := g.MonteCarloAuthProbInto(loss.PatternInto(ge), burstTrials, stats.NewRNG(uint64(bl*17)), mcOpts)
 			if err != nil {
 				return nil, err
 			}
@@ -334,32 +337,49 @@ type MarkovGapRow struct {
 
 // MarkovGapSeries sweeps block size for p in {0.1, 0.3}, for both EMSS
 // E_{2,1} and the augmented chain C_{3,2} (blocks aligned to chain
-// boundaries).
+// boundaries). Each (p, n) grid point — two rows — is evaluated on the
+// worker pool.
 func MarkovGapSeries() ([]MarkovGapRow, error) {
-	var rows []MarkovGapRow
+	type gapPoint struct {
+		p float64
+		n int
+	}
+	var points []gapPoint
 	for _, p := range []float64{0.1, 0.3} {
 		for _, n := range []int{50, 100, 200, 500, 1000} {
-			rec, err := analysis.EMSS{N: n, M: 2, D: 1, P: p}.QMin()
-			if err != nil {
-				return nil, err
-			}
-			exact, err := analysis.MarkovExact{N: n, Offsets: []int{1, 2}, P: p}.QMin()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, MarkovGapRow{Scheme: "emss(E21)", P: p, N: n, Recurrence: rec, Exact: exact})
-
-			an := analysis.AlignN(n, 2)
-			acRec, err := analysis.AugChain{N: an, A: 3, B: 2, P: p}.QMin()
-			if err != nil {
-				return nil, err
-			}
-			acExact, err := analysis.AugChainExact{N: an, A: 3, B: 2, P: p}.QMin()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, MarkovGapRow{Scheme: "ac(C32)", P: p, N: an, Recurrence: acRec, Exact: acExact})
+			points = append(points, gapPoint{p: p, n: n})
 		}
+	}
+	pairs, err := parallel.Map(Workers, points, func(_ int, pt gapPoint) ([2]MarkovGapRow, error) {
+		rec, err := analysis.EMSS{N: pt.n, M: 2, D: 1, P: pt.p}.QMin()
+		if err != nil {
+			return [2]MarkovGapRow{}, err
+		}
+		exact, err := analysis.MarkovExact{N: pt.n, Offsets: []int{1, 2}, P: pt.p}.QMin()
+		if err != nil {
+			return [2]MarkovGapRow{}, err
+		}
+
+		an := analysis.AlignN(pt.n, 2)
+		acRec, err := analysis.AugChain{N: an, A: 3, B: 2, P: pt.p}.QMin()
+		if err != nil {
+			return [2]MarkovGapRow{}, err
+		}
+		acExact, err := analysis.AugChainExact{N: an, A: 3, B: 2, P: pt.p}.QMin()
+		if err != nil {
+			return [2]MarkovGapRow{}, err
+		}
+		return [2]MarkovGapRow{
+			{Scheme: "emss(E21)", P: pt.p, N: pt.n, Recurrence: rec, Exact: exact},
+			{Scheme: "ac(C32)", P: pt.p, N: an, Recurrence: acRec, Exact: acExact},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MarkovGapRow, 0, 2*len(pairs))
+	for _, pair := range pairs {
+		rows = append(rows, pair[0], pair[1])
 	}
 	return rows, nil
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"mcauth/internal/analysis"
+	"mcauth/internal/parallel"
 )
 
 // Figure 3 parameters: n = 1000, T_disclose = 1 s (per the paper), loss
@@ -22,25 +23,29 @@ type Fig3Row struct {
 	QMin  float64
 }
 
-// Fig3Series computes q_min against network delay mean and jitter.
+// Fig3Series computes q_min against network delay mean and jitter,
+// evaluating the sweep points on the worker pool.
 func Fig3Series() ([]Fig3Row, error) {
 	sigmas := []float64{0.05, 0.1, 0.2, 0.3, 0.5}
 	alphas := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	rows := make([]Fig3Row, 0, len(sigmas)*len(alphas))
+	points := make([]Fig3Row, 0, len(sigmas)*len(alphas))
 	for _, sigma := range sigmas {
 		for _, alpha := range alphas {
-			cfg, err := analysis.TESLAWithAlpha(fig3N, fig3P, fig3TDisc, alpha, sigma)
-			if err != nil {
-				return nil, err
-			}
-			qmin, err := cfg.QMin()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig3Row{Sigma: sigma, Alpha: alpha, QMin: qmin})
+			points = append(points, Fig3Row{Sigma: sigma, Alpha: alpha})
 		}
 	}
-	return rows, nil
+	return parallel.Map(Workers, points, func(_ int, pt Fig3Row) (Fig3Row, error) {
+		cfg, err := analysis.TESLAWithAlpha(fig3N, fig3P, fig3TDisc, pt.Alpha, pt.Sigma)
+		if err != nil {
+			return Fig3Row{}, err
+		}
+		qmin, err := cfg.QMin()
+		if err != nil {
+			return Fig3Row{}, err
+		}
+		pt.QMin = qmin
+		return pt, nil
+	})
 }
 
 func fig3Experiment() Experiment {
@@ -79,31 +84,35 @@ type Fig4Row struct {
 // normalized T_disclose/sigma.
 const fig4Sigma = 0.1
 
-// Fig4Series computes q_min against normalized disclosure delay and loss.
+// Fig4Series computes q_min against normalized disclosure delay and
+// loss, evaluating the sweep points on the worker pool.
 func Fig4Series() ([]Fig4Row, error) {
 	mus := []float64{0.2, 0.5, 0.8}
 	ps := []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9}
 	ratios := []float64{1, 2, 4, 8, 16}
-	rows := make([]Fig4Row, 0, len(mus)*len(ps)*len(ratios))
+	points := make([]Fig4Row, 0, len(mus)*len(ps)*len(ratios))
 	for _, mu := range mus {
 		for _, p := range ps {
 			for _, ratio := range ratios {
-				cfg := analysis.TESLA{
-					N:     fig3N,
-					P:     p,
-					TDisc: ratio * fig4Sigma,
-					Mu:    mu,
-					Sigma: fig4Sigma,
-				}
-				qmin, err := cfg.QMin()
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, Fig4Row{Mu: mu, P: p, Ratio: ratio, QMin: qmin})
+				points = append(points, Fig4Row{Mu: mu, P: p, Ratio: ratio})
 			}
 		}
 	}
-	return rows, nil
+	return parallel.Map(Workers, points, func(_ int, pt Fig4Row) (Fig4Row, error) {
+		cfg := analysis.TESLA{
+			N:     fig3N,
+			P:     pt.P,
+			TDisc: pt.Ratio * fig4Sigma,
+			Mu:    pt.Mu,
+			Sigma: fig4Sigma,
+		}
+		qmin, err := cfg.QMin()
+		if err != nil {
+			return Fig4Row{}, err
+		}
+		pt.QMin = qmin
+		return pt, nil
+	})
 }
 
 func fig4Experiment() Experiment {

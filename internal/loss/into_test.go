@@ -1,0 +1,38 @@
+package loss
+
+import (
+	"reflect"
+	"testing"
+
+	"mcauth/internal/stats"
+)
+
+// TestSampleIntoMatchesSample pins the Model contract that both entry
+// points draw the same RNG stream: from equal generator states they must
+// produce identical patterns.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	ge, err := NewGilbertElliott(0.05, 0.3, 0.01, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrace([]bool{true, false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []Model{
+		Bernoulli{P: 0.3},
+		ge,
+		SingleBurst{Length: 5},
+		tr,
+	}
+	for _, m := range models {
+		for _, n := range []int{1, 17, 64} {
+			a := m.Sample(stats.NewRNG(99), n)
+			b := make([]bool, n+1)
+			m.SampleInto(stats.NewRNG(99), b)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s n=%d: Sample and SampleInto disagree", m.Name(), n)
+			}
+		}
+	}
+}

@@ -19,6 +19,11 @@ import (
 type Model interface {
 	// Sample returns received flags for packets 1..n (index 0 unused).
 	Sample(rng *stats.RNG, n int) []bool
+	// SampleInto fills received[1..len(received)-1] in place — the
+	// allocation-free form consumed by the Monte-Carlo hot loop. It draws
+	// the same RNG stream as Sample, so either entry point yields the
+	// same pattern from the same generator state.
+	SampleInto(rng *stats.RNG, received []bool)
 	// Rate returns the model's long-run loss probability.
 	Rate() float64
 	// Name identifies the model in reports.
@@ -28,6 +33,15 @@ type Model interface {
 // Pattern adapts a Model to the depgraph Monte-Carlo estimator.
 func Pattern(m Model) depgraph.ReceivePattern {
 	return m.Sample
+}
+
+// PatternInto adapts a Model to the depgraph Monte-Carlo estimator's
+// scratch-reuse interface; trials sampled through it allocate nothing.
+func PatternInto(m Model) depgraph.ReceivePatternInto {
+	return func(rng *stats.RNG, received []bool) error {
+		m.SampleInto(rng, received)
+		return nil
+	}
 }
 
 // Bernoulli is the paper's i.i.d. loss model: each packet lost with
@@ -49,10 +63,15 @@ func NewBernoulli(p float64) (Bernoulli, error) {
 // Sample implements Model.
 func (b Bernoulli) Sample(rng *stats.RNG, n int) []bool {
 	recv := make([]bool, n+1)
-	for i := 1; i <= n; i++ {
+	b.SampleInto(rng, recv)
+	return recv
+}
+
+// SampleInto implements Model.
+func (b Bernoulli) SampleInto(rng *stats.RNG, recv []bool) {
+	for i := 1; i < len(recv); i++ {
 		recv[i] = !rng.Bernoulli(b.P)
 	}
-	return recv
 }
 
 // Rate implements Model.
@@ -110,8 +129,14 @@ func (g GilbertElliott) MeanBurstLength() float64 {
 // so that short blocks are unbiased.
 func (g GilbertElliott) Sample(rng *stats.RNG, n int) []bool {
 	recv := make([]bool, n+1)
+	g.SampleInto(rng, recv)
+	return recv
+}
+
+// SampleInto implements Model.
+func (g GilbertElliott) SampleInto(rng *stats.RNG, recv []bool) {
 	bad := rng.Bernoulli(g.StationaryBad())
-	for i := 1; i <= n; i++ {
+	for i := 1; i < len(recv); i++ {
 		pLoss := g.PGood
 		if bad {
 			pLoss = g.PBad
@@ -125,7 +150,6 @@ func (g GilbertElliott) Sample(rng *stats.RNG, n int) []bool {
 			bad = true
 		}
 	}
-	return recv
 }
 
 // Rate implements Model: the stationary loss probability.
@@ -160,17 +184,23 @@ func NewSingleBurst(length int) (SingleBurst, error) {
 // Sample implements Model.
 func (s SingleBurst) Sample(rng *stats.RNG, n int) []bool {
 	recv := make([]bool, n+1)
+	s.SampleInto(rng, recv)
+	return recv
+}
+
+// SampleInto implements Model.
+func (s SingleBurst) SampleInto(rng *stats.RNG, recv []bool) {
+	n := len(recv) - 1
 	for i := 1; i <= n; i++ {
 		recv[i] = true
 	}
 	if s.Length == 0 || n == 0 {
-		return recv
+		return
 	}
 	start := rng.Intn(n) + 1
 	for i := start; i < start+s.Length && i <= n; i++ {
 		recv[i] = false
 	}
-	return recv
 }
 
 // Rate implements Model: expected fraction lost for a large block is
@@ -198,12 +228,17 @@ func NewTrace(lost []bool) (Trace, error) {
 }
 
 // Sample implements Model.
-func (t Trace) Sample(_ *stats.RNG, n int) []bool {
+func (t Trace) Sample(rng *stats.RNG, n int) []bool {
 	recv := make([]bool, n+1)
-	for i := 1; i <= n; i++ {
+	t.SampleInto(rng, recv)
+	return recv
+}
+
+// SampleInto implements Model.
+func (t Trace) SampleInto(_ *stats.RNG, recv []bool) {
+	for i := 1; i < len(recv); i++ {
 		recv[i] = !t.Lost[(i-1)%len(t.Lost)]
 	}
-	return recv
 }
 
 // Rate implements Model.

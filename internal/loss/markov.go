@@ -110,12 +110,17 @@ func (mc *MarkovChain) Stationary() []float64 {
 // Sample implements Model; the chain starts stationary.
 func (mc *MarkovChain) Sample(rng *stats.RNG, n int) []bool {
 	recv := make([]bool, n+1)
+	mc.SampleInto(rng, recv)
+	return recv
+}
+
+// SampleInto implements Model.
+func (mc *MarkovChain) SampleInto(rng *stats.RNG, recv []bool) {
 	state := sampleIndex(rng, mc.stationary)
-	for i := 1; i <= n; i++ {
+	for i := 1; i < len(recv); i++ {
 		recv[i] = !rng.Bernoulli(mc.LossProb[state])
 		state = sampleIndex(rng, mc.Transitions[state])
 	}
-	return recv
 }
 
 func sampleIndex(rng *stats.RNG, dist []float64) int {

@@ -20,7 +20,6 @@ package netsim
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"mcauth/internal/delay"
@@ -28,6 +27,7 @@ import (
 	"mcauth/internal/loss"
 	"mcauth/internal/obs"
 	"mcauth/internal/packet"
+	"mcauth/internal/parallel"
 	"mcauth/internal/scheme"
 	"mcauth/internal/stats"
 	"mcauth/internal/verifier"
@@ -76,6 +76,11 @@ type Config struct {
 	// position and misses everything sent before it — including
 	// ReliableIndices packets, since it was not yet subscribed.
 	LateJoiners int
+	// Workers bounds how many receivers are simulated concurrently; <= 0
+	// selects parallel.DefaultWorkers. Each receiver's RNG stream is
+	// derived before the concurrent phase, so results do not depend on
+	// this setting.
+	Workers int
 	// Tracer, when non-nil, receives every packet-lifecycle event of the
 	// run with per-receiver attribution. It must be safe for concurrent
 	// use (receivers run in parallel).
@@ -107,6 +112,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxBuffered < 0 {
 		return fmt.Errorf("netsim: max buffered %d must be >= 0", c.MaxBuffered)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("netsim: workers %d must be >= 0", c.Workers)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -256,13 +264,22 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 	// encoding; encode once here rather than per receiver.
 	var wires [][]byte
 	if faultsOn {
+		// One backing array for all wire images: encode append-style into a
+		// shared buffer and slice it per packet. The buffer is only read
+		// (mutations copy) once the receiver goroutines start.
 		wires = make([][]byte, len(pkts))
+		size := 0
+		for _, p := range pkts {
+			size += p.EncodedSize()
+		}
+		backing := make([]byte, 0, size)
 		for w, p := range pkts {
-			enc, err := p.Encode()
+			start := len(backing)
+			backing, err = p.AppendEncode(backing)
 			if err != nil {
 				return nil, fmt.Errorf("netsim: encode wire %d: %w", w+1, err)
 			}
-			wires[w] = enc
+			wires[w] = backing[start:len(backing):len(backing)]
 		}
 	}
 
@@ -300,30 +317,16 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 		WireCount:   len(pkts),
 		PerReceiver: make([]ReceiverReport, cfg.Receivers),
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for r := 0; r < cfg.Receivers; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			report, err := runReceiver(s, cfg, r, pkts, wires, sendTimes, reliable, joinAt[r], rngs[r], metrics)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			result.PerReceiver[r] = report
-		}(r)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err = parallel.ForEach(cfg.Workers, rngs, func(r int, rng *stats.RNG) error {
+		report, err := runReceiver(s, cfg, r, pkts, wires, sendTimes, reliable, joinAt[r], rng, metrics)
+		if err != nil {
+			return err
+		}
+		result.PerReceiver[r] = report
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return result, nil
 }

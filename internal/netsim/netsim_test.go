@@ -548,3 +548,34 @@ func testPayloads(n int) [][]byte {
 	}
 	return out
 }
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	s, err := emss.New(emss.Config{N: 12, M: 2, D: 1}, crypto.NewSignerFromString("w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Result {
+		t.Helper()
+		cfg := baseConfig(t, 0.3, 25)
+		cfg.Workers = workers
+		res, err := Run(s, cfg, 1, testPayloads(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if got.TotalAuthenticated() != base.TotalAuthenticated() ||
+			!equalRatios(got.AuthRatioByIndex(), base.AuthRatioByIndex()) {
+			t.Errorf("run with %d workers differs from sequential run", workers)
+		}
+	}
+
+	cfg := baseConfig(t, 0.3, 5)
+	cfg.Workers = -1
+	if _, err := Run(s, cfg, 1, testPayloads(12)); err == nil {
+		t.Error("negative Workers should fail validation")
+	}
+}

@@ -52,12 +52,20 @@ type Packet struct {
 	DisclosedKeyIndex uint32
 }
 
+// contentSize is the encoded length of the authenticated portion.
+func (p *Packet) contentSize() int {
+	return 8 + 4 + 4 + 4 + len(p.Payload) + 4 + len(p.Hashes)*(4+crypto.HashSize)
+}
+
 // ContentBytes returns the deterministic encoding of the authenticated
 // portion of the packet: everything except the signature, MAC and disclosed
 // key (which authenticate the content, or are authenticated separately).
 func (p *Packet) ContentBytes() []byte {
-	size := 8 + 4 + 4 + 4 + len(p.Payload) + 4 + len(p.Hashes)*(4+crypto.HashSize)
-	buf := make([]byte, 0, size)
+	return p.appendContent(make([]byte, 0, p.contentSize()))
+}
+
+// appendContent appends the authenticated-content encoding to buf.
+func (p *Packet) appendContent(buf []byte) []byte {
 	var scratch [8]byte
 	binary.BigEndian.PutUint64(scratch[:], p.BlockID)
 	buf = append(buf, scratch[:8]...)
@@ -100,22 +108,33 @@ func (p *Packet) OverheadBytes() int {
 	return len(p.Hashes)*(4+crypto.HashSize) + len(p.Signature) + len(p.MAC) + len(p.DisclosedKey)
 }
 
+// EncodedSize returns the exact wire length Encode produces.
+func (p *Packet) EncodedSize() int {
+	return p.contentSize() + 3*4 + len(p.Signature) + len(p.MAC) + len(p.DisclosedKey) + 4
+}
+
 // Encode serializes the packet.
 func (p *Packet) Encode() ([]byte, error) {
+	return p.AppendEncode(make([]byte, 0, p.EncodedSize()))
+}
+
+// AppendEncode serializes the packet onto buf (growing it as needed) and
+// returns the extended slice, so callers on the wire hot path can reuse
+// one buffer across packets instead of allocating per Encode. buf may be
+// nil. On error buf is returned unextended.
+func (p *Packet) AppendEncode(buf []byte) ([]byte, error) {
 	if len(p.Payload) > MaxPayloadSize {
-		return nil, fmt.Errorf("packet: payload %d exceeds %d bytes", len(p.Payload), MaxPayloadSize)
+		return buf, fmt.Errorf("packet: payload %d exceeds %d bytes", len(p.Payload), MaxPayloadSize)
 	}
 	if len(p.Hashes) > MaxHashes {
-		return nil, fmt.Errorf("packet: %d hashes exceed %d", len(p.Hashes), MaxHashes)
+		return buf, fmt.Errorf("packet: %d hashes exceed %d", len(p.Hashes), MaxHashes)
 	}
 	for _, blob := range [][]byte{p.Signature, p.MAC, p.DisclosedKey} {
 		if len(blob) > MaxBlobSize {
-			return nil, fmt.Errorf("packet: auth field %d exceeds %d bytes", len(blob), MaxBlobSize)
+			return buf, fmt.Errorf("packet: auth field %d exceeds %d bytes", len(blob), MaxBlobSize)
 		}
 	}
-	content := p.ContentBytes()
-	buf := make([]byte, 0, len(content)+3*(4+MaxBlobSize)+4)
-	buf = append(buf, content...)
+	buf = p.appendContent(buf)
 	buf = appendBlob(buf, p.Signature)
 	buf = appendBlob(buf, p.MAC)
 	buf = appendBlob(buf, p.DisclosedKey)

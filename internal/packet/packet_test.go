@@ -233,3 +233,46 @@ func TestDigestDistinguishesIndices(t *testing.T) {
 		seen[d] = true
 	}
 }
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	pkts := []*Packet{samplePacket(), {BlockID: 1, Index: 1}}
+	for _, p := range pkts {
+		want, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.EncodedSize(); got != len(want) {
+			t.Errorf("EncodedSize %d, encoded length %d", got, len(want))
+		}
+		// Nil buffer.
+		got, err := p.AppendEncode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("AppendEncode(nil) differs from Encode")
+		}
+		// Appending after an existing prefix preserves it.
+		prefix := []byte("prefix")
+		got, err = p.AppendEncode(append([]byte(nil), prefix...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:len(prefix)], prefix) || !bytes.Equal(got[len(prefix):], want) {
+			t.Error("AppendEncode did not append after the existing prefix")
+		}
+	}
+}
+
+func TestAppendEncodeErrorLeavesBufUnextended(t *testing.T) {
+	p := samplePacket()
+	p.Signature = make([]byte, MaxBlobSize+1)
+	buf := []byte("prefix")
+	got, err := p.AppendEncode(buf)
+	if err == nil {
+		t.Fatal("oversize signature should fail")
+	}
+	if !bytes.Equal(got, buf) {
+		t.Errorf("buf extended on error: %q", got)
+	}
+}

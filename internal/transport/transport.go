@@ -63,10 +63,13 @@ func newWireMetrics(reg *obs.Registry) *wireMetrics {
 	}
 }
 
-// FrameWriter writes length-prefixed packets to a byte stream.
+// FrameWriter writes length-prefixed packets to a byte stream. It is not
+// safe for concurrent use: WritePacket reuses one internal buffer across
+// calls so steady-state framing does not allocate.
 type FrameWriter struct {
-	w io.Writer
-	m *wireMetrics
+	w   io.Writer
+	m   *wireMetrics
+	buf []byte // scratch: header + frame, reused across WritePacket calls
 }
 
 // NewFrameWriter wraps w.
@@ -75,29 +78,31 @@ func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
 // SetMetrics enables transport.* accounting in reg (nil disables).
 func (fw *FrameWriter) SetMetrics(reg *obs.Registry) { fw.m = newWireMetrics(reg) }
 
-// WritePacket encodes and frames one packet.
+// WritePacket encodes and frames one packet, issuing a single Write of
+// header plus frame.
 func (fw *FrameWriter) WritePacket(p *packet.Packet) error {
-	wire, err := p.Encode()
+	// Reserve the 4-byte length prefix, encode in place, then patch the
+	// prefix once the frame length is known.
+	fw.buf = append(fw.buf[:0], 0, 0, 0, 0)
+	buf, err := p.AppendEncode(fw.buf)
 	if err != nil {
 		return fmt.Errorf("transport: encode: %w", err)
 	}
-	if len(wire) > MaxFrameSize {
+	fw.buf = buf
+	wireLen := len(buf) - 4
+	if wireLen > MaxFrameSize {
 		if fw.m != nil {
 			fw.m.oversizeFrames.Inc()
 		}
-		return fmt.Errorf("transport: frame %d exceeds %d bytes", len(wire), MaxFrameSize)
+		return fmt.Errorf("transport: frame %d exceeds %d bytes", wireLen, MaxFrameSize)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(wire)))
-	if _, err := fw.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
-	}
-	if _, err := fw.w.Write(wire); err != nil {
+	binary.BigEndian.PutUint32(buf[:4], uint32(wireLen))
+	if _, err := fw.w.Write(buf); err != nil {
 		return fmt.Errorf("transport: write frame: %w", err)
 	}
 	if fw.m != nil {
 		fw.m.framesWritten.Inc()
-		fw.m.bytesWritten.Add(int64(len(hdr) + len(wire)))
+		fw.m.bytesWritten.Add(int64(len(buf)))
 	}
 	return nil
 }

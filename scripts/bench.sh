@@ -1,0 +1,52 @@
+#!/bin/sh
+# Runs the root-package benchmark suite and records the results as
+# BENCH_<shortsha>.json in the repo root, so perf changes can be compared
+# commit to commit.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite
+#   scripts/bench.sh 'MonteCarlo'    # benchmarks matching a regex
+#   BENCHTIME=2s scripts/bench.sh    # override -benchtime
+set -eu
+
+cd "$(dirname "$0")/.."
+sha=$(git rev-parse --short HEAD)
+if ! git diff --quiet HEAD 2>/dev/null; then
+	sha="${sha}-dirty"
+fi
+pattern="${1:-.}"
+benchtime="${BENCHTIME:-1s}"
+out="BENCH_${sha}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . | tee "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "commit": "%s",\n' "$(git rev-parse HEAD)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cpus": %s,\n' "$(nproc)"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "benchmarks": [\n'
+	awk '
+		/^Benchmark/ {
+			name = $1; iters = $2
+			ns = "null"; bytes = "null"; allocs = "null"; mbs = "null"
+			for (i = 3; i < NF; i++) {
+				if ($(i + 1) == "ns/op") ns = $i
+				if ($(i + 1) == "B/op") bytes = $i
+				if ($(i + 1) == "allocs/op") allocs = $i
+				if ($(i + 1) == "MB/s") mbs = $i
+			}
+			if (n++) printf ",\n"
+			printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"mb_per_s\": %s}", \
+				name, iters, ns, bytes, allocs, mbs
+		}
+		END { printf "\n" }
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} >"$out"
+
+echo "wrote $out" >&2

@@ -3,6 +3,12 @@
 # detector (the netsim receiver pool and obs instruments are concurrent).
 set -eux
 
+fmt_diff=$(gofmt -l .)
+if [ -n "$fmt_diff" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt_diff" >&2
+	exit 1
+fi
 go vet ./...
 go build ./...
 go test -race ./...
@@ -12,6 +18,19 @@ go test -race ./...
 go run -race ./cmd/mcsim -chaos -n 24 -receivers 6 -chaosseeds 2 >/dev/null
 go test -fuzz=FuzzDecode -fuzztime=10s -run='^$' ./internal/packet
 go test -fuzz=FuzzFrameReader -fuzztime=10s -run='^$' ./internal/transport
+
+# Diagnostics tier: a small lossy run must produce a root-cause report that
+# mcreport can re-read, and two identical-seed traces must diff empty.
+diagdir=$(mktemp -d)
+trap 'rm -rf "$diagdir"' EXIT
+go run ./cmd/mcsim -scheme emss -n 20 -p 0.25 -receivers 8 -seed 5 \
+	-trace "$diagdir/a.jsonl" -report "$diagdir/rep.json" >/dev/null
+go run ./cmd/mcsim -scheme emss -n 20 -p 0.25 -receivers 8 -seed 5 \
+	-trace "$diagdir/b.jsonl" >/dev/null
+go run ./cmd/mcreport -scheme emss -n 20 "$diagdir/a.jsonl" >/dev/null
+go run ./cmd/mcreport -scheme emss -n 20 -diff "$diagdir/a.jsonl" "$diagdir/b.jsonl"
+test -s "$diagdir/rep.json"
+test -s "$diagdir/rep.json.md"
 
 # Perf tier: compile and run every benchmark once so the bench harness
 # cannot bit-rot; real measurements come from scripts/bench.sh.

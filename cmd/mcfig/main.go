@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"mcauth/internal/crypto"
 	"mcauth/internal/experiments"
 	"mcauth/internal/obs"
 )
@@ -35,6 +36,8 @@ func run(args []string) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		workers    = fs.Int("workers", 0, "worker pool size for sweep evaluation (0 = GOMAXPROCS); results are identical for any setting")
+		trace      = fs.String("trace", "", "write a JSONL packet-lifecycle trace of every simulation run to this file")
+		metrics    = fs.String("metrics", "", "write figure-wide metrics: '-' for a text table on stdout, else JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +46,32 @@ func run(args []string) error {
 		return fmt.Errorf("-workers %d must be >= 0", *workers)
 	}
 	experiments.Workers = *workers
+	var metricsFile *os.File
+	var tracer *obs.JSONLTracer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("trace output unwritable: %w", err)
+		}
+		tracer = obs.NewJSONLTracer(f)
+		experiments.Tracer = tracer
+		defer func() { experiments.Tracer = nil }()
+	}
+	if *metrics != "" {
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				return fmt.Errorf("metrics output unwritable: %w", err)
+			}
+			metricsFile = f
+		}
+		experiments.Metrics = obs.NewRegistry()
+		crypto.Instrument(experiments.Metrics)
+		defer func() {
+			crypto.Uninstrument()
+			experiments.Metrics = nil
+		}()
+	}
 	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		return err
@@ -50,6 +79,28 @@ func run(args []string) error {
 	if err := dispatch(*figID, *listAll, *runAll); err != nil {
 		stopProfiles()
 		return err
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+	}
+	if reg := experiments.Metrics; reg != nil {
+		snap := reg.Snapshot()
+		if metricsFile != nil {
+			if err := snap.WriteJSON(metricsFile); err != nil {
+				metricsFile.Close()
+				return fmt.Errorf("metrics output: %w", err)
+			}
+			if err := metricsFile.Close(); err != nil {
+				return fmt.Errorf("metrics output: %w", err)
+			}
+		} else {
+			fmt.Println()
+			if err := snap.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
 	}
 	return stopProfiles()
 }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcauth/internal/obs"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -23,5 +30,61 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("unknown flag should fail")
+	}
+}
+
+// TestObservabilityOutputs checks -trace/-metrics parity with mcsim: a
+// figure regeneration writes a decodable JSONL trace and a metrics JSON
+// that agree on how many packets the sweeps simulated.
+func TestObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "fig.jsonl")
+	metricsPath := filepath.Join(dir, "fig-metrics.json")
+	if err := run([]string{"-fig", "latejoin", "-trace", tracePath, "-metrics", metricsPath}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, skipped, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("trace has %d undecodable lines", skipped)
+	}
+	var sent int64
+	for _, e := range events {
+		if e.Type == obs.EventSent {
+			sent++
+		}
+	}
+	if sent == 0 {
+		t.Fatal("trace has no sent events")
+	}
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if got := snap.Counters["netsim.sent"]; got != sent {
+		t.Errorf("netsim.sent = %d, trace has %d sent events", got, sent)
+	}
+	if snap.Counters["crypto.verify_ops"] <= 0 {
+		t.Error("crypto.verify_ops missing from metrics")
+	}
+}
+
+func TestUnwritableOutputsFail(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out")
+	for _, flagName := range []string{"-trace", "-metrics"} {
+		if err := run([]string{"-fig", "latejoin", flagName, bad}); err == nil {
+			t.Errorf("%s %s should fail", flagName, bad)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"mcauth/internal/construct"
 	"mcauth/internal/crypto"
@@ -54,6 +55,8 @@ func run(args []string) error {
 		trials     = fs.Int("trials", 20000, "Monte-Carlo trials for large blocks")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		trace      = fs.String("trace", "", "replay one lossless block through the verifier and write its JSONL lifecycle trace to this file")
+		metrics    = fs.String("metrics", "", "replay one lossless block and write verifier metrics: '-' for a text table on stdout, else JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +85,10 @@ func run(args []string) error {
 			if s, err = maybePrune(s, signer, *pruneTo, *p); err != nil {
 				return err
 			}
-			return report(s, *dot, *export, *perPacket, *p, *trials)
+			if err := report(s, *dot, *export, *perPacket, *p, *trials); err != nil {
+				return err
+			}
+			return replay(s, *trace, *metrics)
 		}
 		switch *schemeName {
 		case "rohatgi":
@@ -104,7 +110,10 @@ func run(args []string) error {
 		if s, err = maybePrune(s, signer, *pruneTo, *p); err != nil {
 			return err
 		}
-		return report(s, *dot, *export, *perPacket, *p, *trials)
+		if err := report(s, *dot, *export, *perPacket, *p, *trials); err != nil {
+			return err
+		}
+		return replay(s, *trace, *metrics)
 	}
 	if err := body(); err != nil {
 		stopProfiles()
@@ -141,6 +150,110 @@ func maybePrune(s scheme.Scheme, signer crypto.Signer, target, p float64) (schem
 		Root:  plan.Graph.Root(),
 		Edges: plan.Graph.Edges(),
 	}, signer)
+}
+
+// replay pushes one lossless, in-order block through the scheme's verifier
+// with observability wired up, so the static graph view can be compared
+// against the verifier's actual packet lifecycle (same -trace/-metrics
+// semantics as mcsim, minus the network).
+func replay(s scheme.Scheme, tracePath, metricsPath string) error {
+	if tracePath == "" && metricsPath == "" {
+		return nil
+	}
+	var tracer *obs.JSONLTracer
+	var reg *obs.Registry
+	var metricsFile *os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("trace output unwritable: %w", err)
+		}
+		tracer = obs.NewJSONLTracer(f)
+	}
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+		if metricsPath != "-" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				return fmt.Errorf("metrics output unwritable: %w", err)
+			}
+			metricsFile = f
+		}
+	}
+
+	payloads := make([][]byte, s.BlockSize())
+	for i := range payloads {
+		payloads[i] = fmt.Appendf(nil, "payload-%06d", i)
+	}
+	pkts, err := s.Authenticate(1, payloads)
+	if err != nil {
+		return err
+	}
+	v, err := s.NewVerifier()
+	if err != nil {
+		return err
+	}
+	if in, ok := v.(obs.Instrumented); ok {
+		if tracer != nil {
+			in.SetTracer(obs.ReceiverTracer{T: tracer, Receiver: 0})
+		}
+		if reg != nil {
+			in.SetMetrics(reg)
+		}
+	}
+	start := time.Unix(0, 0)
+	if tracer != nil {
+		meta := obs.Event{
+			Type:     obs.EventRunMeta,
+			Receiver: -1,
+			Scheme:   s.Name(),
+			Wire:     len(pkts),
+			Block:    1,
+			TimeNS:   obs.TimeNS(start),
+		}
+		for _, p := range pkts {
+			if len(p.Signature) > 0 {
+				meta.Root = p.Index
+				break
+			}
+		}
+		tracer.Emit(meta)
+	}
+	const step = time.Millisecond
+	for i, p := range pkts {
+		at := start.Add(time.Duration(i) * step)
+		if tracer != nil {
+			tracer.Emit(obs.Event{Type: obs.EventSent, Receiver: -1, Wire: i + 1, Index: p.Index, Block: p.BlockID, TimeNS: obs.TimeNS(at)})
+			tracer.Emit(obs.Event{Type: obs.EventDelivered, Receiver: 0, Wire: i + 1, Index: p.Index, Block: p.BlockID, TimeNS: obs.TimeNS(at)})
+		}
+		if _, err := v.Ingest(p, at); err != nil {
+			return fmt.Errorf("replay ingest wire %d: %w", i+1, err)
+		}
+	}
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		if metricsFile != nil {
+			if err := snap.WriteJSON(metricsFile); err != nil {
+				metricsFile.Close()
+				return fmt.Errorf("metrics output: %w", err)
+			}
+			if err := metricsFile.Close(); err != nil {
+				return fmt.Errorf("metrics output: %w", err)
+			}
+		} else {
+			fmt.Println()
+			if err := snap.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // report renders the selected view of the scheme's graph.

@@ -1,0 +1,208 @@
+// Command mcreport turns a saved packet-lifecycle trace (mcsim -trace, or
+// any internal/obs JSONL stream) into a root-cause diagnosis report, offline.
+// It can also diff the reports of two traces — two identical-seed runs
+// produce byte-identical reports, so the diff of a healthy rerun is empty.
+//
+// Usage:
+//
+//	mcreport run.jsonl                         # text report on stdout
+//	mcreport -json rep.json -md rep.md run.jsonl
+//	mcreport -scheme emss -n 100 -m 2 -d 1 run.jsonl   # + culprit attribution
+//	mcreport -diff a.jsonl b.jsonl             # empty output = identical
+//
+// The scheme flags rebuild the dependence graph so hash-path-cut diagnoses
+// carry their frontier-cut culprit sets; without them the report still
+// classifies every failure but names no culprits. Scheme, wire count, and
+// root index come from the trace's run_meta event.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/diagnose"
+	"mcauth/internal/obs"
+	"mcauth/internal/scheme"
+	"mcauth/internal/scheme/augchain"
+	"mcauth/internal/scheme/authtree"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/scheme/rohatgi"
+	"mcauth/internal/scheme/signeach"
+	"mcauth/internal/scheme/tesla"
+)
+
+type options struct {
+	scheme  string
+	n       int
+	m, d    int
+	a, b    int
+	lag     int
+	jsonOut string
+	mdOut   string
+	diff    bool
+	args    []string
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcreport:", err)
+		os.Exit(1)
+	}
+}
+
+func parseOptions(args []string) (options, error) {
+	fs := flag.NewFlagSet("mcreport", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.scheme, "scheme", "", "rebuild this scheme's dependence graph for culprit attribution: rohatgi|emss|augchain|authtree|signeach|tesla")
+	fs.IntVar(&o.n, "n", 100, "block size the trace was produced with")
+	fs.IntVar(&o.m, "m", 2, "EMSS m")
+	fs.IntVar(&o.d, "d", 1, "EMSS d")
+	fs.IntVar(&o.a, "a", 3, "augmented chain a")
+	fs.IntVar(&o.b, "b", 3, "augmented chain b")
+	fs.IntVar(&o.lag, "lag", 4, "TESLA disclosure lag (intervals)")
+	fs.StringVar(&o.jsonOut, "json", "", "also write the report as JSON to this file")
+	fs.StringVar(&o.mdOut, "md", "", "also write the report as markdown to this file")
+	fs.BoolVar(&o.diff, "diff", false, "diff the reports of two traces instead of printing one")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	o.args = fs.Args()
+	return o, nil
+}
+
+// buildOptions rebuilds the graph-side half of the trace→graph join from
+// the -scheme flags. The TESLA graph's split vertex encoding has no sound
+// wire-index mapping, so tesla restricts the diagnosis scope to its data
+// packets and skips culprit attribution.
+func buildOptions(o options) (diagnose.Options, error) {
+	var opts diagnose.Options
+	if o.scheme == "" {
+		return opts, nil
+	}
+	signer := crypto.NewSignerFromString("mcreport")
+	var s scheme.Scheme
+	var err error
+	switch o.scheme {
+	case "rohatgi":
+		s, err = rohatgi.New(o.n, signer)
+	case "emss":
+		s, err = emss.New(emss.Config{N: o.n, M: o.m, D: o.d}, signer)
+	case "augchain":
+		s, err = augchain.New(augchain.Config{N: o.n, A: o.a, B: o.b}, signer)
+	case "authtree":
+		s, err = authtree.New(o.n, signer)
+	case "signeach":
+		s, err = signeach.New(o.n, signer)
+	case "tesla":
+		indices := make([]uint32, o.n)
+		for i := range indices {
+			indices[i] = tesla.DataWireIndex(i + 1)
+		}
+		opts.DataIndices = indices
+		return opts, nil
+	default:
+		return opts, fmt.Errorf("unknown scheme %q", o.scheme)
+	}
+	if err != nil {
+		return opts, err
+	}
+	indices := make([]uint32, o.n)
+	for i := range indices {
+		indices[i] = uint32(i + 1)
+	}
+	opts.DataIndices = indices
+	if vm, ok := s.(scheme.VertexMapper); ok {
+		g, err := s.Graph()
+		if err != nil {
+			return opts, err
+		}
+		opts.Graph = g
+		opts.VertexOf = vm.VertexOf
+	}
+	return opts, nil
+}
+
+func loadReport(path string, opts diagnose.Options) (*diagnose.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, skipped, err := obs.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rep, err := diagnose.BuildReport(events, skipped, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func run(args []string) error {
+	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+	opts, err := buildOptions(o)
+	if err != nil {
+		return err
+	}
+	if o.diff {
+		if len(o.args) != 2 {
+			return fmt.Errorf("-diff needs exactly two trace files, got %d", len(o.args))
+		}
+		a, err := loadReport(o.args[0], opts)
+		if err != nil {
+			return err
+		}
+		b, err := loadReport(o.args[1], opts)
+		if err != nil {
+			return err
+		}
+		lines := diagnose.Diff(a, b)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if len(lines) > 0 {
+			return fmt.Errorf("%d difference(s)", len(lines))
+		}
+		return nil
+	}
+	if len(o.args) != 1 {
+		return fmt.Errorf("need exactly one trace file, got %d", len(o.args))
+	}
+	rep, err := loadReport(o.args[0], opts)
+	if err != nil {
+		return err
+	}
+	if o.jsonOut != "" {
+		f, err := os.Create(o.jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.mdOut != "" {
+		f, err := os.Create(o.mdOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteMarkdown(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return rep.WriteText(os.Stdout)
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/delay"
+	"mcauth/internal/diagnose"
+	"mcauth/internal/loss"
+	"mcauth/internal/netsim"
+	"mcauth/internal/obs"
+	"mcauth/internal/scheme/emss"
+)
+
+// writeTrace simulates one lossy EMSS block and saves its JSONL trace,
+// exactly as `mcsim -trace` would.
+func writeTrace(t *testing.T, path string, seed uint64) {
+	t.Helper()
+	const n = 20
+	signer := crypto.NewSignerFromString("mcreport-test")
+	s, err := emss.New(emss.Config{N: n, M: 2, D: 1}, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := loss.NewBernoulli(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewJSONLTracer(f)
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = []byte("payload")
+	}
+	cfg := netsim.Config{
+		Receivers:       10,
+		Loss:            model,
+		Delay:           delay.Constant{D: time.Millisecond},
+		SendInterval:    5 * time.Millisecond,
+		Start:           time.Unix(0, 0),
+		Seed:            seed,
+		ReliableIndices: []uint32{n},
+		Tracer:          tracer,
+	}
+	if _, err := netsim.Run(s, cfg, 1, payloads); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), ferr
+}
+
+// TestDiffIdenticalSeeds is the determinism acceptance check: two traces of
+// the same seed diagnose to byte-identical reports, so -diff prints nothing
+// and succeeds.
+func TestDiffIdenticalSeeds(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeTrace(t, a, 7)
+	writeTrace(t, b, 7)
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "emss", "-n", "20", "-diff", a, b})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "" {
+		t.Errorf("diff of identical-seed runs not empty:\n%s", out)
+	}
+}
+
+// TestDiffDetectsChange: different seeds change receive patterns, so the
+// diff is non-empty and the command fails like diff(1) does.
+func TestDiffDetectsChange(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeTrace(t, a, 7)
+	writeTrace(t, b, 8)
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "emss", "-n", "20", "-diff", a, b})
+	})
+	if err == nil {
+		t.Error("diff of different seeds should fail")
+	}
+	if out == "" {
+		t.Error("diff of different seeds printed nothing")
+	}
+}
+
+// TestReportOutputs renders one trace in all three formats and checks the
+// JSON half against the diagnose invariants.
+func TestReportOutputs(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.jsonl")
+	writeTrace(t, trace, 3)
+	jsonPath := filepath.Join(dir, "rep.json")
+	mdPath := filepath.Join(dir, "rep.md")
+	out, err := capture(t, func() error {
+		return run([]string{
+			"-scheme", "emss", "-n", "20",
+			"-json", jsonPath, "-md", mdPath, trace,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "root causes") {
+		t.Errorf("text report missing cause section:\n%s", out)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep diagnose.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Scheme == "" || rep.WireCount != 20 || rep.Receivers != 10 {
+		t.Errorf("run_meta not joined in: scheme=%q wire=%d receivers=%d",
+			rep.Scheme, rep.WireCount, rep.Receivers)
+	}
+	var causeTotal int
+	for _, c := range rep.Causes {
+		causeTotal += c
+	}
+	if causeTotal != rep.Unauthenticated {
+		t.Errorf("causes sum to %d, want unauthenticated = %d", causeTotal, rep.Unauthenticated)
+	}
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "| Cause | Count |") {
+		t.Error("markdown report missing cause table")
+	}
+}
+
+// TestGraphlessReportStillClassifies: without -scheme there is no culprit
+// attribution, but every failure still gets exactly one cause.
+func TestGraphlessReportStillClassifies(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.jsonl")
+	writeTrace(t, trace, 4)
+	jsonPath := filepath.Join(dir, "rep.json")
+	if _, err := capture(t, func() error {
+		return run([]string{"-json", jsonPath, trace})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep diagnose.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diagnoses) != rep.Unauthenticated {
+		t.Errorf("%d diagnoses, want %d", len(rep.Diagnoses), rep.Unauthenticated)
+	}
+	for _, d := range rep.Diagnoses {
+		if len(d.Culprits) != 0 {
+			t.Errorf("culprits named without a graph: %+v", d)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.jsonl")
+	writeTrace(t, trace, 5)
+	if err := run([]string{}); err == nil {
+		t.Error("no trace file should fail")
+	}
+	if err := run([]string{"-diff", trace}); err == nil {
+		t.Error("-diff with one file should fail")
+	}
+	if err := run([]string{"-scheme", "nope", trace}); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+	if err := run([]string{filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Error("missing trace should fail")
+	}
+}

@@ -12,9 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
-	_ "net/http/pprof"
+	"net/http/pprof"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"mcauth/internal/analysis"
 	"mcauth/internal/crypto"
 	"mcauth/internal/delay"
+	"mcauth/internal/diagnose"
 	"mcauth/internal/loss"
 	"mcauth/internal/netsim"
 	"mcauth/internal/obs"
@@ -57,6 +59,7 @@ type options struct {
 
 	trace      string
 	metrics    string
+	report     string
 	cpuprofile string
 	memprofile string
 	pprofAddr  string
@@ -93,6 +96,7 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.chaosSeeds, "chaosseeds", 3, "seeds per scheme/preset cell for -chaos")
 	fs.StringVar(&o.trace, "trace", "", "write a JSONL packet-lifecycle trace to this file")
 	fs.StringVar(&o.metrics, "metrics", "", "write end-of-run metrics: '-' for a text table on stdout, else JSON to this file")
+	fs.StringVar(&o.report, "report", "", "write a root-cause diagnosis report: JSON to this file, markdown alongside it at <file>.md")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -212,9 +216,11 @@ func setupObservability(o options) (tracer *obs.JSONLTracer, reg *obs.Registry, 
 		}
 		tracer = obs.NewJSONLTracer(f)
 	}
-	if o.metrics != "" {
+	if o.metrics != "" || o.pprofAddr != "" {
+		// The pprof listener also serves /metrics and /statusz, so a live
+		// listener always gets a registry even without -metrics.
 		reg = obs.NewRegistry()
-		if o.metrics != "-" {
+		if o.metrics != "" && o.metrics != "-" {
 			metricsFile, err = os.Create(o.metrics)
 			if err != nil {
 				return nil, nil, nil, fmt.Errorf("metrics output unwritable: %w", err)
@@ -226,20 +232,36 @@ func setupObservability(o options) (tracer *obs.JSONLTracer, reg *obs.Registry, 
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	var exposer *obs.Exposer
 	if o.pprofAddr != "" {
 		ln, err := net.Listen("tcp", o.pprofAddr)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("pprof listen %s: %w", o.pprofAddr, err)
 		}
-		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		exposer = obs.NewExposer(reg, obs.DefaultExposeInterval)
+		exposer.SetStatus(func(w io.Writer) {
+			fmt.Fprintf(w, "mcsim -scheme %s -n %d -p %g -receivers %d -seed %d\n",
+				o.scheme, o.n, o.p, o.receivers, o.seed)
+		})
+		exposer.Register(mux)
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/ (+/metrics, /statusz)\n", ln.Addr())
 		go func() {
-			// DefaultServeMux carries the net/http/pprof handlers.
-			_ = http.Serve(ln, nil)
+			_ = http.Serve(ln, mux)
 		}()
 	}
 
 	finish = func() error {
 		crypto.Uninstrument()
+		if exposer != nil {
+			exposer.Refresh()
+			exposer.Close()
+		}
 		if tracer != nil {
 			if err := tracer.Close(); err != nil {
 				return fmt.Errorf("trace output: %w", err)
@@ -270,6 +292,19 @@ func run(args []string) error {
 	tracer, reg, finishObs, err := setupObservability(o)
 	if err != nil {
 		return err
+	}
+	var reportJSON, reportMD *os.File
+	var mem *obs.MemTracer
+	if o.report != "" {
+		reportJSON, err = os.Create(o.report)
+		if err != nil {
+			return fmt.Errorf("report output unwritable: %w", err)
+		}
+		reportMD, err = os.Create(o.report + ".md")
+		if err != nil {
+			return fmt.Errorf("report output unwritable: %w", err)
+		}
+		mem = &obs.MemTracer{}
 	}
 	signer := crypto.NewSignerFromString("mcsim-sender")
 	s, dataIndices, analyticQMin, err := buildScheme(o, signer)
@@ -315,8 +350,13 @@ func run(args []string) error {
 		Workers:         o.workers,
 		Metrics:         reg,
 	}
-	if tracer != nil {
+	switch {
+	case tracer != nil && mem != nil:
+		simCfg.Tracer = obs.MultiTracer{tracer, mem}
+	case tracer != nil:
 		simCfg.Tracer = tracer
+	case mem != nil:
+		simCfg.Tracer = mem
 	}
 	res, err := netsim.Run(s, simCfg, 1, payloads)
 	if err != nil {
@@ -373,5 +413,45 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if mem != nil {
+		if err := writeReport(s, dataIndices, reliable[0], mem.Events(), reportJSON, reportMD); err != nil {
+			return err
+		}
+	}
 	return finishObs()
+}
+
+// writeReport joins the in-memory trace with the scheme's dependence graph
+// and writes the root-cause report as JSON and markdown, plus a short text
+// rendering on stdout.
+func writeReport(s scheme.Scheme, dataIndices []uint32, root uint32, events []obs.Event, jsonOut, mdOut *os.File) error {
+	opts := diagnose.Options{RootIndex: root, DataIndices: dataIndices}
+	if vm, ok := s.(scheme.VertexMapper); ok {
+		g, err := s.Graph()
+		if err != nil {
+			return err
+		}
+		opts.Graph = g
+		opts.VertexOf = vm.VertexOf
+	}
+	rep, err := diagnose.BuildReport(events, 0, opts)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(jsonOut); err != nil {
+		jsonOut.Close()
+		return fmt.Errorf("report output: %w", err)
+	}
+	if err := jsonOut.Close(); err != nil {
+		return fmt.Errorf("report output: %w", err)
+	}
+	if err := rep.WriteMarkdown(mdOut); err != nil {
+		mdOut.Close()
+		return fmt.Errorf("report output: %w", err)
+	}
+	if err := mdOut.Close(); err != nil {
+		return fmt.Errorf("report output: %w", err)
+	}
+	fmt.Println()
+	return rep.WriteText(os.Stdout)
 }

@@ -2,10 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 
+	"mcauth/internal/diagnose"
 	"mcauth/internal/obs"
 )
 
@@ -70,9 +75,12 @@ func TestObservabilityOutputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	events, err := obs.ReadJSONL(f)
+	events, skipped, err := obs.ReadJSONL(f)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("trace has %d undecodable lines", skipped)
 	}
 	if len(events) == 0 {
 		t.Fatal("trace is empty")
@@ -153,5 +161,122 @@ func TestUnwritableOutputsFail(t *testing.T) {
 		if err := run([]string{"-scheme", "rohatgi", "-n", "4", "-receivers", "1", flagName, bad}); err == nil {
 			t.Errorf("%s %s should fail", flagName, bad)
 		}
+	}
+}
+
+// TestReportOutput drives -report end to end: the JSON report must parse,
+// account for every unauthenticated packet with exactly one cause, and be
+// accompanied by a non-empty markdown rendering.
+func TestReportOutput(t *testing.T) {
+	dir := t.TempDir()
+	repPath := filepath.Join(dir, "rep.json")
+	err := run([]string{
+		"-scheme", "emss", "-n", "20", "-p", "0.25",
+		"-receivers", "12", "-seed", "5", "-report", repPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep diagnose.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Receivers != 12 {
+		t.Errorf("receivers = %d, want 12", rep.Receivers)
+	}
+	var causeTotal int
+	for _, c := range rep.Causes {
+		causeTotal += c
+	}
+	if causeTotal != rep.Unauthenticated {
+		t.Errorf("causes sum to %d, want unauthenticated = %d", causeTotal, rep.Unauthenticated)
+	}
+	if len(rep.Diagnoses) != rep.Unauthenticated {
+		t.Errorf("%d diagnoses, want %d", len(rep.Diagnoses), rep.Unauthenticated)
+	}
+	if rep.OverheadHashesPerPacket <= 0 {
+		t.Error("overhead missing: the EMSS graph should have been joined in")
+	}
+	md, err := os.ReadFile(repPath + ".md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md) == 0 {
+		t.Error("markdown report is empty")
+	}
+
+	bad := filepath.Join(dir, "no-such-dir", "rep.json")
+	if err := run([]string{"-scheme", "rohatgi", "-n", "4", "-receivers", "1", "-report", bad}); err == nil {
+		t.Errorf("-report %s should fail", bad)
+	}
+}
+
+// TestPprofServesMetrics boots the -pprof listener on an ephemeral port and
+// scrapes /metrics and /statusz after the run: the exposer's final snapshot
+// keeps serving, and /metrics must look like Prometheus text exposition.
+func TestPprofServesMetrics(t *testing.T) {
+	oldStderr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := run([]string{
+		"-scheme", "emss", "-n", "12", "-p", "0.2",
+		"-receivers", "4", "-pprof", "127.0.0.1:0",
+	})
+	w.Close()
+	os.Stderr = oldStderr
+	captured, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	m := regexp.MustCompile(`http://([^/]+)/debug/pprof/`).FindSubmatch(captured)
+	if m == nil {
+		t.Fatalf("no pprof address announced in %q", captured)
+	}
+	addr := string(m[1])
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	if !strings.Contains(string(body), "# TYPE netsim_sent counter") {
+		t.Errorf("/metrics missing netsim_sent counter:\n%s", body)
+	}
+	sample := regexp.MustCompile(`(?m)^netsim_sent ([0-9]+)$`).FindStringSubmatch(string(body))
+	if sample == nil {
+		t.Fatalf("/metrics has no netsim_sent sample:\n%s", body)
+	}
+	if sample[1] == "0" {
+		t.Error("netsim_sent = 0 after a completed run")
+	}
+
+	resp, err = http.Get("http://" + addr + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "mcsim -scheme emss") {
+		t.Errorf("/statusz missing the run configuration:\n%s", body)
 	}
 }

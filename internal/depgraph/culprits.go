@@ -1,0 +1,120 @@
+package depgraph
+
+import "fmt"
+
+// Culprit attribution: when a received packet fails to authenticate, the
+// question "which losses did it?" has a natural graph answer. Let V be the
+// verifiable set of the loss pattern (VerifiableSet). The *frontier cut*
+// toward a target packet t is the set of lost vertices u such that
+//
+//	(a) u has an in-neighbor in V (authentication information for u
+//	    actually arrived — u is exactly one hop past the verified
+//	    frontier), and
+//	(b) u lies on some path from the root to t (u can still matter to t).
+//
+// The frontier cut is a certificate in two senses, both exercised by the
+// unit tests:
+//
+//   - Cut: every root → t path in the full graph passes through a culprit,
+//     so deleting the culprits disconnects t from the root. (Walk any
+//     root → t path from the root; the first vertex outside V must be
+//     lost — a received vertex whose predecessor is verifiable is itself
+//     verifiable — and its predecessor is in V, so it satisfies (a), and
+//     the path's remainder witnesses (b).)
+//
+//   - Progress: re-delivering the culprits makes each of them verifiable
+//     immediately (their in-neighbor in V supplies the hash), pushing the
+//     verified frontier strictly toward t.
+//
+// It is minimal in the frontier sense — no verifiable or irrelevant vertex
+// is ever blamed — though not necessarily a minimum-cardinality cut, which
+// would be both more expensive and less actionable (the frontier is what a
+// recovery protocol would actually retransmit first).
+
+// CulpritFinder answers culprit queries for one loss pattern, computing
+// the verifiable set once and reusing scratch across targets, so
+// diagnosing every unauthenticated packet of a receiver costs one BFS for
+// the pattern plus one reverse BFS per target.
+type CulpritFinder struct {
+	g          *Graph
+	received   []bool
+	verifiable []bool
+	reach      []bool // scratch: vertices reaching the current target
+	queue      []int
+}
+
+// NewCulpritFinder computes the verifiable set for received (length n+1,
+// index 0 unused; the root is treated as received, matching
+// VerifiableSet). The received slice is copied, so the caller may reuse it.
+func (g *Graph) NewCulpritFinder(received []bool) (*CulpritFinder, error) {
+	if len(received) != g.n+1 {
+		return nil, fmt.Errorf("depgraph: received slice length %d, want %d", len(received), g.n+1)
+	}
+	f := &CulpritFinder{
+		g:          g,
+		received:   append([]bool(nil), received...),
+		verifiable: make([]bool, g.n+1),
+		reach:      make([]bool, g.n+1),
+		queue:      make([]int, 0, g.n),
+	}
+	f.received[g.root] = true
+	var err error
+	f.queue, err = g.VerifiableSetInto(f.received, f.verifiable, f.queue)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Verifiable reports whether packet i is verifiable under the pattern.
+func (f *CulpritFinder) Verifiable(i int) bool {
+	return i >= 1 && i <= f.g.n && f.verifiable[i]
+}
+
+// Culprits returns the frontier cut toward target, ascending. It returns
+// nil (no culprits) when the target is already verifiable, and an error
+// for an out-of-range target.
+func (f *CulpritFinder) Culprits(target int) ([]int, error) {
+	if target < 1 || target > f.g.n {
+		return nil, fmt.Errorf("depgraph: culprit target %d out of [1,%d]", target, f.g.n)
+	}
+	if f.verifiable[target] {
+		return nil, nil
+	}
+	// Reverse BFS: which vertices lie on some path ending at target?
+	clear(f.reach)
+	f.reach[target] = true
+	f.queue = append(f.queue[:0], target)
+	for head := 0; head < len(f.queue); head++ {
+		for _, u := range f.g.in[f.queue[head]] {
+			if !f.reach[u] {
+				f.reach[u] = true
+				f.queue = append(f.queue, u)
+			}
+		}
+	}
+	var culprits []int
+	for u := 1; u <= f.g.n; u++ {
+		if f.received[u] || !f.reach[u] {
+			continue
+		}
+		for _, w := range f.g.in[u] {
+			if f.verifiable[w] {
+				culprits = append(culprits, u)
+				break
+			}
+		}
+	}
+	return culprits, nil
+}
+
+// FrontierCut is the one-shot form of CulpritFinder for a single target:
+// the lost predecessors whose re-delivery would advance target's
+// authentication, per the frontier-cut definition above.
+func (g *Graph) FrontierCut(received []bool, target int) ([]int, error) {
+	f, err := g.NewCulpritFinder(received)
+	if err != nil {
+		return nil, err
+	}
+	return f.Culprits(target)
+}

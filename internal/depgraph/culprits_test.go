@@ -1,0 +1,237 @@
+package depgraph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// chain builds root=1 -> 2 -> ... -> n with optional extra edges.
+func chain(t *testing.T, n int, extra [][2]int) *Graph {
+	t.Helper()
+	g, err := New(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	for _, e := range extra {
+		g.MustAddEdge(e[0], e[1])
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func recvPattern(n int, lost ...int) []bool {
+	r := make([]bool, n+1)
+	for i := 1; i <= n; i++ {
+		r[i] = true
+	}
+	for _, i := range lost {
+		r[i] = false
+	}
+	return r
+}
+
+func TestFrontierCutHandCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *Graph
+		lost   []int
+		target int
+		want   []int
+	}{
+		{
+			name:   "single gap in a chain",
+			g:      chain(t, 5, nil),
+			lost:   []int{3},
+			target: 5,
+			want:   []int{3},
+		},
+		{
+			name: "two gaps, only the frontier one blamed",
+			g:    chain(t, 6, nil),
+			lost: []int{3, 5},
+			// 5's predecessor 4 is not verifiable, so only 3 is on the
+			// frontier: re-delivering 3 is the unique next step.
+			target: 6,
+			want:   []int{3},
+		},
+		{
+			name: "redundant paths: both frontier losses blamed",
+			g:    chain(t, 5, [][2]int{{1, 4}}),
+			lost: []int{2, 4},
+			// target 5 is fed via 1->2->3->4->5 and 1->4->5; both paths
+			// are cut at their first lost vertex (2 and 4), and both
+			// vertices have verifiable in-neighbors (1).
+			target: 5,
+			want:   []int{2, 4},
+		},
+		{
+			name: "surviving alternate path: no culprits",
+			g:    chain(t, 5, [][2]int{{1, 4}}),
+			lost: []int{2},
+			// 4 and 5 stay verifiable through the 1->4 edge.
+			target: 5,
+			want:   nil,
+		},
+		{
+			name:   "lost target with verifiable predecessor blames itself",
+			g:      chain(t, 4, nil),
+			lost:   []int{3},
+			target: 3,
+			want:   []int{3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.g.FrontierCut(recvPattern(tc.g.N(), tc.lost...), tc.target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, tc.want) {
+				t.Errorf("FrontierCut = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFrontierCutRejectsBadInput(t *testing.T) {
+	g := chain(t, 4, nil)
+	if _, err := g.FrontierCut(make([]bool, 3), 2); err == nil {
+		t.Error("short received slice accepted")
+	}
+	if _, err := g.FrontierCut(recvPattern(4), 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := g.FrontierCut(recvPattern(4), 5); err == nil {
+		t.Error("target n+1 accepted")
+	}
+}
+
+// randomDAG builds a validated dependence-graph over n packets: a random
+// spanning chain from the root plus extra forward edges in a random
+// topological order.
+func randomDAG(t *testing.T, rng *rand.Rand, n int) *Graph {
+	t.Helper()
+	perm := rng.Perm(n) // perm[k]+1 is the k-th vertex in topo order
+	g, err := New(n, perm[0]+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < n; k++ {
+		g.MustAddEdge(perm[rng.Intn(k)]+1, perm[k]+1)
+	}
+	for extra := 0; extra < 2*n; extra++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i >= j {
+			continue
+		}
+		from, to := perm[i]+1, perm[j]+1
+		if !g.HasEdge(from, to) {
+			g.MustAddEdge(from, to)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// reaches reports whether a path from -> to exists in the full graph,
+// optionally treating the vertices in banned as deleted.
+func reaches(g *Graph, from, to int, banned []int) bool {
+	blocked := make([]bool, g.N()+1)
+	for _, b := range banned {
+		blocked[b] = true
+	}
+	if blocked[from] || blocked[to] {
+		return false
+	}
+	seen := make([]bool, g.N()+1)
+	seen[from] = true
+	queue := []int{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == to {
+			return true
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if !seen[w] && !blocked[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// TestFrontierCutProperties checks the two certificate properties on
+// random graphs and loss patterns: the culprit set is a root->target cut,
+// and re-delivering it makes every culprit verifiable.
+func TestFrontierCutProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(24)
+		g := randomDAG(t, rng, n)
+		received := make([]bool, n+1)
+		for i := 1; i <= n; i++ {
+			received[i] = rng.Float64() > 0.35
+		}
+		received[g.Root()] = true
+		f, err := g.NewCulpritFinder(received)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for target := 1; target <= n; target++ {
+			culprits, err := f.Culprits(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Verifiable(target) {
+				if culprits != nil {
+					t.Fatalf("trial %d: verifiable target %d got culprits %v", trial, target, culprits)
+				}
+				continue
+			}
+			// Non-verifiable in a validated graph: some loss is to blame.
+			if len(culprits) == 0 {
+				t.Fatalf("trial %d: unverifiable target %d has no culprits", trial, target)
+			}
+			if !slices.IsSorted(culprits) {
+				t.Fatalf("trial %d: culprits %v not sorted", trial, culprits)
+			}
+			withCulprits := append([]bool(nil), received...)
+			for _, u := range culprits {
+				if received[u] {
+					t.Fatalf("trial %d: culprit %d was received", trial, u)
+				}
+				if u != target && !reaches(g, u, target, nil) {
+					t.Fatalf("trial %d: culprit %d cannot reach target %d", trial, u, target)
+				}
+				withCulprits[u] = true
+			}
+			// Cut property: deleting the culprits disconnects the target
+			// from the root in the *full* graph.
+			if target != g.Root() && !slices.Contains(culprits, target) &&
+				reaches(g, g.Root(), target, culprits) {
+				t.Fatalf("trial %d: culprits %v do not cut root->%d", trial, culprits, target)
+			}
+			// Progress property: re-delivering the culprits makes each of
+			// them verifiable.
+			verifiable, err := g.VerifiableSet(withCulprits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range culprits {
+				if !verifiable[u] {
+					t.Fatalf("trial %d: culprit %d not verifiable after re-delivery", trial, u)
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"text/tabwriter"
 
+	"mcauth/internal/obs"
 	"mcauth/internal/parallel"
 )
 
@@ -27,6 +28,20 @@ import (
 // mcfig/mcsim -workers flag does); it is not synchronized with running
 // experiments.
 var Workers int
+
+// Tracer, when non-nil, is threaded into every netsim run an experiment
+// performs, so `mcfig -trace` captures the full packet lifecycle of a
+// figure regeneration. Like Workers, set it before running experiments;
+// it is not synchronized with running experiments. Emission order across
+// sweep points is non-deterministic — downstream consumers must treat
+// the stream as an unordered bag of events (obs tracers and the diagnose
+// package already do).
+var Tracer obs.Tracer
+
+// Metrics, when non-nil, is threaded into every netsim run an experiment
+// performs, so `mcfig -metrics` aggregates netsim.* counters across a
+// whole figure sweep. Same caveats as Tracer.
+var Metrics *obs.Registry
 
 // Experiment is one reproducible figure or extension study.
 type Experiment struct {

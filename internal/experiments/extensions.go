@@ -53,6 +53,8 @@ func ValidateSeries() ([]ValidateRow, error) {
 			SendInterval: 10 * time.Millisecond,
 			Start:        time.Unix(0, 0),
 			Seed:         uint64(1000 * p),
+			Tracer:       Tracer,
+			Metrics:      Metrics,
 		}
 
 		ro, err := rohatgi.New(n, signer)

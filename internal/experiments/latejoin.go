@@ -69,6 +69,8 @@ func LateJoinSeries() ([]LateJoinRow, error) {
 			SendInterval: 10 * time.Millisecond,
 			Start:        time.Unix(0, 0),
 			Seed:         31,
+			Tracer:       Tracer,
+			Metrics:      Metrics,
 		}
 		res, err := netsim.Run(sc.s, cfg, 1, payloadsFor(sc.s))
 		if err != nil {

@@ -49,6 +49,8 @@ func SigLossSeries() ([]SigLossRow, error) {
 				SendInterval: 10 * time.Millisecond,
 				Start:        time.Unix(0, 0),
 				Seed:         uint64(copies)*100 + uint64(p*10),
+				Tracer:       Tracer,
+				Metrics:      Metrics,
 			}, 1, schemePayloads(n))
 			if err != nil {
 				return nil, err

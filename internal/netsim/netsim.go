@@ -285,6 +285,19 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 
 	metrics := newRunMetrics(cfg.Metrics, faultsOn)
 	if cfg.Tracer != nil {
+		// One run_meta record leads the trace so offline tooling (mcreport)
+		// can interpret it without re-supplying the run's flags: scheme
+		// name, wire count, and the signature packet's index (the first
+		// reliable index, by the layer convention that ReliableIndices
+		// leads with P_sign).
+		meta := obs.Event{
+			Type: obs.EventRunMeta, Receiver: -1, Scheme: s.Name(),
+			Wire: len(pkts), Block: blockID, TimeNS: obs.TimeNS(cfg.Start),
+		}
+		if len(cfg.ReliableIndices) > 0 {
+			meta.Root = cfg.ReliableIndices[0]
+		}
+		cfg.Tracer.Emit(meta)
 		for w, p := range pkts {
 			cfg.Tracer.Emit(obs.Event{
 				Type: obs.EventSent, Receiver: -1, Wire: w + 1,
@@ -520,9 +533,18 @@ func runReceiver(
 			}
 		}
 		if tracer != nil {
+			// Non-genuine deliveries (mutated or forged datagrams) carry
+			// their fault kind, so a trace reader can recover which indices
+			// genuinely arrived — the receive pattern the diagnosis join
+			// feeds into the dependence graph.
+			var reason string
+			if !genuine {
+				reason = a.kind.String()
+			}
 			tracer.Emit(obs.Event{
 				Type: obs.EventDelivered, Wire: a.wire + 1, Index: p.Index,
 				Block: p.BlockID, TimeNS: obs.TimeNS(a.at), OutOfOrder: outOfOrder,
+				Reason: reason,
 			})
 		}
 		var before verifier.Stats

@@ -365,9 +365,12 @@ func TestTraceRoundTripMatchesStats(t *testing.T) {
 	if err := tracer.Close(); err != nil {
 		t.Fatal(err)
 	}
-	events, err := obs.ReadJSONL(&buf)
+	events, skipped, err := obs.ReadJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("trace has %d undecodable lines", skipped)
 	}
 	authed := make(map[int]int)
 	delivered := make(map[int]int)

@@ -195,9 +195,12 @@ func TestJSONLTracerRoundTrip(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	out, err := ReadJSONL(&buf)
+	out, skipped, err := ReadJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d lines of a clean trace", skipped)
 	}
 	if len(out) != len(in) {
 		t.Fatalf("read %d events, want %d", len(out), len(in))
@@ -206,6 +209,106 @@ func TestJSONLTracerRoundTrip(t *testing.T) {
 		if out[i] != in[i] {
 			t.Errorf("event %d: %+v != %+v", i, out[i], in[i])
 		}
+	}
+}
+
+// TestReadJSONLDamagedTrace feeds ReadJSONL the damage real trace files
+// accumulate — interleaved stderr garbage, blank lines, non-event JSON,
+// and a final line truncated mid-record — and expects the intact events
+// back with a per-line skip count instead of a hard error.
+func TestReadJSONLDamagedTrace(t *testing.T) {
+	in := strings.Join([]string{
+		`{"type":"sent","recv":-1,"wire":1,"index":1}`,
+		`panic: runtime error: index out of range`,
+		``,
+		`{"not":"an event"}`,
+		`{"type":"delivered","recv":0,"wire":1,"index":1}`,
+		`42`,
+		`{"type":"authenticated","recv":0,"wire":1,"ind`, // truncated, no newline
+	}, "\n")
+	events, skipped, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events, want 2: %+v", len(events), events)
+	}
+	if events[0].Type != EventSent || events[1].Type != EventDelivered {
+		t.Errorf("wrong events survived: %+v", events)
+	}
+	// Skipped: the panic line, the non-event object, the bare number, and
+	// the truncated tail. Blank lines are not damage.
+	if skipped != 4 {
+		t.Errorf("skipped = %d, want 4", skipped)
+	}
+}
+
+func TestMultiTracerFansOut(t *testing.T) {
+	a, b := &MemTracer{}, &MemTracer{}
+	mt := MultiTracer{a, b}
+	mt.Emit(Event{Type: EventSent, Index: 1})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatalf("fan-out got %d/%d events, want 1/1", len(a.Events()), len(b.Events()))
+	}
+}
+
+// TestEmptyHistogramNeverNaN pins the empty-histogram contract: Mean and
+// Quantile return 0 (never NaN, which would also poison JSON encoding),
+// and the snapshot of an empty histogram is fully zero-valued.
+func TestEmptyHistogramNeverNaN(t *testing.T) {
+	var h HistogramData
+	if m := h.Mean(); m != 0 || math.IsNaN(m) {
+		t.Errorf("empty Mean = %v, want 0", m)
+	}
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if v := h.Quantile(q); v != 0 || math.IsNaN(v) {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+	s := SnapshotOf(h)
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 ||
+		s.Mean != 0 || s.P50 != 0 || s.P90 != 0 || s.P99 != 0 || s.Buckets != nil {
+		t.Errorf("empty snapshot not zero-valued: %+v", s)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Errorf("empty snapshot must marshal: %v", err)
+	}
+	// Negative-only observations exercise the min/max clamp paths.
+	h.Observe(-5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); math.IsNaN(v) {
+			t.Errorf("negative-only Quantile(%v) is NaN", q)
+		}
+	}
+}
+
+// TestSnapshotExpositionDeterministic renders the same registry twice
+// through every exposition and demands byte identity.
+func TestSnapshotExpositionDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.ops").Add(2)
+	reg.Counter("a.ops").Add(1)
+	reg.Gauge("z.depth").Set(9)
+	reg.Histogram("m.lat").Observe(100)
+	reg.Histogram("empty.hist") // registered, never observed
+	snap := reg.Snapshot()
+	render := func() (string, string, string) {
+		var j, txt, prom bytes.Buffer
+		if err := snap.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := snap.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		if err := snap.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), txt.String(), prom.String()
+	}
+	j1, t1, p1 := render()
+	j2, t2, p2 := render()
+	if j1 != j2 || t1 != t2 || p1 != p2 {
+		t.Error("exposition output is not deterministic")
 	}
 }
 

@@ -35,6 +35,11 @@ const (
 	EventCorrupted      EventType = "corrupted"
 	EventForgedInjected EventType = "forged_injected"
 	EventForgedRejected EventType = "forged_rejected"
+	// EventRunMeta is the first record of a netsim trace: one source-side
+	// event carrying the run's identity (scheme name, wire count in Wire,
+	// signature wire index in Root) so offline tooling can interpret the
+	// trace without re-supplying the run's flags.
+	EventRunMeta EventType = "run_meta"
 )
 
 // Event is one JSONL trace record. Zero-valued optional fields are elided
@@ -60,10 +65,19 @@ type Event struct {
 	Depth int `json:"depth,omitempty"`
 	// OutOfOrder marks a delivery that overtook a later-sent packet.
 	OutOfOrder bool `json:"ooo,omitempty"`
-	// Reason qualifies drops: "loss" (channel), "late_join" (receiver
-	// not yet subscribed), or — under fault injection — "corrupted" /
-	// "truncated" (the mutation left the datagram undecodable).
+	// Reason qualifies events: drops carry "loss" (channel), "late_join"
+	// (receiver not yet subscribed), or — under fault injection —
+	// "corrupted" / "truncated" (the mutation left the datagram
+	// undecodable); deliveries of non-genuine arrivals carry the fault
+	// kind; rejections carry what failed ("bad_signature",
+	// "digest_mismatch", ...).
 	Reason string `json:"reason,omitempty"`
+	// Scheme names the scheme on run_meta events.
+	Scheme string `json:"scheme,omitempty"`
+	// Root is, on run_meta events, the wire index of the signature /
+	// bootstrap packet (the packet whose loss severs every packet's
+	// authentication path).
+	Root uint32 `json:"root,omitempty"`
 }
 
 // Tracer consumes lifecycle events. Implementations must be safe for
@@ -156,29 +170,64 @@ func (t *JSONLTracer) Close() error {
 
 // ReadJSONL decodes a JSONL trace back into events — the read half of the
 // round trip, used by tests and analysis tooling.
-func ReadJSONL(r io.Reader) ([]Event, error) {
-	var out []Event
+//
+// Real trace files get damaged: a crashed run leaves a truncated final
+// line, and interleaved stderr (a panic, a shell echo) can land between
+// records. Lines that do not decode as events are skipped and counted
+// rather than failing the whole read, so the intact majority of a damaged
+// trace stays analyzable; callers that care surface the skipped count.
+// Only an I/O error (or a line exceeding the 1 MiB scanner limit) is a
+// hard error.
+func ReadJSONL(r io.Reader) (events []Event, skipped int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	line := 0
 	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
+		b := sc.Bytes()
+		if len(bytesTrimSpace(b)) == 0 {
 			continue
 		}
 		var e Event
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return out, fmt.Errorf("obs: trace line %d: %w", line, err)
+		if json.Unmarshal(b, &e) != nil || e.Type == "" {
+			skipped++
+			continue
 		}
-		out = append(out, e)
+		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
-		return out, fmt.Errorf("obs: trace: %w", err)
+		return events, skipped, fmt.Errorf("obs: trace: %w", err)
 	}
-	return out, nil
+	return events, skipped, nil
 }
 
-// MemTracer buffers events in memory, for tests.
+// bytesTrimSpace trims ASCII whitespace without allocating (the only
+// whitespace a JSONL writer emits).
+func bytesTrimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r' || b[0] == '\n') {
+		b = b[1:]
+	}
+	for len(b) > 0 {
+		c := b[len(b)-1]
+		if c != ' ' && c != '\t' && c != '\r' && c != '\n' {
+			break
+		}
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// MultiTracer fans every event out to each member tracer, so one run can
+// feed a JSONL file and an in-memory diagnostics buffer at once.
+type MultiTracer []Tracer
+
+// Emit implements Tracer.
+func (m MultiTracer) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// MemTracer buffers events in memory, for tests and for in-process
+// consumers like the diagnose report built by `mcsim -report`.
 type MemTracer struct {
 	mu     sync.Mutex
 	events []Event

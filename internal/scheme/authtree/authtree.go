@@ -103,6 +103,14 @@ func (t *Tree) Graph() (*depgraph.Graph, error) {
 	return g, nil
 }
 
+// VertexOf implements scheme.VertexMapper: wire index i is graph vertex i.
+func (t *Tree) VertexOf(index uint32) (int, bool) {
+	if index < 1 || int(index) > t.n {
+		return 0, false
+	}
+	return int(index), true
+}
+
 func leafDigest(blockID uint64, index uint32, payload []byte) crypto.Digest {
 	var hdr [12]byte
 	binary.BigEndian.PutUint64(hdr[:8], blockID)

@@ -100,6 +100,15 @@ func (c *Chained) extraRootCopies() int {
 // Graph implements Scheme.
 func (c *Chained) Graph() (*depgraph.Graph, error) { return c.graph.Clone(), nil }
 
+// VertexOf implements VertexMapper: wire index i is graph vertex i (extra
+// signature-packet copies reuse the root's index and so map to the root).
+func (c *Chained) VertexOf(index uint32) (int, bool) {
+	if index < 1 || int(index) > c.topo.N {
+		return 0, false
+	}
+	return int(index), true
+}
+
 // Authenticate implements Scheme: it builds the block's packets, embeds
 // each dependence edge as a carried hash, and signs the root packet.
 func (c *Chained) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error) {

@@ -44,6 +44,21 @@ type Verifier interface {
 	Stats() verifier.Stats
 }
 
+// VertexMapper is implemented by schemes whose wire authentication indices
+// map one-to-one onto dependence-graph vertices, enabling trace→graph joins
+// (root-cause diagnosis attributes an unauthenticated packet to the losses
+// that cut its hash path, which requires locating each wire packet in the
+// graph). Hash-chained schemes and the per-packet-signature baselines use
+// the identity mapping; TESLA does not implement the interface because its
+// graph uses the split message/key vertex encoding, where one wire packet
+// corresponds to two vertices.
+type VertexMapper interface {
+	// VertexOf returns the dependence-graph vertex for a wire
+	// authentication index, and false for indices with no vertex (e.g.
+	// bootstrap packets outside the block).
+	VertexOf(index uint32) (int, bool)
+}
+
 // BufferBounded is implemented by verifiers whose pending-packet buffers
 // can be capped after construction. Scheme factories (NewVerifier) cannot
 // thread options through, so layers that must bound receiver memory under

@@ -60,6 +60,14 @@ func (s *SignEach) Graph() (*depgraph.Graph, error) {
 	return g, nil
 }
 
+// VertexOf implements scheme.VertexMapper: wire index i is graph vertex i.
+func (s *SignEach) VertexOf(index uint32) (int, bool) {
+	if index < 1 || int(index) > s.n {
+		return 0, false
+	}
+	return int(index), true
+}
+
 // Authenticate implements Scheme.
 func (s *SignEach) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error) {
 	if len(payloads) != s.n {

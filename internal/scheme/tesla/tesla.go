@@ -395,12 +395,12 @@ func (tv *teslaVerifier) markAuthenticated(p *packet.Packet, arrived, at time.Ti
 	})
 }
 
-func (tv *teslaVerifier) markRejected(p *packet.Packet, at time.Time) {
+func (tv *teslaVerifier) markRejected(p *packet.Packet, at time.Time, reason string) {
 	tv.stats.Rejected++
 	if tv.m != nil {
 		tv.m.rejected.Inc()
 	}
-	e := obs.Event{Type: obs.EventRejected, TimeNS: obs.TimeNS(at)}
+	e := obs.Event{Type: obs.EventRejected, TimeNS: obs.TimeNS(at), Reason: reason}
 	if p != nil {
 		e.Index = p.Index
 		e.Block = p.BlockID
@@ -445,12 +445,12 @@ func (tv *teslaVerifier) ingestBootstrap(p *packet.Packet, at time.Time) ([]veri
 		return nil, nil
 	}
 	if !tv.pub.Verify(p.ContentBytes(), p.Signature) {
-		tv.markRejected(p, at)
+		tv.markRejected(p, at, "bad_signature")
 		return nil, nil
 	}
 	bp, err := parseBootstrap(p.Payload)
 	if err != nil {
-		tv.markRejected(p, at)
+		tv.markRejected(p, at, "bad_bootstrap")
 		return nil, nil
 	}
 	tv.params = &bp
@@ -495,7 +495,7 @@ func (tv *teslaVerifier) ingestData(pend pendingPacket, at time.Time) ([]verifie
 	}
 	interval := int(p.KeyIndex)
 	if interval > tv.params.n {
-		tv.markRejected(p, at)
+		tv.markRejected(p, at, "bad_interval")
 		return events, nil
 	}
 	// Safety condition: the packet must have arrived before the sender
@@ -511,7 +511,7 @@ func (tv *teslaVerifier) ingestData(pend pendingPacket, at time.Time) ([]verifie
 		}
 		tv.emit(obs.Event{
 			Type: obs.EventUnsafe, Index: p.Index, Block: p.BlockID,
-			TimeNS: obs.TimeNS(at),
+			TimeNS: obs.TimeNS(at), Reason: "deadline",
 		})
 		return events, nil
 	}
@@ -538,7 +538,7 @@ func (tv *teslaVerifier) absorbKey(idx int, key []byte, at time.Time) []verifier
 	}
 	recovered, err := crypto.RecoverEarlierKey(key, idx, tv.bestIdx)
 	if err != nil || !bytesEqual(recovered, tv.bestKey) {
-		tv.markRejected(nil, at)
+		tv.markRejected(nil, at, "bad_key_chain")
 		return nil
 	}
 	tv.bestIdx = idx
@@ -572,12 +572,12 @@ func (tv *teslaVerifier) verifyData(pend pendingPacket, at time.Time) []verifier
 		if interval == tv.bestIdx {
 			chainKey = tv.bestKey
 		} else {
-			tv.markRejected(p, at)
+			tv.markRejected(p, at, "bad_key_chain")
 			return nil
 		}
 	}
 	if !crypto.VerifyMAC(crypto.DeriveMACKey(chainKey), p.ContentBytes(), p.MAC) {
-		tv.markRejected(p, at)
+		tv.markRejected(p, at, "bad_mac")
 		return nil
 	}
 	tv.authentic[p.Index] = true

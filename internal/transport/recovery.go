@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"mcauth/internal/fault"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/stats"
 )
@@ -57,6 +58,7 @@ func (ds *DatagramSender) SendWithRetry(p *packet.Packet, attempts int, backoff 
 	var last error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			ds.m.countSendRetry()
 			time.Sleep(backoff)
 			backoff = min(2*backoff, maxSendBackoff)
 		}
@@ -213,6 +215,18 @@ type RepairResponder struct {
 	done   chan struct{}
 	served atomic.Int64
 	closed atomic.Bool
+
+	mu sync.Mutex
+	m  *wireMetrics
+}
+
+// SetMetrics enables transport.* accounting for served repairs (nil
+// disables). Safe to call while the responder runs.
+func (rr *RepairResponder) SetMetrics(reg *obs.Registry) {
+	m := newWireMetrics(reg)
+	rr.mu.Lock()
+	rr.m = m
+	rr.mu.Unlock()
 }
 
 // ServeRepairs starts answering repair requests arriving on conn. The
@@ -257,6 +271,9 @@ func (rr *RepairResponder) loop() {
 			}
 			if _, err := rr.conn.WriteTo(wire, from); err == nil {
 				rr.served.Add(1)
+				rr.mu.Lock()
+				rr.m.countRepairServed()
+				rr.mu.Unlock()
 			}
 		}
 	}
@@ -351,6 +368,7 @@ func (l *Listener) nackLoop(cfg NACKConfig) {
 		}
 		l.mu.Lock()
 		starved := l.rcv.Starved()
+		m := l.m
 		l.mu.Unlock()
 		now := time.Now()
 		live := make(map[uint64]bool, len(starved))
@@ -366,6 +384,7 @@ func (l *Listener) nackLoop(cfg NACKConfig) {
 			}
 			if _, err := l.conn.WriteTo(EncodeNACK(id, NACKSigRequest), cfg.Sender); err == nil {
 				l.nacksSent.Add(1)
+				m.countNACKSent()
 			}
 			st.attempts++
 			st.nextAt = now.Add(st.backoff)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mcauth/internal/fault"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 )
 
@@ -414,5 +415,92 @@ func TestDatagramSenderFaultHook(t *testing.T) {
 	}
 	if len(cc.wires) != 1 || !bytes.Equal(cc.wires[0], want) {
 		t.Fatal("disabled hook should restore plain sends")
+	}
+}
+
+// TestRecoveryMetricsCounters: the recovery machinery reports its work to
+// the registry — send retries, NACKs sent, repairs served — and the
+// counters appear only once the path is actually exercised.
+func TestRecoveryMetricsCounters(t *testing.T) {
+	conn, other := udpPair(t)
+	defer conn.Close()
+	defer other.Close()
+	reg := obs.NewRegistry()
+
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	defer sink.Close()
+	flaky := &flakyConn{PacketConn: conn, errs: []error{syscall.ENOBUFS, syscall.ENOBUFS}}
+	ds, err := NewDatagramSender(flaky, sink.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetMetrics(reg)
+	if _, ok := reg.Snapshot().Counters["transport.send_retries"]; ok {
+		t.Error("send_retries registered before any retry happened")
+	}
+	p := &packet.Packet{BlockID: 1, Index: 1, Payload: []byte("x")}
+	if err := ds.SendWithRetry(p, 5, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["transport.send_retries"]; got != 2 {
+		t.Errorf("transport.send_retries = %d, want 2", got)
+	}
+
+	// Repairs served: responder answers one NACK from the store.
+	const n = 6
+	pkts, rcv := testBlockPackets(t, n, 1)
+	store, err := NewRepairStore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(1, pkts)
+	responder, err := ServeRepairs(conn, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer responder.Close()
+	responder.SetMetrics(reg)
+
+	l, err := Listen(other, rcv, time.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetMetrics(reg)
+	go func() {
+		for range l.Events() {
+		}
+	}()
+	if err := l.EnableNACK(NACKConfig{
+		Sender:   conn.LocalAddr(),
+		Interval: 5 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := NewDatagramSender(conn, other.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pk := range pkts {
+		if len(pk.Signature) > 0 {
+			continue // drop the signature so the block starves
+		}
+		if err := data.Send(pk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for responder.Served() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["transport.nacks_sent"] == 0 {
+		t.Error("transport.nacks_sent not counted")
+	}
+	if snap.Counters["transport.repairs_served"] == 0 {
+		t.Error("transport.repairs_served not counted")
 	}
 }

@@ -35,6 +35,7 @@ const frameAllocChunk = 64 * 1024
 // wireMetrics caches the transport.* instruments; a nil *wireMetrics (the
 // default) disables all accounting.
 type wireMetrics struct {
+	reg            *obs.Registry
 	framesWritten  *obs.Counter
 	bytesWritten   *obs.Counter
 	framesRead     *obs.Counter
@@ -44,6 +45,13 @@ type wireMetrics struct {
 	decodeErrors   *obs.Counter
 	datagramsSent  *obs.Counter
 	datagramsRead  *obs.Counter
+	// Recovery counters (send retries, NACKs, repairs served) are
+	// registered lazily on first use, so dumps of runs that never
+	// exercise the recovery path stay unchanged. Each is touched by a
+	// single goroutine (retrying sender, NACK loop, repair responder).
+	sendRetries   *obs.Counter
+	nacksSent     *obs.Counter
+	repairsServed *obs.Counter
 }
 
 func newWireMetrics(reg *obs.Registry) *wireMetrics {
@@ -51,6 +59,7 @@ func newWireMetrics(reg *obs.Registry) *wireMetrics {
 		return nil
 	}
 	return &wireMetrics{
+		reg:            reg,
 		framesWritten:  reg.Counter("transport.frames_written"),
 		bytesWritten:   reg.Counter("transport.bytes_written"),
 		framesRead:     reg.Counter("transport.frames_read"),
@@ -61,6 +70,36 @@ func newWireMetrics(reg *obs.Registry) *wireMetrics {
 		datagramsSent:  reg.Counter("transport.datagrams_sent"),
 		datagramsRead:  reg.Counter("transport.datagrams_read"),
 	}
+}
+
+func (m *wireMetrics) countSendRetry() {
+	if m == nil {
+		return
+	}
+	if m.sendRetries == nil {
+		m.sendRetries = m.reg.Counter("transport.send_retries")
+	}
+	m.sendRetries.Inc()
+}
+
+func (m *wireMetrics) countNACKSent() {
+	if m == nil {
+		return
+	}
+	if m.nacksSent == nil {
+		m.nacksSent = m.reg.Counter("transport.nacks_sent")
+	}
+	m.nacksSent.Inc()
+}
+
+func (m *wireMetrics) countRepairServed() {
+	if m == nil {
+		return
+	}
+	if m.repairsServed == nil {
+		m.repairsServed = m.reg.Counter("transport.repairs_served")
+	}
+	m.repairsServed.Inc()
 }
 
 // FrameWriter writes length-prefixed packets to a byte stream. It is not

@@ -199,7 +199,7 @@ func (v *Chained) Ingest(p *packet.Packet, at time.Time) ([]Event, error) {
 	switch {
 	case len(p.Signature) > 0:
 		if !v.pub.Verify(p.ContentBytes(), p.Signature) {
-			v.reject(p, at)
+			v.reject(p, at, "bad_signature")
 			return nil, nil
 		}
 		events = v.accept(p, at)
@@ -229,7 +229,7 @@ func (v *Chained) Ingest(p *packet.Packet, at time.Time) ([]Event, error) {
 			return nil, nil
 		}
 		if p.Digest() != want {
-			v.reject(p, at)
+			v.reject(p, at, "digest_mismatch")
 			return nil, nil
 		}
 		events = v.accept(p, at)
@@ -237,12 +237,12 @@ func (v *Chained) Ingest(p *packet.Packet, at time.Time) ([]Event, error) {
 	return events, nil
 }
 
-func (v *Chained) reject(p *packet.Packet, at time.Time) {
+func (v *Chained) reject(p *packet.Packet, at time.Time, reason string) {
 	v.stats.Rejected++
 	v.m.countRejected()
 	v.emit(obs.Event{
 		Type: obs.EventRejected, Index: p.Index,
-		Block: p.BlockID, TimeNS: obs.TimeNS(at),
+		Block: p.BlockID, TimeNS: obs.TimeNS(at), Reason: reason,
 	})
 }
 
@@ -294,7 +294,7 @@ func (v *Chained) accept(p *packet.Packet, at time.Time) []Event {
 				continue
 			}
 			if waiting.p.Digest() != h.Digest {
-				v.reject(waiting.p, at)
+				v.reject(waiting.p, at, "digest_mismatch")
 				delete(v.buffered, h.TargetIndex)
 				continue
 			}

@@ -6,12 +6,25 @@
 # Usage:
 #   scripts/bench.sh                 # full suite
 #   scripts/bench.sh 'MonteCarlo'    # benchmarks matching a regex
+#   scripts/bench.sh -dirty          # allow an unclean tree (results are
+#                                    # tagged <sha>-dirty and not comparable)
 #   BENCHTIME=2s scripts/bench.sh    # override -benchtime
 set -eu
 
 cd "$(dirname "$0")/.."
+allow_dirty=0
+if [ "${1:-}" = "-dirty" ]; then
+	allow_dirty=1
+	shift
+fi
 sha=$(git rev-parse --short HEAD)
 if ! git diff --quiet HEAD 2>/dev/null; then
+	if [ "$allow_dirty" -ne 1 ]; then
+		echo "bench.sh: working tree is dirty; results would not be attributable to a commit." >&2
+		echo "bench.sh: commit or stash first, or rerun as: scripts/bench.sh -dirty" >&2
+		exit 1
+	fi
+	echo "bench.sh: WARNING: dirty tree, tagging results ${sha}-dirty" >&2
 	sha="${sha}-dirty"
 fi
 pattern="${1:-.}"
@@ -27,6 +40,7 @@ go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . | tee "$
 	printf '  "commit": "%s",\n' "$(git rev-parse HEAD)"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "cpus": %s,\n' "$(nproc)"
+	printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc)}"
 	printf '  "benchtime": "%s",\n' "$benchtime"
 	printf '  "benchmarks": [\n'
 	awk '

@@ -11,7 +11,9 @@ if [ -n "$fmt_diff" ]; then
 fi
 go vet ./...
 go build ./...
-go test -race ./...
+# -shuffle=on randomizes test and subtest order so inter-test state
+# dependencies cannot hide; failures print the seed to reproduce.
+go test -race -shuffle=on ./...
 
 # Robustness tier: a short seeded chaos soak under the race detector, then
 # a fuzz smoke pass over the two attacker-facing decoders.
@@ -35,3 +37,8 @@ test -s "$diagdir/rep.json.md"
 # Perf tier: compile and run every benchmark once so the bench harness
 # cannot bit-rot; real measurements come from scripts/bench.sh.
 go test -run='^$' -bench=. -benchtime=1x . >/dev/null
+
+# Coverage tier: per-package statement coverage from a quick -short pass
+# and the aggregate figure. Informational only — no threshold is enforced.
+go test -short -count=1 -coverprofile="$diagdir/cover.out" ./...
+go tool cover -func="$diagdir/cover.out" | tail -n 1

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenFigures are the analytically-driven figures pinned byte-for-byte:
+// fast to regenerate, fully deterministic, and together covering the
+// TESLA evaluator (fig3), the cross-scheme comparison (fig8), the
+// wire-format overhead measurement (fig10), and the recurrence-vs-exact
+// gap study (markovgap).
+var goldenFigures = []string{"fig3", "fig8", "fig10", "markovgap"}
+
+// figOutput regenerates one figure with the given worker-pool size.
+func figOutput(t *testing.T, fig string, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", fig, "-workers", strconv.Itoa(workers)}, &buf); err != nil {
+		t.Fatalf("%s: %v", fig, err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenFigures pins figure output against testdata/ golden files.
+// Regenerate with: go test ./cmd/mcfig -run TestGoldenFigures -update
+func TestGoldenFigures(t *testing.T) {
+	for _, fig := range goldenFigures {
+		fig := fig
+		t.Run(fig, func(t *testing.T) {
+			got := figOutput(t, fig, 1)
+			golden := filepath.Join("testdata", fig+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s output drifted from %s;\nrerun with -update if the change is intended.\n--- got ---\n%s\n--- want ---\n%s",
+					fig, golden, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFiguresWorkerInvariant is the determinism guarantee behind
+// the golden files: the sweep output must be byte-identical for any
+// worker-pool size.
+func TestGoldenFiguresWorkerInvariant(t *testing.T) {
+	for _, fig := range goldenFigures {
+		one := figOutput(t, fig, 1)
+		four := figOutput(t, fig, 4)
+		if !bytes.Equal(one, four) {
+			t.Errorf("%s: output differs between -workers 1 and -workers 4", fig)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,13 +22,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mcfig", flag.ContinueOnError)
 	var (
 		figID      = fs.String("fig", "", "experiment ID to run (see -list)")
@@ -76,7 +77,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := dispatch(*figID, *listAll, *runAll); err != nil {
+	if err := dispatch(*figID, *listAll, *runAll, stdout); err != nil {
 		stopProfiles()
 		return err
 	}
@@ -96,8 +97,8 @@ func run(args []string) error {
 				return fmt.Errorf("metrics output: %w", err)
 			}
 		} else {
-			fmt.Println()
-			if err := snap.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(stdout)
+			if err := snap.WriteText(stdout); err != nil {
 				return err
 			}
 		}
@@ -105,22 +106,22 @@ func run(args []string) error {
 	return stopProfiles()
 }
 
-func dispatch(figID string, listAll, runAll bool) error {
+func dispatch(figID string, listAll, runAll bool, out io.Writer) error {
 	switch {
 	case listAll:
 		for _, e := range experiments.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(out, "%-10s %s\n", e.ID, e.Title)
 		}
 		return nil
 	case runAll:
-		return experiments.RunAll(os.Stdout)
+		return experiments.RunAll(out)
 	case figID != "":
 		e, ok := experiments.Get(figID)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q; available: %s",
 				figID, strings.Join(experiments.IDs(), ", "))
 		}
-		return e.Run(os.Stdout)
+		return e.Run(out)
 	default:
 		return errors.New("one of -fig, -all or -list is required")
 	}

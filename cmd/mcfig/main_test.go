@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,25 +11,25 @@ import (
 )
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run([]string{"-list"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleFigure(t *testing.T) {
-	if err := run([]string{"-fig", "fig9"}); err != nil {
+	if err := run([]string{"-fig", "fig9"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-fig", "nope"}); err == nil {
+	if err := run([]string{"-fig", "nope"}, io.Discard); err == nil {
 		t.Error("unknown figure should fail")
 	}
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Error("no mode should fail")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Error("unknown flag should fail")
 	}
 }
@@ -40,7 +41,7 @@ func TestObservabilityOutputs(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "fig.jsonl")
 	metricsPath := filepath.Join(dir, "fig-metrics.json")
-	if err := run([]string{"-fig", "latejoin", "-trace", tracePath, "-metrics", metricsPath}); err != nil {
+	if err := run([]string{"-fig", "latejoin", "-trace", tracePath, "-metrics", metricsPath}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(tracePath)
@@ -83,7 +84,7 @@ func TestObservabilityOutputs(t *testing.T) {
 func TestUnwritableOutputsFail(t *testing.T) {
 	bad := filepath.Join(t.TempDir(), "no-such-dir", "out")
 	for _, flagName := range []string{"-trace", "-metrics"} {
-		if err := run([]string{"-fig", "latejoin", flagName, bad}); err == nil {
+		if err := run([]string{"-fig", "latejoin", flagName, bad}, io.Discard); err == nil {
 			t.Errorf("%s %s should fail", flagName, bad)
 		}
 	}

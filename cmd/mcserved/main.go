@@ -1,0 +1,463 @@
+// Command mcserved is the serving daemon: it multiplexes many
+// authenticated streams through a sharded internal/server with batched
+// signing, and feeds receivers over the transport mux framing.
+//
+// Three modes:
+//
+//	mcserved -demo -streams 64 -blocks 20
+//	    self-contained: serve, receive and verify in-process, print a
+//	    summary (throughput, amortization ratio, drops).
+//
+//	mcserved -listen :7700 -streams 64 -rate 2ms
+//	    daemon: publish synthetic messages on every stream and serve any
+//	    number of TCP receivers until interrupted (or -duration).
+//
+//	mcserved -connect host:7700
+//	    receiver: connect, demultiplex, verify, and print totals on EOF
+//	    or interrupt. The -key and scheme flags must match the daemon's.
+//
+// The demo and daemon sign with a key derived from -key; receivers derive
+// the same verification key, so a quickstart needs no key exchange.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/obs"
+	"mcauth/internal/scheme"
+	"mcauth/internal/scheme/augchain"
+	"mcauth/internal/scheme/authtree"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/scheme/rohatgi"
+	"mcauth/internal/scheme/signeach"
+	"mcauth/internal/server"
+	"mcauth/internal/stream"
+	"mcauth/internal/transport"
+)
+
+type options struct {
+	demo    bool
+	listen  string
+	connect string
+
+	streams  int
+	schemeID string
+	n        int
+	blocks   int
+	rate     time.Duration
+	duration time.Duration
+
+	batch int
+	flush time.Duration
+	key   string
+
+	metrics   string
+	pprofAddr string
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcserved:", err)
+		os.Exit(1)
+	}
+}
+
+func parseOptions(args []string) (options, error) {
+	fs := flag.NewFlagSet("mcserved", flag.ContinueOnError)
+	var o options
+	fs.BoolVar(&o.demo, "demo", false, "run the in-process demo (serve + receive + verify)")
+	fs.StringVar(&o.listen, "listen", "", "serve receivers on this TCP address (e.g. :7700)")
+	fs.StringVar(&o.connect, "connect", "", "act as a receiver: connect to a daemon and verify its streams")
+	fs.IntVar(&o.streams, "streams", 64, "number of concurrent authenticated streams")
+	fs.StringVar(&o.schemeID, "scheme", "mixed", "per-stream scheme: rohatgi|emss|augchain|authtree|signeach|mixed")
+	fs.IntVar(&o.n, "n", 8, "block size (payloads per block)")
+	fs.IntVar(&o.blocks, "blocks", 20, "blocks to publish per stream (demo mode)")
+	fs.DurationVar(&o.rate, "rate", 0, "inter-message gap per stream (0 = as fast as possible)")
+	fs.DurationVar(&o.duration, "duration", 0, "daemon lifetime (0 = until interrupt)")
+	fs.IntVar(&o.batch, "batch", 64, "block roots per signature (batch signer auto-flush threshold)")
+	fs.DurationVar(&o.flush, "flush", 50*time.Millisecond, "flush deadline for partial blocks and pending batches")
+	fs.StringVar(&o.key, "key", "mcserved-demo", "signing-key derivation string (receivers derive the matching public key)")
+	fs.StringVar(&o.metrics, "metrics", "", "write end-of-run metrics: '-' for a text table on stdout, else JSON to this file")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof (+/metrics, /statusz) on this address")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	modes := 0
+	for _, on := range []bool{o.demo, o.listen != "", o.connect != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return options{}, errors.New("pick exactly one of -demo, -listen, -connect")
+	}
+	if o.streams < 1 {
+		return options{}, fmt.Errorf("streams %d must be >= 1", o.streams)
+	}
+	if o.blocks < 1 {
+		return options{}, fmt.Errorf("blocks %d must be >= 1", o.blocks)
+	}
+	return o, nil
+}
+
+// buildScheme constructs stream id's scheme; "mixed" rotates the four
+// non-timed constructions so one daemon exercises deferred and
+// synchronous signing together.
+func buildScheme(kind string, n int, id uint64, signer crypto.Signer) (scheme.Scheme, error) {
+	if kind == "mixed" {
+		kind = []string{"emss", "rohatgi", "authtree", "signeach"}[id%4]
+	}
+	switch kind {
+	case "rohatgi":
+		return rohatgi.New(n, signer)
+	case "emss":
+		return emss.New(emss.Config{N: n, M: 2, D: 1}, signer)
+	case "augchain":
+		return augchain.New(augchain.Config{N: n, A: 2, B: 2}, signer)
+	case "authtree":
+		return authtree.New(n, signer)
+	case "signeach":
+		return signeach.New(n, signer)
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", kind)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+	reg, finish, err := setupObservability(o, stdout)
+	if err != nil {
+		return err
+	}
+	switch {
+	case o.connect != "":
+		err = runReceiver(o, stdout)
+	case o.listen != "":
+		err = runDaemon(o, reg, stdout)
+	default:
+		err = runDemo(o, reg, stdout)
+	}
+	if err != nil {
+		finish()
+		return err
+	}
+	return finish()
+}
+
+func setupObservability(o options, stdout io.Writer) (*obs.Registry, func() error, error) {
+	var (
+		reg         *obs.Registry
+		metricsFile *os.File
+		exposer     *obs.Exposer
+		err         error
+	)
+	if o.metrics != "" || o.pprofAddr != "" {
+		reg = obs.NewRegistry()
+		if o.metrics != "" && o.metrics != "-" {
+			metricsFile, err = os.Create(o.metrics)
+			if err != nil {
+				return nil, nil, fmt.Errorf("metrics output unwritable: %w", err)
+			}
+		}
+		crypto.Instrument(reg)
+	}
+	if o.pprofAddr != "" {
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pprof listen %s: %w", o.pprofAddr, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		exposer = obs.NewExposer(reg, obs.DefaultExposeInterval)
+		exposer.SetStatus(func(w io.Writer) {
+			fmt.Fprintf(w, "mcserved -streams %d -scheme %s -batch %d -flush %v\n",
+				o.streams, o.schemeID, o.batch, o.flush)
+		})
+		exposer.Register(mux)
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/ (+/metrics, /statusz)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, mux) }()
+	}
+	finish := func() error {
+		crypto.Uninstrument()
+		if exposer != nil {
+			exposer.Refresh()
+			exposer.Close()
+		}
+		if o.metrics == "-" && reg != nil {
+			if err := reg.Snapshot().WriteText(stdout); err != nil {
+				return fmt.Errorf("metrics output: %w", err)
+			}
+		}
+		if metricsFile != nil {
+			if err := reg.Snapshot().WriteJSON(metricsFile); err != nil {
+				metricsFile.Close()
+				return fmt.Errorf("metrics output: %w", err)
+			}
+			if err := metricsFile.Close(); err != nil {
+				return fmt.Errorf("metrics output: %w", err)
+			}
+		}
+		return nil
+	}
+	return reg, finish, nil
+}
+
+// startServer creates the server and opens every stream.
+func startServer(o options, reg *obs.Registry) (*server.Server, error) {
+	srv, err := server.New(server.Config{
+		Signer:             crypto.NewSignerFromString(o.key),
+		BatchSize:          o.batch,
+		FlushInterval:      o.flush,
+		MaxSubscriberQueue: 1 << 16,
+		Metrics:            reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for id := uint64(1); id <= uint64(o.streams); id++ {
+		id := id
+		if err := srv.OpenStream(id, func(signer crypto.Signer) (scheme.Scheme, error) {
+			return buildScheme(o.schemeID, o.n, id, signer)
+		}); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	return srv, nil
+}
+
+// publishAll drives every stream from its own goroutine until each has
+// sent its blocks (demo) or stop closes (daemon).
+func publishAll(srv *server.Server, o options, stop <-chan struct{}) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for id := uint64(1); id <= uint64(o.streams); id++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			sch, err := buildScheme(o.schemeID, o.n, id, crypto.NewSignerFromString(o.key))
+			if err != nil {
+				return
+			}
+			total := sch.BlockSize() * o.blocks
+			for i := 0; stop != nil || i < total; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				payload := []byte(fmt.Sprintf("stream-%d msg-%d", id, i))
+				if err := srv.Publish(id, payload); err != nil {
+					return // server closing
+				}
+				if o.rate > 0 {
+					time.Sleep(o.rate)
+				}
+			}
+		}(id)
+	}
+	return &wg
+}
+
+func runDemo(o options, reg *obs.Registry, stdout io.Writer) error {
+	if reg == nil {
+		// The demo's summary reads the server instruments, so it always
+		// runs with a live registry.
+		reg = obs.NewRegistry()
+	}
+	srv, err := startServer(o, reg)
+	if err != nil {
+		return err
+	}
+	sub, err := srv.Subscribe()
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	verified := make(chan [2]int64, 1)
+	go func() {
+		dmx, err := stream.NewDemux(func(id uint64) (*stream.Receiver, error) {
+			s, err := buildScheme(o.schemeID, o.n, id, crypto.BatchCapable(crypto.NewSignerFromString(o.key)))
+			if err != nil {
+				return nil, err
+			}
+			return stream.NewReceiver(s, o.blocks+2)
+		}, o.streams)
+		if err != nil {
+			verified <- [2]int64{}
+			return
+		}
+		var authed, padding int64
+		for d := range sub.C() {
+			auths, err := dmx.Ingest(d.StreamID, d.Packet, time.Now())
+			if err != nil {
+				break
+			}
+			for _, a := range auths {
+				if len(a.Payload) > 0 {
+					authed++
+				} else {
+					padding++
+				}
+			}
+		}
+		verified <- [2]int64{authed, padding}
+	}()
+
+	start := time.Now()
+	publishAll(srv, o, nil).Wait()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	counts := <-verified
+
+	tot := srv.BatchTotals()
+	fmt.Fprintf(stdout, "mcserved demo: %d streams (%s), %d blocks/stream, batch %d, flush %v\n",
+		o.streams, o.schemeID, o.blocks, o.batch, o.flush)
+	fmt.Fprintf(stdout, "published        %d messages in %v (%.0f msg/s)\n",
+		reg.Counter("server.published").Value(), elapsed.Round(time.Millisecond),
+		float64(reg.Counter("server.published").Value())/elapsed.Seconds())
+	fmt.Fprintf(stdout, "blocks emitted   %d\n", reg.Counter("server.blocks").Value())
+	fmt.Fprintf(stdout, "verified         %d messages (+%d padding) by loopback receiver\n", counts[0], counts[1])
+	fmt.Fprintf(stdout, "signatures       %d over %d block roots (amortization %.2fx)\n",
+		tot.Signatures, tot.SignedRoots, tot.AmortizationRatio())
+	hold := reg.Histogram("server.root_hold_ns").Data()
+	fmt.Fprintf(stdout, "root hold        p50 %v  p99 %v\n",
+		time.Duration(hold.Quantile(0.5)).Round(time.Microsecond),
+		time.Duration(hold.Quantile(0.99)).Round(time.Microsecond))
+	fmt.Fprintf(stdout, "dropped          %d (subscriber backpressure)\n", sub.Drops())
+	if counts[0] < reg.Counter("server.published").Value() {
+		return fmt.Errorf("verified %d of %d published messages", counts[0], reg.Counter("server.published").Value())
+	}
+	return nil
+}
+
+func runDaemon(o options, reg *obs.Registry, stdout io.Writer) error {
+	srv, err := startServer(o, reg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Fprintf(stdout, "mcserved: serving %d streams on %s\n", o.streams, ln.Addr())
+
+	stop := make(chan struct{})
+	pubs := publishAll(srv, o, stop)
+	var connWG sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			connWG.Add(1)
+			go func() {
+				defer connWG.Done()
+				defer conn.Close()
+				sub, err := srv.Subscribe()
+				if err != nil {
+					return
+				}
+				defer srv.Unsubscribe(sub)
+				mw := transport.NewMuxFrameWriter(conn)
+				mw.SetMetrics(reg)
+				for d := range sub.C() {
+					if err := mw.WritePacket(d.StreamID, d.Packet); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+	if o.duration > 0 {
+		select {
+		case <-interrupt:
+		case <-time.After(o.duration):
+		}
+	} else {
+		<-interrupt
+	}
+	close(stop)
+	pubs.Wait()
+	err = srv.Close() // closes subscriber channels -> conn writers exit
+	ln.Close()
+	connWG.Wait()
+	tot := srv.BatchTotals()
+	fmt.Fprintf(stdout, "mcserved: stopped; %d signatures over %d roots (amortization %.2fx)\n",
+		tot.Signatures, tot.SignedRoots, tot.AmortizationRatio())
+	return err
+}
+
+func runReceiver(o options, stdout io.Writer) error {
+	conn, err := net.Dial("tcp", o.connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+	go func() {
+		<-interrupt
+		conn.Close() // unblocks the read loop
+	}()
+
+	dmx, err := stream.NewDemux(func(id uint64) (*stream.Receiver, error) {
+		s, err := buildScheme(o.schemeID, o.n, id, crypto.BatchCapable(crypto.NewSignerFromString(o.key)))
+		if err != nil {
+			return nil, err
+		}
+		return stream.NewReceiver(s, 64)
+	}, o.streams)
+	if err != nil {
+		return err
+	}
+	mr := transport.NewMuxFrameReader(conn)
+	var authed, padding, packets int64
+	for {
+		id, p, err := mr.ReadPacket()
+		if err != nil {
+			break // EOF, daemon shutdown, or interrupt
+		}
+		packets++
+		auths, err := dmx.Ingest(id, p, time.Now())
+		if err != nil {
+			return err
+		}
+		for _, a := range auths {
+			if len(a.Payload) > 0 {
+				authed++
+			} else {
+				padding++
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "mcserved receiver: %d packets, %d verified messages (+%d padding) across %d streams\n",
+		packets, authed, padding, len(dmx.StreamIDs()))
+	return nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDemoSustains64Streams(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-demo", "-streams", "64", "-blocks", "8",
+		"-batch", "32", "-flush", "40ms", "-key", "test-demo",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "published        4096 messages") {
+		t.Errorf("expected 4096 published (64 streams x 8 blocks x mean block 8):\n%s", s)
+	}
+	if !strings.Contains(s, "verified         4096 messages") {
+		t.Errorf("loopback receiver did not verify everything:\n%s", s)
+	}
+	// The run must amortize: strictly more than 1 root per signature.
+	if strings.Contains(s, "amortization 1.00x") || strings.Contains(s, "amortization 0.") {
+		t.Errorf("no signature amortization:\n%s", s)
+	}
+	if !strings.Contains(s, "dropped          0") {
+		t.Errorf("demo dropped packets:\n%s", s)
+	}
+}
+
+func TestDemoMetricsTable(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-demo", "-streams", "4", "-blocks", "2", "-scheme", "emss",
+		"-metrics", "-", "-key", "test-metrics",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, metric := range []string{"server.published", "server.batch_signed_roots", "server.root_hold_ns"} {
+		if !strings.Contains(out.String(), metric) {
+			t.Errorf("metrics table missing %s:\n%s", metric, out.String())
+		}
+	}
+}
+
+func TestDaemonServesReceiverOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	daemonOut := make(chan error, 1)
+	var daemonBuf bytes.Buffer
+	go func() {
+		daemonOut <- run([]string{
+			"-listen", addr, "-streams", "8", "-blocks", "4", "-scheme", "mixed",
+			"-rate", "200us", "-duration", "2s", "-batch", "16", "-flush", "30ms",
+			"-key", "test-tcp",
+		}, &daemonBuf)
+	}()
+
+	// Wait for the daemon to accept connections.
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if conn, err = net.Dial("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if conn == nil {
+		t.Fatalf("daemon never came up: %v", err)
+	}
+	conn.Close()
+
+	var recvBuf bytes.Buffer
+	recvErr := run([]string{
+		"-connect", addr, "-streams", "8", "-scheme", "mixed", "-key", "test-tcp",
+	}, &recvBuf)
+	if recvErr != nil {
+		t.Fatalf("receiver: %v\n%s", recvErr, recvBuf.String())
+	}
+	if err := <-daemonOut; err != nil {
+		t.Fatalf("daemon: %v\n%s", err, daemonBuf.String())
+	}
+	s := recvBuf.String()
+	var packets, authed, padding, streams int64
+	if _, err := fmt.Sscanf(s, "mcserved receiver: %d packets, %d verified messages (+%d padding) across %d streams",
+		&packets, &authed, &padding, &streams); err != nil {
+		t.Fatalf("unparseable receiver summary %q: %v", s, err)
+	}
+	if authed == 0 {
+		t.Fatalf("receiver verified nothing:\n%s\ndaemon:\n%s", s, daemonBuf.String())
+	}
+	if streams == 0 {
+		t.Fatalf("receiver saw no streams:\n%s", s)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"-demo", "-listen", ":0"},
+		{"-demo", "-streams", "0"},
+		{"-demo", "-blocks", "0"},
+		{"-demo", "-scheme", "nope"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package conformance cross-validates the three independent evaluation
+// paths the repo provides for every authentication scheme:
+//
+//  1. the analytic recurrence / closed form (internal/analysis),
+//  2. Monte-Carlo estimation on the dependence graph (internal/depgraph),
+//  3. end-to-end measurement over the simulated multicast network
+//     (internal/netsim), running the real signer, verifier and wire
+//     encoding.
+//
+// All three estimate the same quantity — the paper's q_min, the worst
+// per-packet probability that a received packet is verifiable — so any
+// disagreement beyond sampling noise indicates a defect in one of the
+// layers: a wrong recurrence, a graph that does not match the wire
+// format, or a verifier that accepts or rejects packets the graph says
+// it should not.
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mcauth/internal/analysis"
+	"mcauth/internal/crypto"
+	"mcauth/internal/delay"
+	"mcauth/internal/depgraph"
+	"mcauth/internal/loss"
+	"mcauth/internal/netsim"
+	"mcauth/internal/scheme"
+	"mcauth/internal/scheme/authtree"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/scheme/rohatgi"
+	"mcauth/internal/scheme/signeach"
+	"mcauth/internal/scheme/tesla"
+	"mcauth/internal/schemetest"
+	"mcauth/internal/stats"
+
+	acscheme "mcauth/internal/scheme/augchain"
+)
+
+// Case binds one scheme instance to its analytic reference and the wire
+// conventions the network measurement needs.
+type Case struct {
+	// Name labels the case in reports and test output.
+	Name string
+	// Scheme is the instance under test.
+	Scheme scheme.Scheme
+	// Analytic returns the reference q_min at loss rate p.
+	Analytic func(p float64) (float64, error)
+	// DataIndices are the wire authentication indices whose measured
+	// verification ratio constitutes q_min (the data packets).
+	DataIndices []uint32
+	// ReliableIndices are wire indices netsim must deliver losslessly,
+	// mirroring the paper's P_sign assumption (the Monte-Carlo layer
+	// forces the graph root received for the same reason).
+	ReliableIndices []uint32
+	// Start anchors the simulated clock; schemes with real-time
+	// semantics (TESLA) must see their own configured start time.
+	Start time.Time
+	// SendInterval is the simulated per-packet send spacing.
+	SendInterval time.Duration
+	// Delay is the network delay model; nil means a constant 1 ms.
+	Delay delay.Model
+}
+
+// Params tunes the statistical effort of one evaluation.
+type Params struct {
+	// MCTrials is the Monte-Carlo trial count per loss rate.
+	MCTrials int
+	// Receivers is the simulated multicast group size.
+	Receivers int
+	// MCTol bounds |analytic - MonteCarlo|.
+	MCTol float64
+	// NetsimTol bounds |analytic - measured|; looser than MCTol because
+	// the group size is the binomial sample size.
+	NetsimTol float64
+	// Seed derives every RNG in the evaluation.
+	Seed uint64
+}
+
+// DefaultParams sizes the evaluation so binomial noise sits well inside
+// the tolerances: ±3σ ≈ 0.009 for the Monte-Carlo estimate at 30k trials
+// and ≈ 0.039 for 1500 receivers at q = 0.5.
+func DefaultParams() Params {
+	return Params{
+		MCTrials:  30000,
+		Receivers: 1500,
+		MCTol:     0.02,
+		NetsimTol: 0.05,
+		Seed:      7,
+	}
+}
+
+// ShortParams trades precision for runtime (tests under -short).
+func ShortParams() Params {
+	return Params{
+		MCTrials:  8000,
+		Receivers: 500,
+		MCTol:     0.035,
+		NetsimTol: 0.08,
+		Seed:      7,
+	}
+}
+
+// Result is one (case, loss rate) evaluation across the three layers.
+type Result struct {
+	Case       string
+	P          float64
+	Analytic   float64
+	MonteCarlo float64
+	Measured   float64
+}
+
+// MCDelta is the analytic-vs-Monte-Carlo disagreement.
+func (r Result) MCDelta() float64 { return math.Abs(r.Analytic - r.MonteCarlo) }
+
+// NetsimDelta is the analytic-vs-measured disagreement.
+func (r Result) NetsimDelta() float64 { return math.Abs(r.Analytic - r.Measured) }
+
+// Check returns an error if either disagreement exceeds its tolerance.
+func (r Result) Check(p Params) error {
+	if d := r.MCDelta(); d > p.MCTol {
+		return fmt.Errorf("%s at p=%.2f: analytic q_min %.4f vs Monte-Carlo %.4f (Δ=%.4f > %.4f)",
+			r.Case, r.P, r.Analytic, r.MonteCarlo, d, p.MCTol)
+	}
+	if d := r.NetsimDelta(); d > p.NetsimTol {
+		return fmt.Errorf("%s at p=%.2f: analytic q_min %.4f vs netsim-measured %.4f (Δ=%.4f > %.4f)",
+			r.Case, r.P, r.Analytic, r.Measured, d, p.NetsimTol)
+	}
+	return nil
+}
+
+// dataIndices returns wire indices from..to inclusive.
+func dataIndices(from, to int) []uint32 {
+	out := make([]uint32, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, uint32(i))
+	}
+	return out
+}
+
+// Suite builds the canonical conformance cases at block size n: every
+// hash-chained construction, TESLA, and the two per-packet baselines.
+// The augmented chain is aligned to a segment boundary (analysis.AlignN)
+// because the exact evaluator requires it; its case therefore runs at a
+// slightly larger block.
+func Suite(n int) ([]Case, error) {
+	if n < 6 {
+		return nil, fmt.Errorf("conformance: block size %d too small for the suite", n)
+	}
+	signer := crypto.NewSignerFromString("conformance")
+	start := time.Unix(0, 0)
+	var cases []Case
+
+	ro, err := rohatgi.New(n, signer)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, Case{
+		Name:   "rohatgi",
+		Scheme: ro,
+		Analytic: func(p float64) (float64, error) {
+			res, err := analysis.Rohatgi(n, p)
+			if err != nil {
+				return 0, err
+			}
+			return res.QMin, nil
+		},
+		DataIndices:     dataIndices(1, n),
+		ReliableIndices: []uint32{1}, // signature packet sent first
+		Start:           start,
+	})
+
+	em, err := emss.New(emss.Config{N: n, M: 2, D: 1}, signer)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, Case{
+		Name:   "emss(E21)",
+		Scheme: em,
+		Analytic: func(p float64) (float64, error) {
+			return analysis.MarkovExact{N: n, Offsets: []int{1, 2}, P: p}.QMin()
+		},
+		DataIndices:     dataIndices(1, n),
+		ReliableIndices: []uint32{uint32(n)}, // signature packet sent last
+		Start:           start,
+	})
+
+	acN := analysis.AlignN(n, 3)
+	ac, err := acscheme.New(acscheme.Config{N: acN, A: 3, B: 3}, signer)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, Case{
+		Name:   "augchain(C33)",
+		Scheme: ac,
+		Analytic: func(p float64) (float64, error) {
+			return analysis.AugChainExact{N: acN, A: 3, B: 3, P: p}.QMin()
+		},
+		DataIndices:     dataIndices(1, acN),
+		ReliableIndices: []uint32{uint32(acN)},
+		Start:           start,
+	})
+
+	at, err := authtree.New(n, signer)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, Case{
+		Name:        "authtree",
+		Scheme:      at,
+		Analytic:    func(float64) (float64, error) { return 1, nil },
+		DataIndices: dataIndices(1, n),
+		Start:       start,
+	})
+
+	se, err := signeach.New(n, signer)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, Case{
+		Name:        "signeach",
+		Scheme:      se,
+		Analytic:    func(float64) (float64, error) { return 1, nil },
+		DataIndices: dataIndices(1, n),
+		Start:       start,
+	})
+
+	// TESLA under the ξ = 1 conditioning: a constant 1 ms delivery delay
+	// against a 200 ms disclosure lag never violates the safety
+	// condition, so measured loss is purely erasure loss and must match
+	// Q evaluated at ξ = 1 (and the split-vertex graph, which excludes
+	// timing by construction).
+	interval := 100 * time.Millisecond
+	lag := 2
+	tCfg := tesla.Config{
+		N:        n,
+		Lag:      lag,
+		Interval: interval,
+		Start:    start,
+		Seed:     []byte("conformance"),
+	}
+	ts, err := tesla.New(tCfg, signer)
+	if err != nil {
+		return nil, err
+	}
+	tDisc := tCfg.TDisclose().Seconds()
+	teslaData := make([]uint32, n)
+	for i := range teslaData {
+		teslaData[i] = tesla.DataWireIndex(i + 1)
+	}
+	cases = append(cases, Case{
+		Name:   "tesla",
+		Scheme: ts,
+		Analytic: func(p float64) (float64, error) {
+			c := analysis.TESLA{N: n, P: p, TDisc: tDisc, Mu: tDisc / 100, Sigma: tDisc / 200}
+			return c.QMinWithXi(1)
+		},
+		DataIndices:     teslaData,
+		ReliableIndices: []uint32{1}, // bootstrap carries the signature
+		Start:           start,
+		SendInterval:    interval,
+	})
+
+	return cases, nil
+}
+
+// Evaluate runs one case at one loss rate through all three layers.
+func Evaluate(c Case, p float64, params Params) (Result, error) {
+	r := Result{Case: c.Name, P: p}
+
+	analytic, err := c.Analytic(p)
+	if err != nil {
+		return r, fmt.Errorf("%s: analytic: %w", c.Name, err)
+	}
+	r.Analytic = analytic
+
+	g, err := c.Scheme.Graph()
+	if err != nil {
+		return r, fmt.Errorf("%s: graph: %w", c.Name, err)
+	}
+	mc, err := g.MonteCarloAuthProbInto(
+		depgraph.BernoulliPatternInto(p),
+		params.MCTrials,
+		stats.NewRNG(params.Seed^uint64(1000*p)),
+		depgraph.MCOptions{},
+	)
+	if err != nil {
+		return r, fmt.Errorf("%s: monte-carlo: %w", c.Name, err)
+	}
+	r.MonteCarlo = mc.QMin
+
+	model, err := loss.NewBernoulli(p)
+	if err != nil {
+		return r, err
+	}
+	d := c.Delay
+	if d == nil {
+		d = delay.Constant{D: time.Millisecond}
+	}
+	interval := c.SendInterval
+	if interval == 0 {
+		interval = 10 * time.Millisecond
+	}
+	cfg := netsim.Config{
+		Receivers:       params.Receivers,
+		Loss:            model,
+		Delay:           d,
+		SendInterval:    interval,
+		Start:           c.Start,
+		Seed:            params.Seed + uint64(1000*p),
+		ReliableIndices: c.ReliableIndices,
+	}
+	res, err := netsim.Run(c.Scheme, cfg, 1, schemetest.Payloads(c.Scheme.BlockSize()))
+	if err != nil {
+		return r, fmt.Errorf("%s: netsim: %w", c.Name, err)
+	}
+	r.Measured = res.MinAuthRatio(c.DataIndices)
+	return r, nil
+}

@@ -1,0 +1,234 @@
+package crypto
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func batchContents(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("block-root-%04d", i))
+	}
+	return out
+}
+
+func TestBatchSignVerifyAllSizes(t *testing.T) {
+	signer := NewSignerFromString("batch")
+	pub := NewBatchVerifier(signer.Public())
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 64} {
+		contents := batchContents(n)
+		blobs, err := BatchSign(signer, contents)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, blob := range blobs {
+			if len(blob) == SignatureSize {
+				t.Fatalf("n=%d: blob %d is indistinguishable from a plain signature", n, i)
+			}
+			if !pub.Verify(contents[i], blob) {
+				t.Errorf("n=%d: blob %d does not verify", n, i)
+			}
+			// A blob only authenticates its own leaf.
+			other := contents[(i+1)%n]
+			if n > 1 && pub.Verify(other, blob) {
+				t.Errorf("n=%d: blob %d verifies the wrong content", n, i)
+			}
+		}
+	}
+}
+
+func TestBatchVerifierStillAcceptsPlainSignatures(t *testing.T) {
+	signer := NewSignerFromString("plain")
+	pub := NewBatchVerifier(signer.Public())
+	msg := []byte("ordinary message")
+	sig := signer.Sign(msg)
+	if !pub.Verify(msg, sig) {
+		t.Fatal("plain signature rejected by batch verifier")
+	}
+	if pub.Verify([]byte("other"), sig) {
+		t.Fatal("plain signature verified wrong message")
+	}
+}
+
+func TestBatchCapableSignerRoundTrip(t *testing.T) {
+	signer := BatchCapable(NewSignerFromString("capable"))
+	if BatchCapable(signer) != signer {
+		t.Fatal("double wrap should be a no-op")
+	}
+	msg := []byte("content")
+	if !signer.Public().Verify(msg, signer.Sign(msg)) {
+		t.Fatal("plain path broken")
+	}
+	blobs, err := BatchSign(signer, [][]byte{msg, []byte("second")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !signer.Public().Verify(msg, blobs[0]) {
+		t.Fatal("batch path broken")
+	}
+	if !bytes.Equal(signer.Public().Bytes(), NewSignerFromString("capable").Public().Bytes()) {
+		t.Fatal("wrapping changed the public key encoding")
+	}
+}
+
+func TestBatchBlobTamperRejected(t *testing.T) {
+	signer := NewSignerFromString("tamper")
+	pub := NewBatchVerifier(signer.Public())
+	contents := batchContents(5)
+	blobs, err := BatchSign(signer, contents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := blobs[2]
+	for bit := 0; bit < len(blob)*8; bit += 7 {
+		evil := append([]byte(nil), blob...)
+		evil[bit/8] ^= 1 << (bit % 8)
+		if pub.Verify(contents[2], evil) {
+			t.Fatalf("accepted blob with bit %d flipped", bit)
+		}
+	}
+	// Truncations and extensions must fail too.
+	for _, cut := range []int{1, SignatureSize, len(blob) - 1} {
+		if pub.Verify(contents[2], blob[:cut]) {
+			t.Fatalf("accepted truncation to %d bytes", cut)
+		}
+	}
+	if pub.Verify(contents[2], append(append([]byte(nil), blob...), 0)) {
+		t.Fatal("accepted extended blob")
+	}
+}
+
+func TestBatchSignValidation(t *testing.T) {
+	signer := NewSignerFromString("v")
+	if _, err := BatchSign(nil, batchContents(1)); err == nil {
+		t.Error("nil signer accepted")
+	}
+	if _, err := BatchSign(signer, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := BatchSign(signer, batchContents(MaxBatch+1)); err == nil {
+		t.Error("oversized batch accepted")
+	}
+}
+
+func TestBatchSignerAutoFlushAndTotals(t *testing.T) {
+	signer := NewSignerFromString("auto")
+	b, err := NewBatchSigner(signer, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := batchContents(10)
+	sigs := make([][]byte, len(contents))
+	for i, c := range contents {
+		i := i
+		pending, err := b.Enqueue(c, func(sig []byte) { sigs[i] = sig })
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPending := (i + 1) % 4
+		if pending != wantPending {
+			t.Fatalf("after enqueue %d: pending %d, want %d", i, pending, wantPending)
+		}
+	}
+	// 8 of 10 signed by two auto-flushes; flush the tail.
+	signed, err := b.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signed != 2 {
+		t.Fatalf("final flush signed %d, want 2", signed)
+	}
+	if again, _ := b.Flush(); again != 0 {
+		t.Fatalf("idle flush signed %d", again)
+	}
+	pub := b.Public()
+	for i, sig := range sigs {
+		if sig == nil {
+			t.Fatalf("content %d never signed", i)
+		}
+		if !pub.Verify(contents[i], sig) {
+			t.Fatalf("content %d does not verify", i)
+		}
+	}
+	tot := b.Totals()
+	if tot.Signatures != 3 || tot.SignedRoots != 10 || tot.Flushes != 3 {
+		t.Fatalf("totals %+v, want 3 signatures over 10 roots in 3 flushes", tot)
+	}
+	if ratio := tot.AmortizationRatio(); ratio <= 1 {
+		t.Fatalf("amortization ratio %v, want > 1", ratio)
+	}
+}
+
+func TestBatchSignerConcurrentEnqueue(t *testing.T) {
+	signer := NewSignerFromString("conc")
+	b, err := NewBatchSigner(signer, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 50
+	var (
+		mu    sync.Mutex
+		got   int
+		wg    sync.WaitGroup
+		pub   = b.Public()
+		check = func(content, sig []byte) {
+			if !pub.Verify(content, sig) {
+				t.Error("concurrent signature does not verify")
+			}
+			mu.Lock()
+			got++
+			mu.Unlock()
+		}
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				content := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				if _, err := b.Enqueue(content, func(sig []byte) { check(content, sig) }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != goroutines*perG {
+		t.Fatalf("delivered %d signatures, want %d", got, goroutines*perG)
+	}
+	tot := b.Totals()
+	if tot.SignedRoots != goroutines*perG {
+		t.Fatalf("signed roots %d, want %d", tot.SignedRoots, goroutines*perG)
+	}
+	if tot.Signatures >= tot.SignedRoots {
+		t.Fatalf("no amortization: %d signatures for %d roots", tot.Signatures, tot.SignedRoots)
+	}
+}
+
+func TestNewBatchSignerValidation(t *testing.T) {
+	signer := NewSignerFromString("nv")
+	if _, err := NewBatchSigner(nil, 4); err == nil {
+		t.Error("nil signer accepted")
+	}
+	for _, k := range []int{0, -1, MaxBatch + 1} {
+		if _, err := NewBatchSigner(signer, k); err == nil {
+			t.Errorf("max batch %d accepted", k)
+		}
+	}
+	b, err := NewBatchSigner(signer, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Enqueue([]byte("x"), nil); err == nil {
+		t.Error("nil deliver accepted")
+	}
+}

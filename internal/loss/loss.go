@@ -194,7 +194,7 @@ func (s SingleBurst) SampleInto(rng *stats.RNG, recv []bool) {
 	for i := 1; i <= n; i++ {
 		recv[i] = true
 	}
-	if s.Length == 0 || n == 0 {
+	if s.Length == 0 || n <= 0 {
 		return
 	}
 	start := rng.Intn(n) + 1

@@ -1,0 +1,87 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/loss"
+	"mcauth/internal/obs"
+	"mcauth/internal/scheme"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/scheme/rohatgi"
+)
+
+func multiScheme(id uint64, signer crypto.Signer) (scheme.Scheme, error) {
+	if id%2 == 0 {
+		return emss.New(emss.Config{N: 8, M: 2, D: 1, SigCopies: 2}, signer)
+	}
+	return rohatgi.New(4, signer)
+}
+
+func TestRunMultiStreamLossless(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := RunMultiStream(MultiStreamConfig{
+		Streams:         16,
+		BlocksPerStream: 4,
+		Scheme:          multiScheme,
+		Receivers:       3,
+		Seed:            7,
+		BatchSize:       16,
+		FlushInterval:   40 * time.Millisecond,
+		Metrics:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SubscriberDrops != 0 {
+		t.Fatalf("dropped %d packets on a deep queue", res.SubscriberDrops)
+	}
+	if res.MinAuthRatio < 1 {
+		t.Fatalf("lossless run authenticated ratio %v, want 1", res.MinAuthRatio)
+	}
+	if res.Amortization <= 1 {
+		t.Fatalf("amortization %v, want > 1", res.Amortization)
+	}
+	if reg.Counter("server.published").Value() != int64(res.Published) {
+		t.Errorf("metrics published %d, result %d",
+			reg.Counter("server.published").Value(), res.Published)
+	}
+}
+
+func TestRunMultiStreamLossy(t *testing.T) {
+	m, err := loss.NewBernoulli(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMultiStream(MultiStreamConfig{
+		Streams:         8,
+		BlocksPerStream: 6,
+		Scheme:          multiScheme,
+		Receivers:       4,
+		Loss:            m,
+		Seed:            11,
+		BatchSize:       16,
+		FlushInterval:   40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loss must cost something, but the chained schemes recover most of
+	// the stream at p=0.15.
+	if res.AuthRatio >= 1 {
+		t.Fatalf("lossy run authenticated everything (ratio %v)", res.AuthRatio)
+	}
+	if res.AuthRatio < 0.5 {
+		t.Fatalf("auth ratio %v suspiciously low for p=0.15", res.AuthRatio)
+	}
+}
+
+func TestRunMultiStreamValidation(t *testing.T) {
+	if _, err := RunMultiStream(MultiStreamConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := RunMultiStream(MultiStreamConfig{Streams: 1, BlocksPerStream: 1, Receivers: 1}); err == nil {
+		t.Error("nil scheme factory accepted")
+	}
+}

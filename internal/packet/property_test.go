@@ -1,0 +1,119 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcauth/internal/crypto"
+)
+
+// randomPacket draws a structurally valid packet with every optional
+// field independently present or absent.
+func randomPacket(rng *rand.Rand) *Packet {
+	blob := func(max int) []byte {
+		if rng.Intn(2) == 0 {
+			return nil
+		}
+		b := make([]byte, 1+rng.Intn(max))
+		rng.Read(b)
+		return b
+	}
+	p := &Packet{
+		BlockID:           rng.Uint64(),
+		Index:             rng.Uint32(),
+		KeyIndex:          rng.Uint32(),
+		Payload:           blob(256),
+		Signature:         blob(128),
+		MAC:               blob(64),
+		DisclosedKey:      blob(32),
+		DisclosedKeyIndex: rng.Uint32(),
+	}
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		p.Hashes = append(p.Hashes, HashRef{
+			TargetIndex: rng.Uint32(),
+			Digest:      crypto.HashBytes([]byte{byte(i), byte(rng.Intn(256))}),
+		})
+	}
+	return p
+}
+
+// TestEncodeDeterministicAndSized: for random packets, Encode is
+// byte-stable across calls and EncodedSize predicts the exact length.
+func TestEncodeDeterministicAndSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		p := randomPacket(rng)
+		a, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatal("Encode not deterministic")
+		}
+		if p.EncodedSize() != len(a) {
+			t.Fatalf("EncodedSize %d, wire length %d", p.EncodedSize(), len(a))
+		}
+	}
+}
+
+// TestDecodeDoesNotAliasWire: scribbling over the wire buffer after
+// Decode must not change the decoded packet (the transport layer reuses
+// its read buffer across frames).
+func TestDecodeDoesNotAliasWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		p := randomPacket(rng)
+		wire, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range wire {
+			wire[j] ^= 0xFF
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatal("decoded packet changed when the wire buffer was overwritten")
+		}
+	}
+}
+
+// TestAppendEncodeStreamingReuse encodes many packets back-to-back into
+// one growing buffer — the mux writer's pattern — and decodes each
+// segment back out intact.
+func TestAppendEncodeStreamingReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var (
+		buf    []byte
+		pkts   []*Packet
+		bounds []int
+	)
+	for i := 0; i < 50; i++ {
+		p := randomPacket(rng)
+		var err error
+		if buf, err = p.AppendEncode(buf); err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+		bounds = append(bounds, len(buf))
+	}
+	start := 0
+	for i, end := range bounds {
+		got, err := Decode(buf[start:end])
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, pkts[i]) {
+			t.Fatalf("segment %d: round trip mismatch", i)
+		}
+		start = end
+	}
+}

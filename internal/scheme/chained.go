@@ -109,11 +109,12 @@ func (c *Chained) VertexOf(index uint32) (int, bool) {
 	return int(index), true
 }
 
-// Authenticate implements Scheme: it builds the block's packets, embeds
-// each dependence edge as a carried hash, and signs the root packet.
-func (c *Chained) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error) {
+// buildPackets constructs the block's wire packets with every dependence
+// edge embedded as a carried hash, the root unsigned. It returns the wire
+// slice (send order) and the root packet.
+func (c *Chained) buildPackets(blockID uint64, payloads [][]byte) ([]*packet.Packet, *packet.Packet, error) {
 	if len(payloads) != c.topo.N {
-		return nil, fmt.Errorf("scheme %s: got %d payloads, want %d", c.topo.Name, len(payloads), c.topo.N)
+		return nil, nil, fmt.Errorf("scheme %s: got %d payloads, want %d", c.topo.Name, len(payloads), c.topo.N)
 	}
 	pkts := make([]*packet.Packet, c.topo.N+1) // 1-based
 	for i := 1; i <= c.topo.N; i++ {
@@ -133,15 +134,48 @@ func (c *Chained) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Pac
 		}
 	}
 	root := pkts[c.topo.Root]
-	root.Signature = c.signer.Sign(root.ContentBytes())
 	out := pkts[1:]
 	// Replicate the signature packet at the end of the block; receivers
 	// treat later copies as duplicates.
 	for k := 0; k < c.extraRootCopies(); k++ {
 		out = append(out, root)
 	}
+	return out, root, nil
+}
+
+// Authenticate implements Scheme: it builds the block's packets, embeds
+// each dependence edge as a carried hash, and signs the root packet.
+func (c *Chained) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error) {
+	out, root, err := c.buildPackets(blockID, payloads)
+	if err != nil {
+		return nil, err
+	}
+	root.Signature = c.signer.Sign(root.ContentBytes())
 	return out, nil
 }
+
+// AuthenticateDeferred implements DeferredAuthenticator: the root's
+// signature is supplied later via PendingRoot.Attach (typically by a
+// crypto.BatchSigner amortizing one signature across many blocks). The
+// root packet and its extra copies share one underlying packet, so a
+// single Attach signs them all; their wire positions are reported in
+// PendingRoot.HeldWire.
+func (c *Chained) AuthenticateDeferred(blockID uint64, payloads [][]byte) ([]*packet.Packet, *PendingRoot, error) {
+	out, root, err := c.buildPackets(blockID, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+	held := []int{c.topo.Root - 1}
+	for k := 0; k < c.extraRootCopies(); k++ {
+		held = append(held, c.topo.N+k)
+	}
+	pr := NewPendingRoot(root.ContentBytes(), held, func(sig []byte) {
+		root.Signature = sig
+	})
+	return out, pr, nil
+}
+
+var _ DeferredAuthenticator = (*Chained)(nil)
 
 // NewVerifier implements Scheme.
 func (c *Chained) NewVerifier() (Verifier, error) {

@@ -59,6 +59,43 @@ type VertexMapper interface {
 	VertexOf(index uint32) (int, bool)
 }
 
+// PendingRoot is a block root awaiting its signature: Content is the exact
+// byte string the signature must cover (the root packet's authenticated
+// content), and Attach installs the produced signature into the withheld
+// wire packets. A batching layer (internal/server) collects pending roots
+// from many blocks and streams, amortizes one signature over all of them
+// via crypto.BatchSigner, and attaches the resulting blobs.
+type PendingRoot struct {
+	// Content is signed as-is; it must not be mutated before Attach.
+	Content []byte
+	// HeldWire lists the 0-based positions (in the packet slice returned
+	// alongside this PendingRoot) of packets that carry the signature and
+	// therefore must be withheld from the wire until Attach runs. All
+	// other packets are safe to send immediately.
+	HeldWire []int
+	attach   func(sig []byte)
+}
+
+// NewPendingRoot builds a PendingRoot; schemes call this from their
+// AuthenticateDeferred implementations.
+func NewPendingRoot(content []byte, heldWire []int, attach func(sig []byte)) *PendingRoot {
+	return &PendingRoot{Content: content, HeldWire: heldWire, attach: attach}
+}
+
+// Attach installs the signature produced for Content. It must be called
+// exactly once, before the held packets are sent.
+func (pr *PendingRoot) Attach(sig []byte) { pr.attach(sig) }
+
+// DeferredAuthenticator is implemented by schemes whose block signature
+// can be supplied after packet construction — the hook batched signing
+// builds on. AuthenticateDeferred is Authenticate with the root signature
+// left pending: it returns the block's wire packets (the root unsigned)
+// plus the PendingRoot that later receives the signature. Verifiers see no
+// difference as long as held packets are only sent after Attach.
+type DeferredAuthenticator interface {
+	AuthenticateDeferred(blockID uint64, payloads [][]byte) ([]*packet.Packet, *PendingRoot, error)
+}
+
 // BufferBounded is implemented by verifiers whose pending-packet buffers
 // can be capped after construction. Scheme factories (NewVerifier) cannot
 // thread options through, so layers that must bound receiver memory under

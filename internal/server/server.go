@@ -1,0 +1,466 @@
+// Package server is the concurrent serving path: a long-running daemon
+// multiplexing many independent authenticated streams. Each stream owns a
+// stream.Sender; streams are sharded across a bounded worker pool so block
+// construction parallelizes across streams while staying strictly ordered
+// within one (everything for a stream runs on its shard goroutine). Block
+// root signatures are amortized through one crypto.BatchSigner — up to
+// BatchSize roots per underlying signature — with a flush deadline so a
+// withheld signature packet never waits longer than roughly one
+// FlushInterval beyond the scheme's own dependence-graph delay bound.
+// Receivers subscribe through bounded queues with drop-and-count
+// semantics: under backpressure the server degrades exactly like the
+// best-effort multicast network the paper models, and can never deadlock
+// behind a slow consumer.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mcauth/internal/crypto"
+	"mcauth/internal/obs"
+	"mcauth/internal/scheme"
+	"mcauth/internal/stream"
+)
+
+var (
+	// ErrClosed is returned once Close has begun.
+	ErrClosed = errors.New("server: closed")
+	// ErrUnknownStream is returned for operations on streams never opened
+	// (or already closed).
+	ErrUnknownStream = errors.New("server: unknown stream")
+	// ErrStreamExists is returned when opening an already-open stream ID.
+	ErrStreamExists = errors.New("server: stream exists")
+)
+
+// Config parameterizes a Server. The zero value of every field except
+// Signer is usable; defaults are applied by New.
+type Config struct {
+	// Signer is the daemon's signing key (required). Schemes opened on the
+	// server are built from its batch-capable wrapping, so their verifiers
+	// accept both plain and batched signatures.
+	Signer crypto.Signer
+	// Shards is the worker-pool width; streams hash onto shards. Default:
+	// min(8, GOMAXPROCS).
+	Shards int
+	// BatchSize is the auto-flush threshold of the batch signer (how many
+	// block roots one signature may cover). Default 64.
+	BatchSize int
+	// FlushInterval bounds how long a partial block or an unsigned batch
+	// may sit pending. Default 50ms.
+	FlushInterval time.Duration
+	// MaxPendingPublish bounds each stream's in-flight publishes; Publish
+	// blocks (backpressure) when the stream is that far behind. Default 256.
+	MaxPendingPublish int
+	// MaxSubscriberQueue bounds each subscriber's delivery queue; overflow
+	// is dropped and counted, never blocked on. Default 1024.
+	MaxSubscriberQueue int
+	// Metrics receives server.* instruments (nil disables).
+	Metrics *obs.Registry
+	// Clock defaults to time.Now; tests inject virtual time.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Signer == nil {
+		return c, errors.New("server: nil signer")
+	}
+	if c.Shards <= 0 {
+		c.Shards = min(8, runtime.GOMAXPROCS(0))
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.BatchSize > crypto.MaxBatch {
+		return c, fmt.Errorf("server: batch size %d exceeds %d", c.BatchSize, crypto.MaxBatch)
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 50 * time.Millisecond
+	}
+	if c.MaxPendingPublish <= 0 {
+		c.MaxPendingPublish = 256
+	}
+	if c.MaxSubscriberQueue <= 0 {
+		c.MaxSubscriberQueue = 1024
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c, nil
+}
+
+// metrics caches the server.* instruments; all fields are nil-safe.
+type metrics struct {
+	streams            *obs.Gauge
+	published          *obs.Counter
+	blocks             *obs.Counter
+	packetsDelivered   *obs.Counter
+	packetsDropped     *obs.Counter
+	batchFlushFull     *obs.Counter
+	batchFlushDeadline *obs.Counter
+	batchFlushDrain    *obs.Counter
+	batchFill          *obs.Histogram
+	rootHold           *obs.Histogram
+	// batchSignatures / batchSignedRoots mirror the batch signer's
+	// lifetime totals into /metrics; their quotient is the signature
+	// amortization ratio.
+	batchSignatures  *obs.Gauge
+	batchSignedRoots *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		streams:            reg.Gauge("server.streams"),
+		published:          reg.Counter("server.published"),
+		blocks:             reg.Counter("server.blocks"),
+		packetsDelivered:   reg.Counter("server.packets_delivered"),
+		packetsDropped:     reg.Counter("server.packets_dropped_backpressure"),
+		batchFlushFull:     reg.Counter("server.batch_flush_full"),
+		batchFlushDeadline: reg.Counter("server.batch_flush_deadline"),
+		batchFlushDrain:    reg.Counter("server.batch_flush_drain"),
+		batchFill:          reg.Histogram("server.batch_fill"),
+		rootHold:           reg.Histogram("server.root_hold_ns"),
+		batchSignatures:    reg.Gauge("server.batch_signatures"),
+		batchSignedRoots:   reg.Gauge("server.batch_signed_roots"),
+	}
+}
+
+// Server multiplexes authenticated streams over a sharded worker pool
+// with batched signing. Create with New, stop with Close.
+type Server struct {
+	cfg    Config
+	signer *crypto.BatchSigner
+	shards []*shard
+	m      metrics
+
+	mu      sync.Mutex
+	streams map[uint64]*Stream
+	closed  bool
+	// closing is closed at the start of Close so publishers blocked on
+	// backpressure abort instead of deadlocking the drain.
+	closing chan struct{}
+	// pubWG counts in-flight Publish calls; Close waits for them before
+	// draining the shards.
+	pubWG sync.WaitGroup
+
+	subMu sync.RWMutex
+	subs  map[*Subscriber]struct{}
+
+	flusherStop chan struct{}
+	flusherDone chan struct{}
+}
+
+// New starts a server (its shard workers and flusher run until Close).
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	bs, err := crypto.NewBatchSigner(cfg.Signer, cfg.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:         cfg,
+		signer:      bs,
+		m:           newMetrics(cfg.Metrics),
+		streams:     make(map[uint64]*Stream),
+		closing:     make(chan struct{}),
+		subs:        make(map[*Subscriber]struct{}),
+		flusherStop: make(chan struct{}),
+		flusherDone: make(chan struct{}),
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(cfg.Shards * cfg.MaxPendingPublish)
+	}
+	go s.flusher()
+	return s, nil
+}
+
+// SchemeSigner returns the batch-aware signing key stream schemes must be
+// built from (OpenStream passes it to the scheme factory).
+func (s *Server) SchemeSigner() crypto.Signer { return crypto.BatchCapable(s.cfg.Signer) }
+
+// OpenStream creates stream id. The factory receives the server's
+// batch-aware signer and must construct the stream's scheme from it, so
+// the scheme's verifiers accept batched signatures.
+func (s *Server) OpenStream(id uint64, build func(signer crypto.Signer) (scheme.Scheme, error)) error {
+	if build == nil {
+		return errors.New("server: nil scheme factory")
+	}
+	sch, err := build(s.SchemeSigner())
+	if err != nil {
+		return fmt.Errorf("server: stream %d: %w", id, err)
+	}
+	snd, err := stream.NewSender(sch, 0)
+	if err != nil {
+		return fmt.Errorf("server: stream %d: %w", id, err)
+	}
+	snd.SetFlushAfter(s.cfg.FlushInterval)
+	st := newStream(s, id, snd)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.streams[id]; ok {
+		return ErrStreamExists
+	}
+	s.streams[id] = st
+	s.m.streams.Set(int64(len(s.streams)))
+	return nil
+}
+
+// CloseStream removes stream id, flushing its partial block (padded, per
+// stream.Sender.Flush semantics) through its shard so in-flight publishes
+// ahead of it still land first.
+func (s *Server) CloseStream(id uint64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	st, ok := s.streams[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownStream
+	}
+	delete(s.streams, id)
+	s.m.streams.Set(int64(len(s.streams)))
+	s.mu.Unlock()
+	// Ordered behind the stream's pending publish tasks; if the server is
+	// racing into Close, the drain pass flushes instead.
+	s.dispatch(st, func() { st.flushPartial() })
+	return nil
+}
+
+// Publish appends one message to stream id. When the stream has
+// MaxPendingPublish publishes in flight, Publish blocks (per-stream
+// backpressure) until the shard catches up or the server closes.
+func (s *Server) Publish(id uint64, payload []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	st, ok := s.streams[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownStream
+	}
+	s.pubWG.Add(1)
+	s.mu.Unlock()
+	defer s.pubWG.Done()
+
+	select {
+	case st.tokens <- struct{}{}:
+	case <-s.closing:
+		return ErrClosed
+	}
+	if !s.dispatch(st, func() {
+		defer func() { <-st.tokens }()
+		st.process(payload)
+	}) {
+		<-st.tokens
+		return ErrClosed
+	}
+	s.m.published.Inc()
+	st.published.Add(1)
+	st.m.published.Inc()
+	return nil
+}
+
+// dispatch queues fn on the stream's shard, reporting false if the server
+// closed instead. Per-stream ordering holds because a stream always maps
+// to the same shard.
+func (s *Server) dispatch(st *Stream, fn func()) bool {
+	sh := s.shards[int(st.id%uint64(len(s.shards)))]
+	select {
+	case sh.tasks <- fn:
+		return true
+	case <-s.closing:
+		return false
+	}
+}
+
+// tryDispatch is dispatch without blocking; the flusher uses it so a full
+// shard queue delays a deadline flush to the next tick rather than
+// stalling the flusher.
+func (s *Server) tryDispatch(st *Stream, fn func()) bool {
+	sh := s.shards[int(st.id%uint64(len(s.shards)))]
+	select {
+	case sh.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// flusher enforces the two deadlines: partial blocks older than
+// FlushInterval are padded out, and pending batch roots are signed. Worst
+// case a root is held for one tick past its deadline (tick == deadline),
+// so receiver-visible signature delay is bounded by 2×FlushInterval on
+// top of the scheme's own dependence-graph delay.
+func (s *Server) flusher() {
+	defer close(s.flusherDone)
+	t := time.NewTicker(s.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.flusherStop:
+			return
+		case <-t.C:
+		}
+		now := s.cfg.Clock()
+		s.mu.Lock()
+		due := make([]*Stream, 0)
+		for _, st := range s.streams {
+			due = append(due, st)
+		}
+		s.mu.Unlock()
+		for _, st := range due {
+			st := st
+			s.tryDispatch(st, func() {
+				if st.snd.Due(now) {
+					st.flushPartial()
+				}
+			})
+		}
+		if s.signer.Pending() > 0 {
+			if n, err := s.signer.Flush(); err == nil && n > 0 {
+				s.m.batchFlushDeadline.Inc()
+				s.m.batchFill.Observe(int64(n))
+				s.noteBatchTotals()
+			}
+		}
+	}
+}
+
+// enqueueRoot hands a pending block root to the batch signer; the deliver
+// callback attaches the signature and releases the held packets. Called
+// from shard goroutines (and the Close drain), so an auto-flush triggered
+// here delivers for every stream that contributed to the batch.
+func (s *Server) enqueueRoot(st *Stream, db *stream.DeferredBlock) {
+	t0 := s.cfg.Clock()
+	pending, err := s.signer.Enqueue(db.Root.Content, func(sig []byte) {
+		db.Root.Attach(sig)
+		s.m.rootHold.Observe(s.cfg.Clock().Sub(t0).Nanoseconds())
+		for _, p := range db.Held {
+			s.deliver(st.id, p)
+		}
+	})
+	if err != nil {
+		// Only reachable via signer misuse (validated sizes); surface on
+		// the stream's error counter rather than crashing the shard.
+		st.errors.Add(1)
+		return
+	}
+	if pending == 0 {
+		s.m.batchFlushFull.Inc()
+		s.m.batchFill.Observe(int64(s.signer.MaxBatchSize()))
+		s.noteBatchTotals()
+	}
+}
+
+// noteBatchTotals mirrors the signer's lifetime totals into the gauges
+// after each flush, so /metrics carries the amortization ratio.
+func (s *Server) noteBatchTotals() {
+	tot := s.signer.Totals()
+	s.m.batchSignatures.Set(tot.Signatures)
+	s.m.batchSignedRoots.Set(tot.SignedRoots)
+}
+
+// Streams lists the open stream IDs (unordered).
+func (s *Server) Streams() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.streams))
+	for id := range s.streams {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stream returns the live stream's handle (nil when unknown).
+func (s *Server) Stream(id uint64) *Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[id]
+}
+
+// BatchTotals snapshots the batch signer's lifetime counters; the
+// amortization ratio is Totals().AmortizationRatio().
+func (s *Server) BatchTotals() crypto.BatchTotals { return s.signer.Totals() }
+
+// Close drains and stops the server: it waits for in-flight publishes,
+// lets the shards work off their queues, pads out partial blocks, signs
+// the final batch, and closes every subscriber channel. Publishers
+// blocked on backpressure at Close time abort with ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	close(s.closing)
+	s.mu.Unlock()
+
+	close(s.flusherStop)
+	<-s.flusherDone
+	s.pubWG.Wait()
+	for _, sh := range s.shards {
+		close(sh.tasks)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	// Shards are gone; stream state is exclusively ours now.
+	s.mu.Lock()
+	streams := make([]*Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.streams = make(map[uint64]*Stream)
+	s.m.streams.Set(0)
+	s.mu.Unlock()
+	for _, st := range streams {
+		st.flushPartial()
+	}
+	if n, err := s.signer.Flush(); err != nil {
+		return err
+	} else if n > 0 {
+		s.m.batchFlushDrain.Inc()
+		s.m.batchFill.Observe(int64(n))
+	}
+	s.noteBatchTotals()
+	s.subMu.Lock()
+	for sub := range s.subs {
+		close(sub.ch)
+	}
+	s.subs = nil
+	s.subMu.Unlock()
+	return nil
+}
+
+// shard is one worker: a bounded FIFO task queue drained by a single
+// goroutine, so all state reached from its tasks is single-threaded.
+type shard struct {
+	tasks chan func()
+	done  chan struct{}
+}
+
+func newShard(queue int) *shard {
+	sh := &shard{tasks: make(chan func(), queue), done: make(chan struct{})}
+	go func() {
+		defer close(sh.done)
+		for fn := range sh.tasks {
+			fn()
+		}
+	}()
+	return sh
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"mcauth/internal/packet"
+)
+
+// Delivery is one wire packet handed to a subscriber, tagged with its
+// stream (matching the transport mux framing).
+type Delivery struct {
+	StreamID uint64
+	Packet   *packet.Packet
+}
+
+// Subscriber is one receiver-facing feed: a bounded queue of deliveries.
+// A subscriber that falls MaxSubscriberQueue packets behind loses the
+// overflow (counted in Drops) — exactly the best-effort loss the schemes
+// are built to tolerate, and the property that makes slow consumers
+// unable to stall the serving path.
+type Subscriber struct {
+	ch    chan Delivery
+	drops atomic.Int64
+	// filter restricts the feed to these stream IDs; nil means all.
+	filter map[uint64]bool
+}
+
+// C is the delivery channel; it closes when the server shuts down or the
+// subscriber is unsubscribed.
+func (sub *Subscriber) C() <-chan Delivery { return sub.ch }
+
+// Drops returns how many packets the subscriber has lost to backpressure.
+func (sub *Subscriber) Drops() int64 { return sub.drops.Load() }
+
+// Subscribe registers a feed of every packet the server emits; passing
+// stream IDs restricts it to those streams. Subscribers added mid-stream
+// see packets from the next block boundary on — the late-join story the
+// block structure exists for.
+func (s *Server) Subscribe(streamIDs ...uint64) (*Subscriber, error) {
+	sub := &Subscriber{ch: make(chan Delivery, s.cfg.MaxSubscriberQueue)}
+	if len(streamIDs) > 0 {
+		sub.filter = make(map[uint64]bool, len(streamIDs))
+		for _, id := range streamIDs {
+			sub.filter[id] = true
+		}
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.subs == nil {
+		return nil, ErrClosed
+	}
+	s.subs[sub] = struct{}{}
+	return sub, nil
+}
+
+// Unsubscribe removes the feed and closes its channel; a no-op for
+// already-removed subscribers.
+func (s *Server) Unsubscribe(sub *Subscriber) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.subs == nil {
+		return
+	}
+	if _, ok := s.subs[sub]; ok {
+		delete(s.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// deliver fans one packet out to every interested subscriber without ever
+// blocking: full queues drop and count.
+func (s *Server) deliver(streamID uint64, p *packet.Packet) {
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
+	for sub := range s.subs {
+		if sub.filter != nil && !sub.filter[streamID] {
+			continue
+		}
+		select {
+		case sub.ch <- Delivery{StreamID: streamID, Packet: p}:
+			s.m.packetsDelivered.Inc()
+		default:
+			sub.drops.Add(1)
+			s.m.packetsDropped.Inc()
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mcauth/internal/obs"
+	"mcauth/internal/stream"
+)
+
+// Stream is one authenticated stream's server-side state. All sender
+// mutation happens on the stream's shard goroutine (or on the Close
+// drain, after the shards have exited), so the stream.Sender needs no
+// lock; the counters are atomic because readers snapshot them from
+// other goroutines.
+type Stream struct {
+	srv *Server
+	id  uint64
+	snd *stream.Sender
+	// tokens bounds in-flight publishes: Publish acquires before
+	// dispatching to the shard, the shard task releases when done.
+	tokens chan struct{}
+
+	published atomic.Int64
+	blocks    atomic.Int64
+	errors    atomic.Int64
+
+	// m holds the stream's registry instruments (per-stream throughput in
+	// /metrics); nil-safe when the server has no registry.
+	m streamMetrics
+}
+
+type streamMetrics struct {
+	published *obs.Counter
+	blocks    *obs.Counter
+}
+
+func newStream(srv *Server, id uint64, snd *stream.Sender) *Stream {
+	return &Stream{
+		srv:    srv,
+		id:     id,
+		snd:    snd,
+		tokens: make(chan struct{}, srv.cfg.MaxPendingPublish),
+		m: streamMetrics{
+			published: srv.cfg.Metrics.Counter(fmt.Sprintf("server.stream.%d.published", id)),
+			blocks:    srv.cfg.Metrics.Counter(fmt.Sprintf("server.stream.%d.blocks", id)),
+		},
+	}
+}
+
+// ID returns the stream's wire identifier.
+func (st *Stream) ID() uint64 { return st.id }
+
+// Published returns how many messages have been accepted for the stream.
+func (st *Stream) Published() int64 { return st.published.Load() }
+
+// Blocks returns how many blocks the stream has emitted.
+func (st *Stream) Blocks() int64 { return st.blocks.Load() }
+
+// Errors returns how many internal scheme/signer failures the stream has
+// absorbed (each loses one block; they indicate misconfiguration).
+func (st *Stream) Errors() int64 { return st.errors.Load() }
+
+// process appends one message, emitting the block it completes. Shard
+// goroutine only.
+func (st *Stream) process(payload []byte) {
+	db, err := st.snd.PushDeferredAt(payload, st.srv.cfg.Clock())
+	if err != nil {
+		st.errors.Add(1)
+		return
+	}
+	st.emit(db)
+}
+
+// flushPartial pads out and emits a partially filled block (deadline
+// flush, stream close, or server drain). Shard goroutine or Close drain.
+func (st *Stream) flushPartial() {
+	db, err := st.snd.FlushDeferred()
+	if err != nil {
+		st.errors.Add(1)
+		return
+	}
+	st.emit(db)
+}
+
+// emit delivers a freshly authenticated block: immediate packets fan out
+// now, the root goes to the batch signer and its packets follow once the
+// signature lands. A nil block (nothing emitted) is a no-op.
+func (st *Stream) emit(db *stream.DeferredBlock) {
+	if db == nil {
+		return
+	}
+	st.blocks.Add(1)
+	st.srv.m.blocks.Inc()
+	st.m.blocks.Inc()
+	for _, p := range db.Immediate {
+		st.srv.deliver(st.id, p)
+	}
+	if db.Root != nil {
+		st.srv.enqueueRoot(st, db)
+	}
+}

@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mcauth/internal/packet"
+)
+
+// StreamAuthenticated is one verified message delivered by a Demux,
+// tagged with the stream it belongs to.
+type StreamAuthenticated struct {
+	StreamID uint64
+	Authenticated
+}
+
+// DemuxTotals aggregates a Demux's lifetime counters.
+type DemuxTotals struct {
+	ActiveStreams  int
+	EvictedStreams int
+	// RejectedStreams counts packets dropped because the per-stream
+	// receiver factory refused the stream ID (unknown stream).
+	RejectedStreams int
+}
+
+// Demux routes wire packets from many multiplexed streams (identified by
+// the transport mux framing's 64-bit stream ID) to per-stream Receivers,
+// mirroring what Receiver does for blocks within one stream. Stream state
+// is created on demand by the factory and bounded: when more than
+// maxStreams are live, the least recently active stream is evicted — a
+// subscriber tracking many senders cannot be ballooned by stream-ID
+// floods.
+type Demux struct {
+	newReceiver func(streamID uint64) (*Receiver, error)
+	maxStreams  int
+	receivers   map[uint64]*Receiver
+	lastActive  map[uint64]int64 // tick of most recent packet, for eviction
+	tick        int64
+	totals      DemuxTotals
+}
+
+// NewDemux creates a demultiplexer keeping at most maxStreams live
+// streams. The factory builds the verifier stack for a stream the first
+// time one of its packets arrives; returning an error rejects the stream
+// (counted, not fatal), which is how a subscriber restricts itself to an
+// allow-list of stream IDs.
+func NewDemux(newReceiver func(streamID uint64) (*Receiver, error), maxStreams int) (*Demux, error) {
+	if newReceiver == nil {
+		return nil, errors.New("stream: nil receiver factory")
+	}
+	if maxStreams < 1 {
+		return nil, fmt.Errorf("stream: maxStreams %d must be >= 1", maxStreams)
+	}
+	return &Demux{
+		newReceiver: newReceiver,
+		maxStreams:  maxStreams,
+		receivers:   make(map[uint64]*Receiver),
+		lastActive:  make(map[uint64]int64),
+	}, nil
+}
+
+// Ingest routes one decoded packet to its stream's receiver, returning
+// any messages it newly authenticated.
+func (d *Demux) Ingest(streamID uint64, p *packet.Packet, at time.Time) ([]StreamAuthenticated, error) {
+	r, err := d.receiver(streamID)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	auths, err := r.Ingest(p, at)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StreamAuthenticated, len(auths))
+	for i, a := range auths {
+		out[i] = StreamAuthenticated{StreamID: streamID, Authenticated: a}
+	}
+	return out, nil
+}
+
+// IngestWire decodes one wire datagram and routes it.
+func (d *Demux) IngestWire(streamID uint64, wire []byte, at time.Time) ([]StreamAuthenticated, error) {
+	r, err := d.receiver(streamID)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	auths, err := r.IngestWire(wire, at)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StreamAuthenticated, len(auths))
+	for i, a := range auths {
+		out[i] = StreamAuthenticated{StreamID: streamID, Authenticated: a}
+	}
+	return out, nil
+}
+
+// receiver returns the stream's receiver, creating (and bounding) state
+// on first contact. A nil receiver with nil error means the stream was
+// rejected by the factory.
+func (d *Demux) receiver(streamID uint64) (*Receiver, error) {
+	d.tick++
+	if r, ok := d.receivers[streamID]; ok {
+		d.lastActive[streamID] = d.tick
+		return r, nil
+	}
+	r, err := d.newReceiver(streamID)
+	if err != nil {
+		d.totals.RejectedStreams++
+		return nil, nil
+	}
+	if r == nil {
+		return nil, fmt.Errorf("stream: factory returned nil receiver for stream %d", streamID)
+	}
+	d.receivers[streamID] = r
+	d.lastActive[streamID] = d.tick
+	for len(d.receivers) > d.maxStreams {
+		d.evictColdest()
+	}
+	return r, nil
+}
+
+func (d *Demux) evictColdest() {
+	var (
+		coldest  uint64
+		coldTick int64
+		havePick bool
+	)
+	for id, t := range d.lastActive {
+		if !havePick || t < coldTick {
+			coldest, coldTick, havePick = id, t, true
+		}
+	}
+	delete(d.receivers, coldest)
+	delete(d.lastActive, coldest)
+	d.totals.EvictedStreams++
+}
+
+// Receiver exposes a live stream's receiver (nil when unknown/evicted),
+// for per-stream stats.
+func (d *Demux) Receiver(streamID uint64) *Receiver { return d.receivers[streamID] }
+
+// StreamIDs lists the live streams in ascending order.
+func (d *Demux) StreamIDs() []uint64 {
+	out := make([]uint64, 0, len(d.receivers))
+	for id := range d.receivers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Totals returns the demux-level counters; per-stream counters live on
+// the individual Receivers.
+func (d *Demux) Totals() DemuxTotals {
+	t := d.totals
+	t.ActiveStreams = len(d.receivers)
+	return t
+}

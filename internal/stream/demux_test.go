@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mcauth/internal/packet"
+)
+
+// demuxFixture wires a demux whose every stream runs the 4-packet EMSS
+// scheme, plus a sender factory sharing the key.
+func demuxFixture(t *testing.T, maxStreams int) *Demux {
+	t.Helper()
+	dmx, err := NewDemux(func(id uint64) (*Receiver, error) {
+		return NewReceiver(emssScheme(t, 4), 8)
+	}, maxStreams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dmx
+}
+
+// blockFor emits one authenticated block for a fresh sender.
+func blockFor(t *testing.T, blockID uint64) []*packet.Packet {
+	t.Helper()
+	snd, err := NewSender(emssScheme(t, 4), blockID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []*packet.Packet
+	for i := 0; i < 4; i++ {
+		out, err := snd.Push([]byte(fmt.Sprintf("b%d-m%d", blockID, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = out
+	}
+	return pkts
+}
+
+func TestDemuxRoutesInterleavedStreams(t *testing.T) {
+	dmx := demuxFixture(t, 8)
+	blocks := map[uint64][]*packet.Packet{
+		10: blockFor(t, 0),
+		20: blockFor(t, 0),
+		30: blockFor(t, 0),
+	}
+	counts := map[uint64]int{}
+	for i := 0; i < 4; i++ { // interleave round-robin
+		for id, pkts := range blocks {
+			auths, err := dmx.Ingest(id, pkts[i], time.Time{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range auths {
+				if a.StreamID != id {
+					t.Fatalf("auth tagged stream %d, want %d", a.StreamID, id)
+				}
+				counts[id]++
+			}
+		}
+	}
+	for id := range blocks {
+		if counts[id] != 4 {
+			t.Errorf("stream %d authenticated %d of 4", id, counts[id])
+		}
+	}
+	if ids := dmx.StreamIDs(); len(ids) != 3 || ids[0] != 10 || ids[2] != 30 {
+		t.Errorf("StreamIDs = %v", ids)
+	}
+	if dmx.Receiver(10) == nil || dmx.Receiver(99) != nil {
+		t.Error("Receiver lookup wrong")
+	}
+	if tot := dmx.Totals(); tot.ActiveStreams != 3 || tot.EvictedStreams != 0 {
+		t.Errorf("totals %+v", tot)
+	}
+}
+
+func TestDemuxIngestWire(t *testing.T) {
+	dmx := demuxFixture(t, 2)
+	auths := 0
+	for _, p := range blockFor(t, 0) {
+		wire, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dmx.IngestWire(5, wire, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths += len(got)
+	}
+	if auths != 4 {
+		t.Fatalf("authenticated %d of 4 via wire path", auths)
+	}
+}
+
+func TestDemuxEvictsColdestStream(t *testing.T) {
+	dmx := demuxFixture(t, 2)
+	pkts := blockFor(t, 0)
+	for id := uint64(1); id <= 3; id++ {
+		if _, err := dmx.Ingest(id, pkts[0], time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tot := dmx.Totals(); tot.ActiveStreams != 2 || tot.EvictedStreams != 1 {
+		t.Fatalf("totals %+v, want 2 active / 1 evicted", tot)
+	}
+	// Stream 1 was coldest and must be gone; 2 and 3 remain.
+	if dmx.Receiver(1) != nil {
+		t.Error("coldest stream not evicted")
+	}
+	if dmx.Receiver(2) == nil || dmx.Receiver(3) == nil {
+		t.Error("warm streams evicted")
+	}
+	// Touching 2 makes 3 the coldest for the next eviction.
+	if _, err := dmx.Ingest(2, pkts[1], time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dmx.Ingest(4, pkts[0], time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if dmx.Receiver(3) != nil {
+		t.Error("LRU order not honored")
+	}
+	if dmx.Receiver(2) == nil {
+		t.Error("recently touched stream evicted")
+	}
+}
+
+func TestDemuxRejectedStreams(t *testing.T) {
+	dmx, err := NewDemux(func(id uint64) (*Receiver, error) {
+		if id >= 100 {
+			return nil, errors.New("not on the allow-list")
+		}
+		return NewReceiver(emssScheme(t, 4), 8)
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := blockFor(t, 0)
+	if auths, err := dmx.Ingest(500, pkts[0], time.Time{}); err != nil || auths != nil {
+		t.Fatalf("rejected stream: %v, %v", auths, err)
+	}
+	if _, err := dmx.IngestWire(501, []byte("junk"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if tot := dmx.Totals(); tot.RejectedStreams != 2 {
+		t.Fatalf("rejected %d, want 2", tot.RejectedStreams)
+	}
+}
+
+func TestDemuxValidation(t *testing.T) {
+	if _, err := NewDemux(nil, 1); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := NewDemux(func(uint64) (*Receiver, error) { return nil, nil }, 0); err == nil {
+		t.Error("zero maxStreams accepted")
+	}
+	dmx, err := NewDemux(func(uint64) (*Receiver, error) { return nil, nil }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dmx.Ingest(1, blockFor(t, 0)[0], time.Time{}); err == nil {
+		t.Error("nil receiver from factory accepted")
+	}
+}

@@ -25,6 +25,10 @@ type Sender struct {
 	s       scheme.Scheme
 	blockID uint64
 	pending [][]byte
+	// Flush-deadline state (see SetFlushAfter / Due in deferred.go):
+	// oldestPending timestamps the first message of the filling block.
+	flushAfter    time.Duration
+	oldestPending time.Time
 }
 
 // NewSender creates a sender starting at the given block ID.
@@ -71,6 +75,7 @@ func (snd *Sender) emit() ([]*packet.Packet, error) {
 	}
 	snd.blockID++
 	snd.pending = nil
+	snd.oldestPending = time.Time{}
 	return pkts, nil
 }
 

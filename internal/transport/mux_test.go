@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"mcauth/internal/obs"
+	"mcauth/internal/packet"
+)
+
+func muxPacket(id uint32, payload string) *packet.Packet {
+	return &packet.Packet{BlockID: 7, Index: id, Payload: []byte(payload)}
+}
+
+func TestMuxFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	mw := NewMuxFrameWriter(&buf)
+	mw.SetMetrics(reg)
+	type sent struct {
+		stream uint64
+		p      *packet.Packet
+	}
+	frames := []sent{
+		{1, muxPacket(1, "alpha")},
+		{1 << 62, muxPacket(2, "beta")},
+		{0, muxPacket(3, "")},
+	}
+	for _, f := range frames {
+		if err := mw.WritePacket(f.stream, f.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mr := NewMuxFrameReader(&buf)
+	mr.SetMetrics(reg)
+	for i, f := range frames {
+		id, p, err := mr.ReadPacket()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if id != f.stream {
+			t.Errorf("frame %d: stream %d, want %d", i, id, f.stream)
+		}
+		if p.Index != f.p.Index || !bytes.Equal(p.Payload, f.p.Payload) {
+			t.Errorf("frame %d: packet mismatch", i)
+		}
+	}
+	if _, _, err := mr.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Fatalf("tail read = %v, want io.EOF", err)
+	}
+	if reg.Counter("transport.frames_written").Value() != 3 ||
+		reg.Counter("transport.frames_read").Value() != 3 {
+		t.Error("frame counters wrong")
+	}
+	if reg.Counter("transport.bytes_written").Value() != reg.Counter("transport.bytes_read").Value() {
+		t.Error("byte accounting asymmetric")
+	}
+}
+
+func TestMuxFrameReaderRejectsMalformed(t *testing.T) {
+	// Frame shorter than a stream ID.
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(4))
+	buf.WriteString("xxxx")
+	if _, _, err := NewMuxFrameReader(&buf).ReadPacket(); err == nil {
+		t.Error("undersized frame accepted")
+	}
+	// Oversized frame claim.
+	buf.Reset()
+	binary.Write(&buf, binary.BigEndian, uint32(MaxFrameSize+muxIDSize+1))
+	if _, _, err := NewMuxFrameReader(&buf).ReadPacket(); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Truncated body.
+	buf.Reset()
+	binary.Write(&buf, binary.BigEndian, uint32(100))
+	binary.Write(&buf, binary.BigEndian, uint64(9))
+	buf.WriteString("short")
+	if _, _, err := NewMuxFrameReader(&buf).ReadPacket(); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	// Valid framing around a garbage packet encoding.
+	buf.Reset()
+	binary.Write(&buf, binary.BigEndian, uint32(muxIDSize+3))
+	binary.Write(&buf, binary.BigEndian, uint64(9))
+	buf.WriteString("zzz")
+	if _, _, err := NewMuxFrameReader(&buf).ReadPacket(); err == nil {
+		t.Error("undecodable packet accepted")
+	}
+}
+
+func TestMuxWriterRefusesOversizedPacket(t *testing.T) {
+	mw := NewMuxFrameWriter(io.Discard)
+	big := &packet.Packet{BlockID: 1, Index: 1, Payload: bytes.Repeat([]byte("x"), MaxFrameSize)}
+	if err := mw.WritePacket(1, big); err == nil {
+		t.Error("oversized packet accepted")
+	}
+}
+
+// A plain FrameReader pointed at mux output must fail loudly (the mux
+// length prefix includes the stream ID, so the packet decode fails)
+// rather than silently yielding packets.
+func TestPlainReaderRejectsMuxStream(t *testing.T) {
+	var buf bytes.Buffer
+	mw := NewMuxFrameWriter(&buf)
+	if err := mw.WritePacket(3, muxPacket(1, "payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFrameReader(&buf).ReadPacket(); err == nil {
+		t.Error("plain reader decoded a mux frame")
+	}
+}

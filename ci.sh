@@ -38,6 +38,20 @@ test -s "$diagdir/rep.json.md"
 # cannot bit-rot; real measurements come from scripts/bench.sh.
 go test -run='^$' -bench=. -benchtime=1x . >/dev/null
 
+# Lab tier: the bundled example sweep must run at two worker counts with
+# byte-identical artifacts, render a dashboard joining the committed
+# BENCH_*.json history, and pass the committed regression gates.
+labdir=$(mktemp -d)
+trap 'rm -rf "$diagdir" "$labdir"' EXIT
+go build -o "$labdir/mclab" ./cmd/mclab
+"$labdir/mclab" run examples/lab/basic.json -out "$labdir/w1" -workers 1 -stamp ci >/dev/null
+"$labdir/mclab" run examples/lab/basic.json -out "$labdir/w4" -workers 4 -stamp ci >/dev/null
+diff -r "$labdir/w1" "$labdir/w4"
+"$labdir/mclab" render -out "$labdir/w1" -md "$labdir/dashboard.md" -html "$labdir/dashboard.html"
+test -s "$labdir/dashboard.md"
+test -s "$labdir/dashboard.html"
+"$labdir/mclab" check -out "$labdir/w1"
+
 # Coverage tier: per-package statement coverage from a quick -short pass
 # and the aggregate figure. Informational only — no threshold is enforced.
 go test -short -count=1 -coverprofile="$diagdir/cover.out" ./...

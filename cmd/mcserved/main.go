@@ -62,8 +62,9 @@ type options struct {
 	flush time.Duration
 	key   string
 
-	metrics   string
-	pprofAddr string
+	metrics         string
+	metricsInterval time.Duration
+	pprofAddr       string
 }
 
 func main() {
@@ -89,6 +90,7 @@ func parseOptions(args []string) (options, error) {
 	fs.DurationVar(&o.flush, "flush", 50*time.Millisecond, "flush deadline for partial blocks and pending batches")
 	fs.StringVar(&o.key, "key", "mcserved-demo", "signing-key derivation string (receivers derive the matching public key)")
 	fs.StringVar(&o.metrics, "metrics", "", "write end-of-run metrics: '-' for a text table on stdout, else JSON to this file")
+	fs.DurationVar(&o.metricsInterval, "metrics-interval", 0, "with -metrics FILE: append a timestamped JSONL metrics snapshot at this interval (plus one final line) instead of a single end-of-run object")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof (+/metrics, /statusz) on this address")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -107,6 +109,12 @@ func parseOptions(args []string) (options, error) {
 	}
 	if o.blocks < 1 {
 		return options{}, fmt.Errorf("blocks %d must be >= 1", o.blocks)
+	}
+	if o.metricsInterval < 0 {
+		return options{}, fmt.Errorf("metrics-interval %v must be >= 0", o.metricsInterval)
+	}
+	if o.metricsInterval > 0 && (o.metrics == "" || o.metrics == "-") {
+		return options{}, errors.New("-metrics-interval needs -metrics FILE (the JSONL series goes to a file)")
 	}
 	return o, nil
 }
@@ -195,6 +203,36 @@ func setupObservability(o options, stdout io.Writer) (*obs.Registry, func() erro
 		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/ (+/metrics, /statusz)\n", ln.Addr())
 		go func() { _ = http.Serve(ln, mux) }()
 	}
+	// With -metrics-interval the file carries an append-only JSONL series
+	// of timestamped snapshots (obs.TimedSnapshot per line) a dashboard can
+	// tail, instead of one end-of-run object. The ticker goroutine owns the
+	// file between start and finish; finish stops it, appends one final
+	// line, and closes.
+	var tickerStop chan struct{}
+	var tickerDone chan struct{}
+	writeLine := func() error {
+		ts := obs.TimedSnapshot{AtUnixNS: time.Now().UnixNano(), Metrics: reg.Snapshot()}
+		return ts.WriteJSONLine(metricsFile)
+	}
+	if o.metricsInterval > 0 && metricsFile != nil {
+		tickerStop = make(chan struct{})
+		tickerDone = make(chan struct{})
+		go func() {
+			defer close(tickerDone)
+			tick := time.NewTicker(o.metricsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := writeLine(); err != nil {
+						return // file gone; the final write reports it
+					}
+				case <-tickerStop:
+					return
+				}
+			}
+		}()
+	}
 	finish := func() error {
 		crypto.Uninstrument()
 		if exposer != nil {
@@ -206,8 +244,18 @@ func setupObservability(o options, stdout io.Writer) (*obs.Registry, func() erro
 				return fmt.Errorf("metrics output: %w", err)
 			}
 		}
+		if tickerStop != nil {
+			close(tickerStop)
+			<-tickerDone
+		}
 		if metricsFile != nil {
-			if err := reg.Snapshot().WriteJSON(metricsFile); err != nil {
+			var err error
+			if o.metricsInterval > 0 {
+				err = writeLine()
+			} else {
+				err = reg.Snapshot().WriteJSON(metricsFile)
+			}
+			if err != nil {
 				metricsFile.Close()
 				return fmt.Errorf("metrics output: %w", err)
 			}

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"mcauth/internal/obs"
 )
 
 func TestDemoSustains64Streams(t *testing.T) {
@@ -106,6 +110,58 @@ func TestDaemonServesReceiverOverTCP(t *testing.T) {
 	}
 }
 
+// TestMetricsIntervalWritesJSONLSeries runs a demo with -metrics-interval
+// and checks the metrics file is an append-only JSONL series of timestamped
+// snapshots — monotone timestamps, counters never decreasing, and a final
+// line carrying the end-of-run totals.
+func TestMetricsIntervalWritesJSONLSeries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	var out bytes.Buffer
+	err := run([]string{
+		"-demo", "-streams", "8", "-blocks", "16", "-scheme", "emss",
+		"-rate", "500us", // stretch the run so several ticks land
+		"-metrics", path, "-metrics-interval", "20ms", "-key", "test-interval",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	series, skipped, err := obs.ReadSnapshotLines(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("%d undecodable lines in a cleanly closed series", skipped)
+	}
+	// At least one tick plus the final flush.
+	if len(series) < 2 {
+		t.Fatalf("series has %d snapshots, want >= 2 (ticks + final)", len(series))
+	}
+	var lastAt, lastPublished int64
+	for i, ts := range series {
+		if ts.AtUnixNS <= lastAt {
+			t.Errorf("snapshot %d timestamp %d not increasing (prev %d)", i, ts.AtUnixNS, lastAt)
+		}
+		lastAt = ts.AtUnixNS
+		pub := ts.Metrics.Counters["server.published"]
+		if pub < lastPublished {
+			t.Errorf("snapshot %d server.published went backwards: %d -> %d", i, lastPublished, pub)
+		}
+		lastPublished = pub
+	}
+	final := series[len(series)-1].Metrics
+	if want := int64(8 * 16 * 8); final.Counters["server.published"] != want {
+		t.Errorf("final published = %d, want %d", final.Counters["server.published"], want)
+	}
+	if final.Histograms["server.root_hold_ns"].Count == 0 {
+		t.Error("final snapshot missing root-hold observations")
+	}
+}
+
 func TestOptionValidation(t *testing.T) {
 	var out bytes.Buffer
 	for _, args := range [][]string{
@@ -114,6 +170,9 @@ func TestOptionValidation(t *testing.T) {
 		{"-demo", "-streams", "0"},
 		{"-demo", "-blocks", "0"},
 		{"-demo", "-scheme", "nope"},
+		{"-demo", "-metrics-interval", "1s"}, // needs -metrics FILE
+		{"-demo", "-metrics", "-", "-metrics-interval", "1s"}, // stdout table can't carry a series
+		{"-demo", "-metrics", "x", "-metrics-interval", "-1s"},
 	} {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)

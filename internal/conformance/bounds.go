@@ -1,0 +1,143 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Bound is one declarative acceptance bound on a measured (case, loss
+// rate) cell. It generalizes the suite's hard-coded tolerances into data:
+// the conformance tests, the lab regression gates (`mclab check`) and any
+// committed baseline file all evaluate cells through the same type, so a
+// bound tightened in one place tightens everywhere.
+//
+// Zero-valued tolerance fields inherit the Params defaults at check time;
+// MinQMin defaults to 0 (no floor).
+type Bound struct {
+	// Case selects the cell by case name; "*" (or "") matches any case.
+	Case string `json:"case"`
+	// P selects the cell by loss rate; negative matches any rate.
+	P float64 `json:"p"`
+	// MCTol bounds |analytic - MonteCarlo| when both are present.
+	MCTol float64 `json:"mc_tol,omitempty"`
+	// NetsimTol bounds |analytic - measured| when both are present.
+	NetsimTol float64 `json:"netsim_tol,omitempty"`
+	// MinQMin is an absolute floor on the measured q_min — the regression
+	// gate for "this scheme at this loss must keep authenticating at
+	// least this fraction of received packets".
+	MinQMin float64 `json:"min_qmin,omitempty"`
+}
+
+// pMatchTol absorbs float formatting round-trips when matching bounds to
+// cells by loss rate (0.1 written as 0.10000000000000001 still matches).
+const pMatchTol = 1e-9
+
+// Matches reports whether the bound applies to the named cell at rate p.
+func (b Bound) Matches(caseName string, p float64) bool {
+	if b.Case != "*" && b.Case != "" && b.Case != caseName {
+		return false
+	}
+	return b.P < 0 || math.Abs(b.P-p) <= pMatchTol
+}
+
+// Check evaluates the bound against one result. hasAnalytic and hasMC
+// gate the cross-layer tolerance checks for cells where a layer did not
+// run (e.g. bursty loss with no closed form); the MinQMin floor applies
+// whenever a measured value is present (hasMeasured).
+func (b Bound) Check(r Result, params Params, hasAnalytic, hasMC, hasMeasured bool) error {
+	mcTol := b.MCTol
+	if mcTol == 0 {
+		mcTol = params.MCTol
+	}
+	netsimTol := b.NetsimTol
+	if netsimTol == 0 {
+		netsimTol = params.NetsimTol
+	}
+	if hasAnalytic && hasMC {
+		if d := r.MCDelta(); d > mcTol {
+			return fmt.Errorf("%s at p=%.2f: analytic q_min %.4f vs Monte-Carlo %.4f (Δ=%.4f > %.4f)",
+				r.Case, r.P, r.Analytic, r.MonteCarlo, d, mcTol)
+		}
+	}
+	if hasAnalytic && hasMeasured {
+		if d := r.NetsimDelta(); d > netsimTol {
+			return fmt.Errorf("%s at p=%.2f: analytic q_min %.4f vs netsim-measured %.4f (Δ=%.4f > %.4f)",
+				r.Case, r.P, r.Analytic, r.Measured, d, netsimTol)
+		}
+	}
+	if hasMeasured && b.MinQMin > 0 && r.Measured < b.MinQMin {
+		return fmt.Errorf("%s at p=%.2f: measured q_min %.4f below baseline floor %.4f",
+			r.Case, r.P, r.Measured, b.MinQMin)
+	}
+	return nil
+}
+
+// Table is an ordered set of bounds. Every matching bound applies, so a
+// wildcard tolerance row composes with per-case floors.
+type Table []Bound
+
+// For returns every bound applying to the named cell at rate p.
+func (t Table) For(caseName string, p float64) []Bound {
+	var out []Bound
+	for _, b := range t {
+		if b.Matches(caseName, p) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Check evaluates every matching bound and returns the violations in
+// table order. Cells no bound matches pass vacuously.
+func (t Table) Check(r Result, params Params, hasAnalytic, hasMC, hasMeasured bool) []error {
+	var errs []error
+	for _, b := range t.For(r.Case, r.P) {
+		if err := b.Check(r, params, hasAnalytic, hasMC, hasMeasured); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// ReadTable decodes a JSON bound table (the committed-baselines format of
+// `mclab check`).
+func ReadTable(r io.Reader) (Table, error) {
+	var t Table
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("conformance: bound table: %w", err)
+	}
+	for i, b := range t {
+		if b.MCTol < 0 || b.NetsimTol < 0 || b.MinQMin < 0 || b.MinQMin > 1 {
+			return nil, fmt.Errorf("conformance: bound table entry %d out of range: %+v", i, b)
+		}
+	}
+	return t, nil
+}
+
+// WriteTable encodes the table as indented JSON, sorted by (case, p) so
+// regenerated baseline files diff cleanly.
+func (t Table) WriteTable(w io.Writer) error {
+	sorted := make(Table, len(t))
+	copy(sorted, t)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Case != sorted[j].Case {
+			return sorted[i].Case < sorted[j].Case
+		}
+		return sorted[i].P < sorted[j].P
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sorted)
+}
+
+// DefaultTable returns the suite's canonical cross-layer tolerances as a
+// reusable table: one wildcard row inheriting the Params tolerances. Gates
+// layer committed per-case floors on top of it.
+func DefaultTable() Table {
+	return Table{{Case: "*", P: -1}}
+}

@@ -1,0 +1,144 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"mcauth/internal/conformance"
+)
+
+// Baselines is the committed gate file `mclab check` evaluates a run and
+// the bench history against. Bounds reuse the conformance bound-table
+// machinery, so the same tolerances that gate `go test` conformance cells
+// gate lab sweeps.
+type Baselines struct {
+	// Bounds gate the sweep's q_min cells. Bound.Case matches the cell's
+	// scheme id (rohatgi, emss, ...); Bound.P the loss rate.
+	Bounds conformance.Table `json:"bounds"`
+	// BenchThreshold is the allowed fractional regression of the latest
+	// bench snapshot vs the best strictly-older snapshot per benchmark
+	// (0.10 = +10%). Zero disables the bench gate.
+	BenchThreshold float64 `json:"bench_threshold,omitempty"`
+}
+
+// ReadBaselines loads a committed baselines file.
+func ReadBaselines(path string) (Baselines, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Baselines{}, err
+	}
+	defer f.Close()
+	var b Baselines
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return Baselines{}, fmt.Errorf("lab: baselines %s: %w", path, err)
+	}
+	if b.BenchThreshold < 0 {
+		return Baselines{}, fmt.Errorf("lab: baselines %s: bench_threshold %g must be >= 0", path, b.BenchThreshold)
+	}
+	for i, bd := range b.Bounds {
+		if bd.MCTol < 0 || bd.NetsimTol < 0 || bd.MinQMin < 0 || bd.MinQMin > 1 {
+			return Baselines{}, fmt.Errorf("lab: baselines %s: bound %d out of range: %+v", path, i, bd)
+		}
+	}
+	return b, nil
+}
+
+// WriteBaselines writes the gate file as indented JSON.
+func (b Baselines) WriteBaselines(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// cellParams scales the default cross-layer tolerances to the cell's
+// sample sizes: a lab smoke sweep runs far fewer trials and receivers
+// than the conformance suite, so its binomial noise floor is higher. Four
+// standard deviations of the worst-case (p(1-p)=1/4) binomial proportion,
+// floored at the conformance defaults. Explicit per-bound tolerances in
+// the baselines file still override these (Bound.Check semantics).
+func cellParams(trials, receivers int) conformance.Params {
+	params := conformance.DefaultParams()
+	if t := 4 * math.Sqrt(0.25/float64(trials)); t > params.MCTol {
+		params.MCTol = t
+	}
+	if t := 4 * math.Sqrt(0.25/float64(receivers)); t > params.NetsimTol {
+		params.NetsimTol = t
+	}
+	return params
+}
+
+// CheckRun evaluates every cell of the run against the bound table and
+// returns all violations, in cell order.
+func (b Baselines) CheckRun(run *RunResult) []error {
+	var errs []error
+	for _, c := range run.Cells {
+		r := conformance.Result{
+			Case:       c.SchemeID,
+			P:          c.P,
+			Analytic:   c.Analytic,
+			MonteCarlo: c.MonteCarlo,
+			Measured:   c.Measured,
+		}
+		params := cellParams(run.Config.Trials, c.Receivers)
+		errs = append(errs, b.Bounds.Check(r, params, c.HasAnalytic, c.HasMonteCarlo, c.HasMeasured)...)
+	}
+	return errs
+}
+
+// CheckBench gates the newest bench snapshot against the best
+// strictly-older snapshot per benchmark: ns/op may not regress by more
+// than the threshold fraction, and allocs/op by more than the threshold
+// fraction plus an absolute slack of 2 allocations (so near-zero counts
+// are not gated on integer jitter). Benchmarks with no older measurement
+// pass vacuously; an empty or single-file history passes.
+func (b Baselines) CheckBench(history []*BenchFile) []error {
+	if b.BenchThreshold <= 0 || len(history) < 2 {
+		return nil
+	}
+	latest := history[len(history)-1]
+	series := SeriesByName(history[:len(history)-1])
+	var errs []error
+	for _, bm := range latest.Benchmarks {
+		points := series[bm.Name]
+		if len(points) == 0 {
+			continue
+		}
+		bestNs, bestAllocs := math.Inf(1), math.Inf(1)
+		var bestNsFile string
+		for _, pt := range points {
+			if pt.Benchmark.NsPerOp != nil && *pt.Benchmark.NsPerOp < bestNs {
+				bestNs = *pt.Benchmark.NsPerOp
+				bestNsFile = pt.File.ShortCommit()
+			}
+			if pt.Benchmark.AllocsPerOp != nil && *pt.Benchmark.AllocsPerOp < bestAllocs {
+				bestAllocs = *pt.Benchmark.AllocsPerOp
+			}
+		}
+		if bm.NsPerOp != nil && !math.IsInf(bestNs, 1) {
+			if limit := bestNs * (1 + b.BenchThreshold); *bm.NsPerOp > limit {
+				errs = append(errs, fmt.Errorf(
+					"%s: %.1f ns/op regresses %.1f%% over best baseline %.1f ns/op (%s; threshold %.0f%%)",
+					bm.Name, *bm.NsPerOp, 100*(*bm.NsPerOp/bestNs-1), bestNs, bestNsFile, 100*b.BenchThreshold))
+			}
+		}
+		if bm.AllocsPerOp != nil && !math.IsInf(bestAllocs, 1) {
+			if limit := bestAllocs*(1+b.BenchThreshold) + 2; *bm.AllocsPerOp > limit {
+				errs = append(errs, fmt.Errorf(
+					"%s: %.0f allocs/op regresses over best baseline %.0f allocs/op (threshold %.0f%% + 2)",
+					bm.Name, *bm.AllocsPerOp, bestAllocs, 100*b.BenchThreshold))
+			}
+		}
+	}
+	return errs
+}
+
+// DefaultBaselines is the starting gate: conformance-default tolerances on
+// every cell, no q_min floors, 10% bench threshold.
+func DefaultBaselines() Baselines {
+	return Baselines{Bounds: conformance.DefaultTable(), BenchThreshold: 0.10}
+}

@@ -1,0 +1,283 @@
+// Package lab is the experiment-orchestration layer (ROADMAP item 5): it
+// takes a declarative scenario config (schemes × loss models × block sizes
+// × scales), executes every cell of the sweep through the repo's existing
+// evaluation paths — the analytic closed forms (internal/analysis),
+// Monte-Carlo on the dependence graph (internal/depgraph), the end-to-end
+// network simulation (internal/netsim) and the batch-signing serving tier
+// (internal/server) — and collects each run into a timestamped result
+// directory: config echo, per-cell q_min across layers, obs metrics
+// snapshots, and internal/diagnose root-cause reports.
+//
+// On top of collected runs, the dashboard renderer joins every historical
+// BENCH_<sha>.json perf snapshot with every lab run into one
+// markdown+HTML dashboard, and the gate evaluator (mclab check) turns
+// committed baselines — conformance bound tables plus bench-delta
+// thresholds — into a non-zero exit status, so each future PR's effect on
+// the paper's central quantities (authentication probability vs overhead)
+// and on the perf trajectory is a visible, gated data point instead of a
+// buried JSON file.
+//
+// Cells execute on internal/parallel with a deterministic per-cell seed
+// schedule, so every artifact a run writes is byte-identical at any
+// -workers setting — the same contract the Monte-Carlo and netsim layers
+// already honor, extended to whole sweeps (two-level parallelism: cells
+// across workers, receivers/shards within a cell).
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Config is the declarative sweep description. The cell set is the cross
+// product Schemes × Loss × BlockSizes × Receivers; each cell runs every
+// requested path.
+type Config struct {
+	// Name labels the run; the result directory is <Name>-<stamp>.
+	Name string `json:"name"`
+	// Seed derives every cell's RNG schedule.
+	Seed uint64 `json:"seed"`
+	// Trials is the Monte-Carlo trial count per cell (default 4000).
+	Trials int `json:"trials,omitempty"`
+	// Receivers lists the simulated multicast group sizes to sweep
+	// (default [200]).
+	Receivers []int `json:"receivers,omitempty"`
+	// BlockSizes lists the block sizes to sweep (default [16]). The
+	// augmented chain aligns each up to its segment boundary.
+	BlockSizes []int `json:"block_sizes,omitempty"`
+	// Schemes lists the constructions under test.
+	Schemes []SchemeConfig `json:"schemes"`
+	// Loss lists the loss channels.
+	Loss []LossConfig `json:"loss"`
+	// Paths selects the evaluation layers: "analytic", "montecarlo",
+	// "netsim", "server". Default: analytic, montecarlo, netsim.
+	Paths []string `json:"paths,omitempty"`
+	// Server tunes the serving-tier path (ignored unless "server" is in
+	// Paths).
+	Server ServerConfig `json:"server,omitempty"`
+}
+
+// SchemeConfig selects one construction and its knobs.
+type SchemeConfig struct {
+	// ID is one of rohatgi|emss|augchain|authtree|signeach|tesla.
+	ID string `json:"id"`
+	// M, D are the EMSS E_{m,d} offsets (default 2, 1).
+	M int `json:"m,omitempty"`
+	D int `json:"d,omitempty"`
+	// A, B are the augmented-chain C_{a,b} parameters (default 2, 2).
+	A int `json:"a,omitempty"`
+	B int `json:"b,omitempty"`
+	// Lag is the TESLA disclosure lag in intervals (default 2).
+	Lag int `json:"lag,omitempty"`
+}
+
+// LossConfig selects one loss channel.
+type LossConfig struct {
+	// Model is "bernoulli" or "gilbert".
+	Model string `json:"model"`
+	// P is the long-run loss rate.
+	P float64 `json:"p"`
+	// Burst is the mean burst length for "gilbert" (default 4).
+	Burst float64 `json:"burst,omitempty"`
+}
+
+// ServerConfig tunes the serving-tier cell path. Wall-clock quantities the
+// server produces (root-hold times) are recorded in server_metrics.json,
+// which is excluded from the byte-identity contract; everything in
+// cells.json stays deterministic.
+type ServerConfig struct {
+	// Streams is the number of concurrent streams (default 8).
+	Streams int `json:"streams,omitempty"`
+	// Blocks is the number of blocks published per stream (default 4).
+	Blocks int `json:"blocks,omitempty"`
+	// Batch is the signature batch size in block roots (default 16).
+	Batch int `json:"batch,omitempty"`
+}
+
+// Path names.
+const (
+	PathAnalytic   = "analytic"
+	PathMonteCarlo = "montecarlo"
+	PathNetsim     = "netsim"
+	PathServer     = "server"
+)
+
+var knownSchemes = map[string]bool{
+	"rohatgi": true, "emss": true, "augchain": true,
+	"authtree": true, "signeach": true, "tesla": true,
+}
+
+// Normalize applies defaults in place and validates the config.
+func (c *Config) Normalize() error {
+	if c.Name == "" {
+		return fmt.Errorf("lab: config needs a name")
+	}
+	if strings.ContainsAny(c.Name, "/\\ ") {
+		return fmt.Errorf("lab: name %q must be a path-safe token", c.Name)
+	}
+	if c.Trials == 0 {
+		c.Trials = 4000
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("lab: trials %d must be >= 1", c.Trials)
+	}
+	if len(c.Receivers) == 0 {
+		c.Receivers = []int{200}
+	}
+	for _, r := range c.Receivers {
+		if r < 1 {
+			return fmt.Errorf("lab: receivers %d must be >= 1", r)
+		}
+	}
+	if len(c.BlockSizes) == 0 {
+		c.BlockSizes = []int{16}
+	}
+	for _, n := range c.BlockSizes {
+		if n < 2 {
+			return fmt.Errorf("lab: block size %d must be >= 2", n)
+		}
+	}
+	if len(c.Schemes) == 0 {
+		return fmt.Errorf("lab: config needs at least one scheme")
+	}
+	for i := range c.Schemes {
+		s := &c.Schemes[i]
+		if !knownSchemes[s.ID] {
+			return fmt.Errorf("lab: unknown scheme %q", s.ID)
+		}
+		if s.M == 0 {
+			s.M = 2
+		}
+		if s.D == 0 {
+			s.D = 1
+		}
+		if s.A == 0 {
+			s.A = 2
+		}
+		if s.B == 0 {
+			s.B = 2
+		}
+		if s.Lag == 0 {
+			s.Lag = 2
+		}
+	}
+	if len(c.Loss) == 0 {
+		return fmt.Errorf("lab: config needs at least one loss model")
+	}
+	for i := range c.Loss {
+		l := &c.Loss[i]
+		switch l.Model {
+		case "bernoulli":
+		case "gilbert":
+			if l.Burst == 0 {
+				l.Burst = 4
+			}
+			if l.Burst <= 1 {
+				return fmt.Errorf("lab: gilbert burst %g must be > 1", l.Burst)
+			}
+		default:
+			return fmt.Errorf("lab: unknown loss model %q", l.Model)
+		}
+		if l.P < 0 || l.P >= 1 {
+			return fmt.Errorf("lab: loss rate %g out of [0,1)", l.P)
+		}
+	}
+	if len(c.Paths) == 0 {
+		c.Paths = []string{PathAnalytic, PathMonteCarlo, PathNetsim}
+	}
+	for _, p := range c.Paths {
+		switch p {
+		case PathAnalytic, PathMonteCarlo, PathNetsim, PathServer:
+		default:
+			return fmt.Errorf("lab: unknown path %q", p)
+		}
+	}
+	if c.Server.Streams == 0 {
+		c.Server.Streams = 8
+	}
+	if c.Server.Blocks == 0 {
+		c.Server.Blocks = 4
+	}
+	if c.Server.Batch == 0 {
+		c.Server.Batch = 16
+	}
+	if c.Server.Streams < 1 || c.Server.Blocks < 1 || c.Server.Batch < 1 {
+		return fmt.Errorf("lab: server knobs must be >= 1: %+v", c.Server)
+	}
+	return nil
+}
+
+// HasPath reports whether the normalized config runs the named path.
+func (c *Config) HasPath(name string) bool {
+	for _, p := range c.Paths {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadConfig loads and normalizes a scenario config. Only JSON is parsed;
+// a YAML extension gets a targeted error (the toolchain is
+// dependency-free, so YAML sweeps must be converted to JSON first).
+func ReadConfig(path string) (Config, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".yaml", ".yml":
+		return Config{}, fmt.Errorf("lab: %s: YAML configs need an external converter (no YAML parser is vendored); use JSON", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return DecodeConfig(f)
+}
+
+// DecodeConfig parses and normalizes a JSON scenario config.
+func DecodeConfig(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("lab: config: %w", err)
+	}
+	if err := c.Normalize(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Cell is one point of the sweep's cross product.
+type Cell struct {
+	Scheme    SchemeConfig
+	Loss      LossConfig
+	N         int
+	Receivers int
+}
+
+// ID labels the cell in results and dashboard rows ("/"-separated: "|"
+// would break markdown table cells).
+func (c Cell) ID() string {
+	return fmt.Sprintf("%s/%s(p=%g)/n=%d/r=%d", c.Scheme.ID, c.Loss.Model, c.Loss.P, c.N, c.Receivers)
+}
+
+// Cells enumerates the sweep in deterministic order: scheme-major, then
+// loss, block size, scale — the iteration order every run artifact and
+// the dashboard inherit.
+func (c *Config) Cells() []Cell {
+	var out []Cell
+	for _, s := range c.Schemes {
+		for _, l := range c.Loss {
+			for _, n := range c.BlockSizes {
+				for _, r := range c.Receivers {
+					out = append(out, Cell{Scheme: s, Loss: l, N: n, Receivers: r})
+				}
+			}
+		}
+	}
+	return out
+}

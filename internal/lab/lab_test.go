@@ -1,0 +1,397 @@
+package lab
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcauth/internal/conformance"
+)
+
+func smokeConfig() Config {
+	return Config{
+		Name:       "smoke",
+		Seed:       7,
+		Trials:     400,
+		Receivers:  []int{40},
+		BlockSizes: []int{8},
+		Schemes:    []SchemeConfig{{ID: "rohatgi"}, {ID: "emss"}},
+		Loss:       []LossConfig{{Model: "bernoulli", P: 0.2}, {Model: "gilbert", P: 0.25}},
+	}
+}
+
+func TestConfigNormalizeAndCells(t *testing.T) {
+	c := Config{Name: "x", Schemes: []SchemeConfig{{ID: "emss"}}, Loss: []LossConfig{{Model: "gilbert", P: 0.1}}}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Trials != 4000 || c.Receivers[0] != 200 || c.BlockSizes[0] != 16 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	if c.Schemes[0].M != 2 || c.Schemes[0].D != 1 || c.Loss[0].Burst != 4 {
+		t.Errorf("scheme/loss defaults not applied: %+v", c)
+	}
+	if c.HasPath(PathServer) || !c.HasPath(PathNetsim) {
+		t.Errorf("default paths wrong: %v", c.Paths)
+	}
+
+	smoke := smokeConfig()
+	cells := smoke.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("cell count = %d, want 4", len(cells))
+	}
+	// Scheme-major enumeration, the artifact and dashboard row order.
+	if cells[0].Scheme.ID != "rohatgi" || cells[1].Scheme.ID != "rohatgi" || cells[2].Scheme.ID != "emss" {
+		t.Errorf("cells not scheme-major: %+v", cells)
+	}
+	if id := cells[1].ID(); id != "rohatgi/gilbert(p=0.25)/n=8/r=40" {
+		t.Errorf("cell ID = %q", id)
+	}
+
+	for _, bad := range []Config{
+		{Name: "", Schemes: []SchemeConfig{{ID: "emss"}}, Loss: []LossConfig{{Model: "bernoulli"}}},
+		{Name: "a b", Schemes: []SchemeConfig{{ID: "emss"}}, Loss: []LossConfig{{Model: "bernoulli"}}},
+		{Name: "x", Schemes: []SchemeConfig{{ID: "nope"}}, Loss: []LossConfig{{Model: "bernoulli"}}},
+		{Name: "x", Schemes: []SchemeConfig{{ID: "emss"}}, Loss: []LossConfig{{Model: "bernoulli", P: 1.5}}},
+		{Name: "x", Schemes: []SchemeConfig{{ID: "emss"}}, Loss: []LossConfig{{Model: "waves"}}},
+		{Name: "x", Schemes: []SchemeConfig{{ID: "emss"}}, Loss: []LossConfig{{Model: "bernoulli"}}, Paths: []string{"quantum"}},
+	} {
+		bad := bad
+		if err := bad.Normalize(); err == nil {
+			t.Errorf("invalid config accepted: %+v", bad)
+		}
+	}
+
+	if _, err := ReadConfig("sweep.yaml"); err == nil || !strings.Contains(err.Error(), "YAML") {
+		t.Errorf("YAML config must get a targeted error, got %v", err)
+	}
+	if _, err := DecodeConfig(strings.NewReader(`{"name":"x","unknown":1}`)); err == nil {
+		t.Error("unknown config field accepted")
+	}
+}
+
+// TestRunByteIdenticalAcrossWorkers is the sweep-level determinism
+// contract: every artifact a run writes is byte-identical at -workers 1
+// and 4 (server_metrics.json, wall-clock by design, is absent here since
+// the config has no server path).
+func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
+	cfg := smokeConfig()
+	base := t.TempDir()
+	var dirs [2]string
+	for i, workers := range []int{1, 4} {
+		out := filepath.Join(base, fmt.Sprintf("w%d", workers))
+		_, dir, err := Run(cfg, workers, out, "20260101T000000Z")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs[i] = dir
+	}
+	compareTrees(t, dirs[0], dirs[1])
+}
+
+func compareTrees(t *testing.T, a, b string) {
+	t.Helper()
+	seen := 0
+	err := filepath.Walk(a, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(a, path)
+		if err != nil {
+			return err
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		want, err := os.ReadFile(filepath.Join(b, rel))
+		if err != nil {
+			return err
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s differs across worker counts", rel)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen < 4 { // config, cells, metrics, ≥1 report
+		t.Errorf("only %d artifacts compared, expected at least 4", seen)
+	}
+}
+
+// TestRunLayersAgree sanity-checks the smoke sweep's physics: where an
+// analytic value exists, Monte-Carlo and netsim agree to within the
+// scaled binomial tolerance, and q_min values live in (0, 1].
+func TestRunLayersAgree(t *testing.T) {
+	cfg := smokeConfig()
+	run, dir, err := Run(cfg, 2, t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(run.Cells))
+	}
+	params := cellParams(cfg.Trials, cfg.Receivers[0])
+	for _, c := range run.Cells {
+		if !c.HasMonteCarlo || !c.HasMeasured {
+			t.Fatalf("%s: missing MC or measured layer: %+v", c.ID, c)
+		}
+		if c.MonteCarlo <= 0 || c.MonteCarlo > 1 || c.Measured <= 0 || c.Measured > 1 {
+			t.Errorf("%s: q_min out of (0,1]: mc=%v measured=%v", c.ID, c.MonteCarlo, c.Measured)
+		}
+		if c.LossModel == "gilbert" {
+			if c.HasAnalytic {
+				t.Errorf("%s: bursty loss has no closed form but analytic is set", c.ID)
+			}
+			continue
+		}
+		if !c.HasAnalytic {
+			t.Errorf("%s: bernoulli cell missing analytic layer", c.ID)
+			continue
+		}
+		if d := math.Abs(c.Analytic - c.MonteCarlo); d > params.MCTol {
+			t.Errorf("%s: analytic %v vs MC %v (Δ=%v > %v)", c.ID, c.Analytic, c.MonteCarlo, d, params.MCTol)
+		}
+		if d := math.Abs(c.Analytic - c.Measured); d > params.NetsimTol {
+			t.Errorf("%s: analytic %v vs measured %v (Δ=%v > %v)", c.ID, c.Analytic, c.Measured, d, params.NetsimTol)
+		}
+		// Rohatgi's signature leads the block, so packets authenticate at
+		// arrival (all-zero latency is correct); EMSS's signature trails,
+		// so early packets must wait for it.
+		if c.TimeToAuthNS.Count == 0 {
+			t.Errorf("%s: empty time-to-auth summary: %+v", c.ID, c.TimeToAuthNS)
+		}
+		if c.SchemeID == "emss" && c.TimeToAuthNS.P95 <= 0 {
+			t.Errorf("%s: EMSS time-to-auth p95 = %v, want > 0 (early packets wait for the trailing signature)",
+				c.ID, c.TimeToAuthNS.P95)
+		}
+		if c.OverheadHashesPerPacket <= 0 || c.OverheadBytesPerPacket <= 0 {
+			t.Errorf("%s: overhead not recorded: %+v", c.ID, c)
+		}
+	}
+
+	// The run directory round-trips.
+	back, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "smoke" || len(back.Cells) != 4 {
+		t.Errorf("LoadRun mismatch: %+v", back)
+	}
+	runs, err := LoadRuns(filepath.Dir(dir))
+	if err != nil || len(runs) != 1 {
+		t.Errorf("LoadRuns: %v, %d runs", err, len(runs))
+	}
+}
+
+// TestRunServerPath drives one cell through the batch-signing serving
+// tier and checks the deterministic counters plus the wall-clock metrics
+// side file.
+func TestRunServerPath(t *testing.T) {
+	cfg := Config{
+		Name:       "srv",
+		Seed:       3,
+		Trials:     50,
+		Receivers:  []int{4},
+		BlockSizes: []int{4},
+		Schemes:    []SchemeConfig{{ID: "emss"}},
+		Loss:       []LossConfig{{Model: "bernoulli", P: 0.1}},
+		Paths:      []string{PathServer},
+		Server:     ServerConfig{Streams: 3, Blocks: 2, Batch: 4},
+	}
+	run, dir, err := Run(cfg, 2, t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run.Cells[0].Server
+	if s == nil {
+		t.Fatal("server result missing")
+	}
+	if s.Published != int64(3*2*4) || s.Verified != s.Published {
+		t.Errorf("published/verified = %d/%d, want 24/24", s.Published, s.Verified)
+	}
+	// 3 streams × 2 blocks = 6 roots in batches of 4 → 2 signatures.
+	if s.SignedRoots != 6 || s.Signatures != 2 {
+		t.Errorf("roots/signatures = %d/%d, want 6/2", s.SignedRoots, s.Signatures)
+	}
+	sm, err := LoadServerMetrics(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := sm[run.Cells[0].ID].Histograms["server.root_hold_ns"]; h.Count == 0 {
+		t.Errorf("root-hold histogram missing from server_metrics.json: %+v", sm)
+	}
+}
+
+// TestGatesInjectedViolation pins the acceptance criterion: a committed
+// q_min floor above what a lossy cell can deliver must fail the check.
+func TestGatesInjectedViolation(t *testing.T) {
+	cfg := smokeConfig()
+	run, _, err := Run(cfg, 2, t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := DefaultBaselines()
+	if errs := ok.CheckRun(run); len(errs) != 0 {
+		t.Fatalf("healthy run fails default gates: %v", errs)
+	}
+	// Inject an impossible floor on the rohatgi cells: at p=0.2 a hash
+	// chain cannot authenticate 99.9% of packets.
+	bad := DefaultBaselines()
+	bad.Bounds = append(bad.Bounds, conformance.Bound{Case: "rohatgi", P: 0.2, MinQMin: 0.999})
+	errs := bad.CheckRun(run)
+	if len(errs) == 0 {
+		t.Fatal("injected q_min floor violation not detected")
+	}
+	for _, err := range errs {
+		if !strings.Contains(err.Error(), "baseline floor") {
+			t.Errorf("unexpected violation kind: %v", err)
+		}
+	}
+
+	// Round-trip the baselines file format.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baselines.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.WriteBaselines(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := ReadBaselines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.CheckRun(run)) != len(errs) {
+		t.Error("baselines round-trip changed gate outcome")
+	}
+	if _, err := ReadBaselines(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baselines file accepted")
+	}
+}
+
+// TestBenchGate exercises the bench-delta gate on synthetic history: a
+// regression beyond the threshold fails, one within passes, and the best
+// baseline is taken across all older snapshots, not just the previous one.
+func TestBenchGate(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	mk := func(commit string, at int64, ns, allocs float64) *BenchFile {
+		return &BenchFile{
+			Commit:          commit,
+			GeneratedAtUnix: at,
+			Benchmarks:      []Benchmark{{Name: "BenchmarkMC", NsPerOp: f(ns), AllocsPerOp: f(allocs)}},
+			File:            "BENCH_" + commit + ".json",
+		}
+	}
+	b := Baselines{BenchThreshold: 0.10}
+	// Best ns/op is the middle snapshot; latest regresses 50% over it.
+	history := []*BenchFile{mk("aaaaaaa1", 1, 120, 10), mk("bbbbbbb2", 2, 100, 10), mk("ccccccc3", 3, 150, 10)}
+	errs := b.CheckBench(history)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "regresses") {
+		t.Fatalf("50%% ns/op regression not gated: %v", errs)
+	}
+	// Within threshold: passes.
+	if errs := b.CheckBench([]*BenchFile{mk("a1", 1, 100, 10), mk("b2", 2, 105, 11)}); len(errs) != 0 {
+		t.Errorf("in-threshold delta gated: %v", errs)
+	}
+	// Alloc regression beyond threshold + slack.
+	if errs := b.CheckBench([]*BenchFile{mk("a1", 1, 100, 10), mk("b2", 2, 100, 20)}); len(errs) != 1 {
+		t.Errorf("alloc regression not gated: %v", errs)
+	}
+	// Zero threshold or single file disables the gate.
+	if errs := (Baselines{}).CheckBench(history); len(errs) != 0 {
+		t.Errorf("disabled gate fired: %v", errs)
+	}
+	if errs := b.CheckBench(history[:1]); len(errs) != 0 {
+		t.Errorf("single-file history gated: %v", errs)
+	}
+}
+
+// TestBenchHistoryOrdering checks generated_at_unix ordering with
+// filename tie-breaks for pre-field files.
+func TestBenchHistoryOrdering(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_new.json", `{"commit":"new","generated_at_unix":200,"benchmarks":[]}`)
+	write("BENCH_old.json", `{"commit":"old","generated_at_unix":100,"benchmarks":[]}`)
+	write("BENCH_legacy.json", `{"commit":"legacy","benchmarks":[]}`) // no field → oldest
+	write("ignored.json", `{}`)
+	history, err := LoadBenchHistory(dir, filepath.Join(dir, "does-not-exist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 3 {
+		t.Fatalf("history length = %d, want 3", len(history))
+	}
+	if history[0].Commit != "legacy" || history[1].Commit != "old" || history[2].Commit != "new" {
+		t.Errorf("history misordered: %s %s %s", history[0].Commit, history[1].Commit, history[2].Commit)
+	}
+}
+
+func TestDashboardRender(t *testing.T) {
+	cfg := smokeConfig()
+	run, _, err := Run(cfg, 2, t.TempDir(), "20260101T000000Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v float64) *float64 { return &v }
+	bench := []*BenchFile{{
+		Commit:     "0123456789abcdef",
+		Benchmarks: []Benchmark{{Name: "BenchmarkMC", NsPerOp: f(1234.5), AllocsPerOp: f(3)}},
+	}}
+	in := DashboardInput{Runs: []*RunResult{run}, Bench: bench}
+	var a, b strings.Builder
+	if err := RenderMarkdown(&a, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderMarkdown(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("dashboard render not deterministic")
+	}
+	md := a.String()
+	for _, want := range []string{
+		"# mcauth lab dashboard",
+		"## q_min vs overhead — smoke-20260101T000000Z",
+		"rohatgi/bernoulli(p=0.2)/n=8/r=40",
+		"### Time to authentication",
+		"## Benchmark trajectory",
+		"### BenchmarkMC",
+		"| 0123456",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	var html strings.Builder
+	if err := RenderHTML(&html, md); err != nil {
+		t.Fatal(err)
+	}
+	h := html.String()
+	for _, want := range []string{
+		"<h1>mcauth lab dashboard</h1>",
+		"<table>",
+		"<th>cell</th>",
+		"<td>rohatgi/bernoulli(p=0.2)/n=8/r=40</td>",
+	} {
+		if !strings.Contains(h, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	if strings.Contains(h, "|---") {
+		t.Error("alignment row leaked into HTML")
+	}
+}

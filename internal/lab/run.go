@@ -1,0 +1,697 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mcauth/internal/analysis"
+	"mcauth/internal/crypto"
+	"mcauth/internal/delay"
+	"mcauth/internal/depgraph"
+	"mcauth/internal/diagnose"
+	"mcauth/internal/loss"
+	"mcauth/internal/netsim"
+	"mcauth/internal/obs"
+	"mcauth/internal/parallel"
+	"mcauth/internal/scheme"
+	"mcauth/internal/scheme/augchain"
+	"mcauth/internal/scheme/authtree"
+	"mcauth/internal/scheme/emss"
+	"mcauth/internal/scheme/rohatgi"
+	"mcauth/internal/scheme/signeach"
+	"mcauth/internal/scheme/tesla"
+	"mcauth/internal/schemetest"
+	"mcauth/internal/server"
+	"mcauth/internal/stats"
+	"mcauth/internal/stream"
+)
+
+// QSummary condenses a histogram into the quantile triple the dashboard
+// and gates consume. Computed from additive bucket counts, so it is
+// deterministic for any worker count.
+type QSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+func summarize(h obs.HistogramData) QSummary {
+	s := QSummary{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		P50:   h.P50(),
+		P95:   h.P95(),
+		P99:   h.P99(),
+	}
+	if h.Count > 0 {
+		s.Max = h.MaxSeen
+	}
+	return s
+}
+
+// ServerResult is the deterministic summary of one cell's serving-tier
+// path. Wall-clock quantities (root-hold latencies) are written to the
+// run's server_metrics.json instead, which is outside the byte-identity
+// contract.
+type ServerResult struct {
+	Streams      int     `json:"streams"`
+	Blocks       int     `json:"blocks"`
+	Batch        int     `json:"batch"`
+	Published    int64   `json:"published"`
+	Verified     int64   `json:"verified"`
+	Signatures   int64   `json:"signatures"`
+	SignedRoots  int64   `json:"signed_roots"`
+	Amortization float64 `json:"amortization"`
+}
+
+// CellResult is one cell's outcome across the evaluation layers. Absent
+// layers (path not requested, or no closed form for the loss model) keep
+// their Has* flag false; the value fields then hold zero, never NaN.
+type CellResult struct {
+	ID        string  `json:"id"`
+	SchemeID  string  `json:"scheme_id"`
+	Scheme    string  `json:"scheme"`
+	LossModel string  `json:"loss_model"`
+	Loss      string  `json:"loss"`
+	P         float64 `json:"p"`
+	N         int     `json:"n"`
+	Receivers int     `json:"receivers"`
+	Seed      uint64  `json:"seed"`
+
+	HasAnalytic   bool    `json:"has_analytic"`
+	Analytic      float64 `json:"analytic,omitempty"`
+	HasMonteCarlo bool    `json:"has_montecarlo"`
+	MonteCarlo    float64 `json:"montecarlo,omitempty"`
+	HasMeasured   bool    `json:"has_measured"`
+	Measured      float64 `json:"measured,omitempty"`
+
+	// OverheadHashesPerPacket is Equation 2's average over the dependence
+	// graph; OverheadBytesPerPacket is the measured wire-byte overhead
+	// (encoded size minus payload bytes, per payload).
+	OverheadHashesPerPacket float64 `json:"overhead_hashes_per_packet,omitempty"`
+	OverheadBytesPerPacket  float64 `json:"overhead_bytes_per_packet,omitempty"`
+
+	Sent          int `json:"sent,omitempty"`
+	Delivered     int `json:"delivered,omitempty"`
+	Lost          int `json:"lost,omitempty"`
+	Authenticated int `json:"authenticated,omitempty"`
+
+	// TimeToAuthNS summarizes simulated arrival-to-authentication latency
+	// (netsim path only).
+	TimeToAuthNS QSummary `json:"time_to_auth_ns"`
+
+	// Causes is the diagnose root-cause tally (netsim path only).
+	Causes map[string]int `json:"causes,omitempty"`
+
+	Server *ServerResult `json:"server,omitempty"`
+}
+
+// RunResult is everything one sweep writes to its result directory.
+type RunResult struct {
+	Name   string       `json:"name"`
+	Stamp  string       `json:"stamp"`
+	Config Config       `json:"config"`
+	Cells  []CellResult `json:"cells"`
+}
+
+// RunID is the result-directory basename.
+func (r *RunResult) RunID() string { return r.Name + "-" + r.Stamp }
+
+// cellCase binds a built scheme instance to its per-scheme evaluation
+// conventions (mirrors conformance.Case, parameterized by the sweep).
+type cellCase struct {
+	scheme          scheme.Scheme
+	analytic        func(p float64) (float64, error) // nil: no closed form
+	dataIndices     []uint32
+	reliableIndices []uint32
+	sendInterval    time.Duration
+	delay           delay.Model
+}
+
+func dataIndices(from, to int) []uint32 {
+	out := make([]uint32, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, uint32(i))
+	}
+	return out
+}
+
+// buildCase constructs the cell's scheme and evaluation conventions. The
+// analytic path only has closed forms for i.i.d. loss; gilbert cells run
+// Monte-Carlo and netsim only.
+func buildCase(c Cell, signer crypto.Signer) (cellCase, error) {
+	bernoulli := c.Loss.Model == "bernoulli"
+	start := time.Unix(0, 0)
+	cc := cellCase{
+		sendInterval: 10 * time.Millisecond,
+		delay:        delay.Constant{D: time.Millisecond},
+	}
+	n := c.N
+	switch c.Scheme.ID {
+	case "rohatgi":
+		s, err := rohatgi.New(n, signer)
+		if err != nil {
+			return cellCase{}, err
+		}
+		cc.scheme = s
+		cc.dataIndices = dataIndices(1, n)
+		cc.reliableIndices = []uint32{1}
+		if bernoulli {
+			cc.analytic = func(p float64) (float64, error) {
+				res, err := analysis.Rohatgi(n, p)
+				if err != nil {
+					return 0, err
+				}
+				return res.QMin, nil
+			}
+		}
+	case "emss":
+		s, err := emss.New(emss.Config{N: n, M: c.Scheme.M, D: c.Scheme.D}, signer)
+		if err != nil {
+			return cellCase{}, err
+		}
+		cc.scheme = s
+		cc.dataIndices = dataIndices(1, n)
+		cc.reliableIndices = []uint32{uint32(n)}
+		if bernoulli {
+			offsets := analysis.EMSS{N: n, M: c.Scheme.M, D: c.Scheme.D}.Offsets()
+			cc.analytic = func(p float64) (float64, error) {
+				exact := analysis.MarkovExact{N: n, Offsets: offsets, P: p}
+				if exact.Validate() == nil {
+					return exact.QMin()
+				}
+				return analysis.EMSS{N: n, M: c.Scheme.M, D: c.Scheme.D, P: p}.QMin()
+			}
+		}
+	case "augchain":
+		// The exact evaluator needs segment alignment; the sweep's block
+		// size is aligned up, and the cell records the aligned n.
+		acN := analysis.AlignN(n, c.Scheme.B)
+		s, err := augchain.New(augchain.Config{N: acN, A: c.Scheme.A, B: c.Scheme.B}, signer)
+		if err != nil {
+			return cellCase{}, err
+		}
+		cc.scheme = s
+		cc.dataIndices = dataIndices(1, acN)
+		cc.reliableIndices = []uint32{uint32(acN)}
+		if bernoulli {
+			a, b := c.Scheme.A, c.Scheme.B
+			cc.analytic = func(p float64) (float64, error) {
+				return analysis.AugChainExact{N: acN, A: a, B: b, P: p}.QMin()
+			}
+		}
+	case "authtree":
+		s, err := authtree.New(n, signer)
+		if err != nil {
+			return cellCase{}, err
+		}
+		cc.scheme = s
+		cc.dataIndices = dataIndices(1, n)
+		cc.reliableIndices = []uint32{1}
+		cc.analytic = func(float64) (float64, error) { return 1, nil }
+	case "signeach":
+		s, err := signeach.New(n, signer)
+		if err != nil {
+			return cellCase{}, err
+		}
+		cc.scheme = s
+		cc.dataIndices = dataIndices(1, n)
+		cc.analytic = func(float64) (float64, error) { return 1, nil }
+	case "tesla":
+		// Conformance's ξ = 1 conditioning: constant 1 ms delivery against
+		// the configured disclosure lag never violates safety, so measured
+		// loss is erasure-only and comparable to QMinWithXi(1).
+		interval := 100 * time.Millisecond
+		tCfg := tesla.Config{
+			N:        n,
+			Lag:      c.Scheme.Lag,
+			Interval: interval,
+			Start:    start,
+			Seed:     []byte("mclab"),
+		}
+		s, err := tesla.New(tCfg, signer)
+		if err != nil {
+			return cellCase{}, err
+		}
+		cc.scheme = s
+		cc.sendInterval = interval
+		cc.dataIndices = make([]uint32, n)
+		for i := range cc.dataIndices {
+			cc.dataIndices[i] = tesla.DataWireIndex(i + 1)
+		}
+		cc.reliableIndices = []uint32{1}
+		if bernoulli {
+			tDisc := tCfg.TDisclose().Seconds()
+			cc.analytic = func(p float64) (float64, error) {
+				a := analysis.TESLA{N: n, P: p, TDisc: tDisc, Mu: tDisc / 100, Sigma: tDisc / 200}
+				return a.QMinWithXi(1)
+			}
+		}
+	default:
+		return cellCase{}, fmt.Errorf("lab: unknown scheme %q", c.Scheme.ID)
+	}
+	return cc, nil
+}
+
+func buildLoss(l LossConfig) (loss.Model, error) {
+	switch l.Model {
+	case "bernoulli":
+		return loss.NewBernoulli(l.P)
+	case "gilbert":
+		pBadToGood := 1 / l.Burst
+		pGoodToBad := l.P * pBadToGood / (1 - l.P)
+		return loss.NewGilbertElliott(pGoodToBad, pBadToGood, 0, 1)
+	default:
+		return nil, fmt.Errorf("lab: unknown loss model %q", l.Model)
+	}
+}
+
+// cellSeed derives the i-th cell's seed from the config seed. Indexed, not
+// drawn from a shared stream, so cells are independent of scheduling.
+func cellSeed(seed uint64, i int) uint64 {
+	return seed + uint64(i+1)*0x9E3779B97F4A7C15
+}
+
+// cellArtifacts is everything one cell contributes to the run directory.
+type cellArtifacts struct {
+	result        CellResult
+	metrics       obs.Snapshot
+	report        *diagnose.Report
+	serverMetrics *obs.Snapshot
+}
+
+// Run executes the sweep with the given outer worker count and writes the
+// result directory under outDir. The stamp names the run (pass a fixed
+// stamp for reproducible directory names; an empty stamp uses UTC now).
+// Every written artifact is byte-identical for any workers value except
+// server_metrics.json, which records wall-clock serving latencies.
+func Run(cfg Config, workers int, outDir, stamp string) (*RunResult, string, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, "", err
+	}
+	if stamp == "" {
+		stamp = time.Now().UTC().Format("20060102T150405Z")
+	}
+	cells := cfg.Cells()
+	arts, err := parallel.Map(workers, cells, func(i int, c Cell) (cellArtifacts, error) {
+		return runCell(cfg, c, cellSeed(cfg.Seed, i))
+	})
+	if err != nil {
+		return nil, "", err
+	}
+
+	run := &RunResult{Name: cfg.Name, Stamp: stamp, Config: cfg}
+	for _, a := range arts {
+		run.Cells = append(run.Cells, a.result)
+	}
+	dir := filepath.Join(outDir, run.RunID())
+	if err := writeRunDir(dir, run, arts); err != nil {
+		return nil, "", err
+	}
+	return run, dir, nil
+}
+
+func runCell(cfg Config, c Cell, seed uint64) (cellArtifacts, error) {
+	signer := crypto.NewSignerFromString("mclab")
+	cc, err := buildCase(c, signer)
+	if err != nil {
+		return cellArtifacts{}, fmt.Errorf("%s: %w", c.ID(), err)
+	}
+	lossModel, err := buildLoss(c.Loss)
+	if err != nil {
+		return cellArtifacts{}, fmt.Errorf("%s: %w", c.ID(), err)
+	}
+	res := CellResult{
+		ID:        c.ID(),
+		SchemeID:  c.Scheme.ID,
+		Scheme:    cc.scheme.Name(),
+		LossModel: c.Loss.Model,
+		Loss:      lossModel.Name(),
+		P:         c.Loss.P,
+		N:         cc.scheme.BlockSize(),
+		Receivers: c.Receivers,
+		Seed:      seed,
+	}
+
+	// Overhead: graph hashes/packet (Equation 2) and measured wire bytes
+	// per payload beyond the payload itself.
+	g, err := cc.scheme.Graph()
+	if err != nil {
+		return cellArtifacts{}, fmt.Errorf("%s: graph: %w", c.ID(), err)
+	}
+	res.OverheadHashesPerPacket = g.AvgHashesPerPacket()
+	payloads := schemetest.Payloads(cc.scheme.BlockSize())
+	pkts, err := cc.scheme.Authenticate(1, payloads)
+	if err != nil {
+		return cellArtifacts{}, fmt.Errorf("%s: authenticate: %w", c.ID(), err)
+	}
+	wireBytes, payloadBytes := 0, 0
+	for _, p := range pkts {
+		wireBytes += p.EncodedSize()
+	}
+	for _, p := range payloads {
+		payloadBytes += len(p)
+	}
+	res.OverheadBytesPerPacket = float64(wireBytes-payloadBytes) / float64(len(payloads))
+
+	if cfg.HasPath(PathAnalytic) && cc.analytic != nil {
+		q, err := cc.analytic(c.Loss.P)
+		if err != nil {
+			return cellArtifacts{}, fmt.Errorf("%s: analytic: %w", c.ID(), err)
+		}
+		if !math.IsNaN(q) {
+			res.HasAnalytic, res.Analytic = true, q
+		}
+	}
+
+	if cfg.HasPath(PathMonteCarlo) {
+		// Inner MC workers stay at 1: the sweep parallelizes across cells,
+		// and the estimate is identical for any worker split anyway.
+		mc, err := g.MonteCarloAuthProbInto(
+			loss.PatternInto(lossModel),
+			cfg.Trials,
+			stats.NewRNG(seed^0x6d636c6162), // "mclab"
+			depgraph.MCOptions{Workers: 1},
+		)
+		if err != nil {
+			return cellArtifacts{}, fmt.Errorf("%s: monte-carlo: %w", c.ID(), err)
+		}
+		res.HasMonteCarlo, res.MonteCarlo = true, mc.QMin
+	}
+
+	arts := cellArtifacts{}
+	if cfg.HasPath(PathNetsim) {
+		reg := obs.NewRegistry()
+		mem := &obs.MemTracer{}
+		simCfg := netsim.Config{
+			Receivers:       c.Receivers,
+			Loss:            lossModel,
+			Delay:           cc.delay,
+			SendInterval:    cc.sendInterval,
+			Start:           time.Unix(0, 0),
+			Seed:            seed,
+			ReliableIndices: cc.reliableIndices,
+			Workers:         1,
+			Tracer:          mem,
+			Metrics:         reg,
+		}
+		sim, err := netsim.Run(cc.scheme, simCfg, 1, payloads)
+		if err != nil {
+			return cellArtifacts{}, fmt.Errorf("%s: netsim: %w", c.ID(), err)
+		}
+		res.HasMeasured = true
+		res.Measured = sim.MinAuthRatio(cc.dataIndices)
+		var timeToAuth obs.HistogramData
+		for i := range sim.PerReceiver {
+			rep := &sim.PerReceiver[i]
+			res.Delivered += rep.Delivered
+			res.Lost += rep.Lost
+			res.Authenticated += rep.Stats.Authenticated
+			timeToAuth.Merge(rep.Stats.TimeToAuth)
+		}
+		res.Sent = sim.WireCount * c.Receivers
+		res.TimeToAuthNS = summarize(timeToAuth)
+
+		opts := diagnose.Options{DataIndices: cc.dataIndices}
+		if len(cc.reliableIndices) > 0 {
+			opts.RootIndex = cc.reliableIndices[0]
+		}
+		if vm, ok := cc.scheme.(scheme.VertexMapper); ok {
+			opts.Graph = g
+			opts.VertexOf = vm.VertexOf
+		}
+		rep, err := diagnose.BuildReport(mem.Events(), 0, opts)
+		if err != nil {
+			return cellArtifacts{}, fmt.Errorf("%s: diagnose: %w", c.ID(), err)
+		}
+		arts.report = rep
+		if len(rep.Causes) > 0 {
+			res.Causes = make(map[string]int, len(rep.Causes))
+			for cause, n := range rep.Causes {
+				res.Causes[string(cause)] = n
+			}
+		}
+		arts.metrics = reg.Snapshot()
+	}
+
+	if cfg.HasPath(PathServer) && c.Scheme.ID != "tesla" {
+		sr, snap, err := runServerCell(cfg, c, cc)
+		if err != nil {
+			return cellArtifacts{}, fmt.Errorf("%s: server: %w", c.ID(), err)
+		}
+		res.Server = sr
+		arts.serverMetrics = snap
+	}
+
+	arts.result = res
+	return arts, nil
+}
+
+// runServerCell pushes the cell's scheme through the batch-signing serving
+// tier with a loopback verifier: cfg.Server.Streams streams × Blocks
+// blocks, one subscriber demuxing and verifying everything. Counts are
+// deterministic (the flush timer is effectively disabled, so signature
+// count is driven by batch arithmetic); latency histograms are wall-clock
+// and returned separately.
+func runServerCell(cfg Config, c Cell, cc cellCase) (*ServerResult, *obs.Snapshot, error) {
+	reg := obs.NewRegistry()
+	key := "mclab-server"
+	srv, err := server.New(server.Config{
+		Signer:             crypto.NewSignerFromString(key),
+		BatchSize:          cfg.Server.Batch,
+		FlushInterval:      time.Hour, // flush on Close, keeping counts deterministic
+		MaxSubscriberQueue: 1 << 16,
+		Metrics:            reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mk := func(signer crypto.Signer) (scheme.Scheme, error) {
+		sc := c.Scheme
+		cell := Cell{Scheme: sc, Loss: c.Loss, N: c.N, Receivers: c.Receivers}
+		built, err := buildCase(cell, signer)
+		if err != nil {
+			return nil, err
+		}
+		return built.scheme, nil
+	}
+	for id := uint64(1); id <= uint64(cfg.Server.Streams); id++ {
+		if err := srv.OpenStream(id, mk); err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+	}
+	sub, err := srv.Subscribe()
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	type counts struct {
+		verified int64
+		err      error
+	}
+	done := make(chan counts, 1)
+	go func() {
+		dmx, err := stream.NewDemux(func(uint64) (*stream.Receiver, error) {
+			s, err := mk(crypto.BatchCapable(crypto.NewSignerFromString(key)))
+			if err != nil {
+				return nil, err
+			}
+			return stream.NewReceiver(s, cfg.Server.Blocks+2)
+		}, cfg.Server.Streams)
+		if err != nil {
+			done <- counts{err: err}
+			return
+		}
+		var verified int64
+		for d := range sub.C() {
+			auths, err := dmx.Ingest(d.StreamID, d.Packet, time.Now())
+			if err != nil {
+				done <- counts{err: err}
+				return
+			}
+			for _, a := range auths {
+				if len(a.Payload) > 0 {
+					verified++
+				}
+			}
+		}
+		done <- counts{verified: verified}
+	}()
+
+	blockSize := cc.scheme.BlockSize()
+	var published int64
+	for id := uint64(1); id <= uint64(cfg.Server.Streams); id++ {
+		for i := 0; i < blockSize*cfg.Server.Blocks; i++ {
+			if err := srv.Publish(id, []byte(fmt.Sprintf("cell %s stream-%d msg-%d", c.ID(), id, i))); err != nil {
+				srv.Close()
+				return nil, nil, err
+			}
+			published++
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return nil, nil, err
+	}
+	got := <-done
+	if got.err != nil {
+		return nil, nil, got.err
+	}
+	if drops := sub.Drops(); drops > 0 {
+		return nil, nil, fmt.Errorf("lab: server cell dropped %d deliveries (queue too small)", drops)
+	}
+	if got.verified != published {
+		return nil, nil, fmt.Errorf("lab: server cell verified %d of %d published messages", got.verified, published)
+	}
+	tot := srv.BatchTotals()
+	snap := reg.Snapshot()
+	return &ServerResult{
+		Streams:      cfg.Server.Streams,
+		Blocks:       cfg.Server.Blocks,
+		Batch:        cfg.Server.Batch,
+		Published:    published,
+		Verified:     got.verified,
+		Signatures:   tot.Signatures,
+		SignedRoots:  tot.SignedRoots,
+		Amortization: tot.AmortizationRatio(),
+	}, &snap, nil
+}
+
+// writeRunDir lays out the timestamped result directory:
+//
+//	<dir>/config.json          — normalized config echo
+//	<dir>/cells.json           — RunResult (name, stamp, config, cells)
+//	<dir>/metrics.json         — per-cell obs snapshots (netsim path)
+//	<dir>/reports/cell-XXX.json — per-cell diagnose reports
+//	<dir>/server_metrics.json  — per-cell server snapshots (wall-clock;
+//	                             excluded from byte-identity)
+func writeRunDir(dir string, run *RunResult, arts []cellArtifacts) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeJSONFile(filepath.Join(dir, "config.json"), run.Config); err != nil {
+		return err
+	}
+	if err := writeJSONFile(filepath.Join(dir, "cells.json"), run); err != nil {
+		return err
+	}
+	metrics := make(map[string]obs.Snapshot)
+	serverMetrics := make(map[string]obs.Snapshot)
+	wroteReports := false
+	for i, a := range arts {
+		if a.report != nil {
+			if !wroteReports {
+				if err := os.MkdirAll(filepath.Join(dir, "reports"), 0o755); err != nil {
+					return err
+				}
+				wroteReports = true
+			}
+			f, err := os.Create(filepath.Join(dir, "reports", fmt.Sprintf("cell-%03d.json", i)))
+			if err != nil {
+				return err
+			}
+			if err := a.report.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			metrics[a.result.ID] = a.metrics
+		}
+		if a.serverMetrics != nil {
+			serverMetrics[a.result.ID] = *a.serverMetrics
+		}
+	}
+	if len(metrics) > 0 {
+		if err := writeJSONFile(filepath.Join(dir, "metrics.json"), metrics); err != nil {
+			return err
+		}
+	}
+	if len(serverMetrics) > 0 {
+		if err := writeJSONFile(filepath.Join(dir, "server_metrics.json"), serverMetrics); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRun reads a result directory written by Run.
+func LoadRun(dir string) (*RunResult, error) {
+	f, err := os.Open(filepath.Join(dir, "cells.json"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var run RunResult
+	dec := json.NewDecoder(f)
+	if err := dec.Decode(&run); err != nil {
+		return nil, fmt.Errorf("lab: %s: %w", dir, err)
+	}
+	return &run, nil
+}
+
+// LoadRuns loads every result directory under outDir (any directory with
+// a cells.json), sorted by directory name — stamps sort chronologically.
+func LoadRuns(outDir string) ([]*RunResult, error) {
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var runs []*RunResult
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(outDir, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, "cells.json")); err != nil {
+			continue
+		}
+		run, err := LoadRun(dir)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+// LoadServerMetrics reads a run directory's server snapshot map, if any.
+func LoadServerMetrics(dir string) (map[string]obs.Snapshot, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "server_metrics.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	out := make(map[string]obs.Snapshot)
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("lab: %s: %w", dir, err)
+	}
+	return out, nil
+}

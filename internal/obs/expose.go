@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,6 +27,7 @@ type HistogramSnapshot struct {
 	Mean    float64  `json:"mean"`
 	P50     float64  `json:"p50"`
 	P90     float64  `json:"p90"`
+	P95     float64  `json:"p95"`
 	P99     float64  `json:"p99"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
@@ -37,6 +40,7 @@ func SnapshotOf(d HistogramData) HistogramSnapshot {
 		Mean:  d.Mean(),
 		P50:   d.Quantile(0.50),
 		P90:   d.Quantile(0.90),
+		P95:   d.Quantile(0.95),
 		P99:   d.Quantile(0.99),
 	}
 	if d.Count > 0 {
@@ -95,11 +99,103 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// MarshalJSON encodes the snapshot with every instrument name in sorted
+// order. The ordering is written explicitly rather than left to
+// encoding/json's map handling so that snapshot files are byte-comparable
+// across runs, Go versions and ingestion tools by contract, not by
+// accident: mclab joins snapshots from many runs and diffs them, and the
+// dashboard golden tests pin the bytes.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	if err := marshalSorted(&buf, "counters", s.Counters); err != nil {
+		return nil, err
+	}
+	buf.WriteByte(',')
+	if err := marshalSorted(&buf, "gauges", s.Gauges); err != nil {
+		return nil, err
+	}
+	buf.WriteByte(',')
+	if err := marshalSorted(&buf, "histograms", s.Histograms); err != nil {
+		return nil, err
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// marshalSorted writes `"section":{...}` with keys in sorted order.
+func marshalSorted[V any](buf *bytes.Buffer, section string, m map[string]V) error {
+	fmt.Fprintf(buf, "%q:{", section)
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		k, err := json.Marshal(n)
+		if err != nil {
+			return err
+		}
+		v, err := json.Marshal(m[n])
+		if err != nil {
+			return err
+		}
+		buf.Write(k)
+		buf.WriteByte(':')
+		buf.Write(v)
+	}
+	buf.WriteByte('}')
+	return nil
+}
+
 // WriteJSON writes the snapshot as indented JSON.
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// TimedSnapshot stamps a snapshot with its capture time, the line format
+// of periodic JSONL metrics series (mcserved -metrics-interval) that mclab
+// ingests from long daemon runs.
+type TimedSnapshot struct {
+	AtUnixNS int64    `json:"at_unix_ns"`
+	Metrics  Snapshot `json:"metrics"`
+}
+
+// WriteJSONLine appends the timed snapshot as one compact JSONL line.
+func (t TimedSnapshot) WriteJSONLine(w io.Writer) error {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadSnapshotLines decodes a JSONL metrics series, skipping undecodable
+// lines (a daemon killed mid-write leaves a torn last line) and reporting
+// how many were skipped.
+func ReadSnapshotLines(r io.Reader) (series []TimedSnapshot, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var t TimedSnapshot
+		if json.Unmarshal(line, &t) != nil || (t.Metrics.Counters == nil && t.Metrics.Gauges == nil && t.Metrics.Histograms == nil) {
+			skipped++
+			continue
+		}
+		series = append(series, t)
+	}
+	return series, skipped, sc.Err()
 }
 
 // WriteText writes a human-readable metrics table: counters and gauges as

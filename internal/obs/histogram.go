@@ -131,6 +131,17 @@ func (h HistogramData) Quantile(q float64) float64 {
 	return float64(h.MaxSeen)
 }
 
+// P50 returns the estimated median. It is the quantile triple the
+// dashboard and regression gates consume, precomputed here so callers do
+// not hard-code quantile constants.
+func (h HistogramData) P50() float64 { return h.Quantile(0.50) }
+
+// P95 returns the estimated 95th percentile.
+func (h HistogramData) P95() float64 { return h.Quantile(0.95) }
+
+// P99 returns the estimated 99th percentile.
+func (h HistogramData) P99() float64 { return h.Quantile(0.99) }
+
 // Histogram is a concurrency-safe registry instrument over HistogramData.
 type Histogram struct {
 	mu   sync.Mutex
@@ -151,6 +162,22 @@ func (h *Histogram) Observe(v int64) {
 func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(d.Nanoseconds())
 }
+
+// Quantile estimates the q-th quantile of the accumulated observations
+// under the instrument's lock. Shorthand for h.Data().Quantile(q); a nil
+// histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Data().Quantile(q)
+}
+
+// P50 returns the estimated median of the accumulated observations.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P95 returns the estimated 95th percentile.
+func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
+
+// P99 returns the estimated 99th percentile.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
 // Data returns a copy of the accumulated histogram.
 func (h *Histogram) Data() HistogramData {

@@ -8,15 +8,30 @@
 #   scripts/bench.sh 'MonteCarlo'    # benchmarks matching a regex
 #   scripts/bench.sh -dirty          # allow an unclean tree (results are
 #                                    # tagged <sha>-dirty and not comparable)
+#   scripts/bench.sh -out-dir lab/bench   # write into a history directory
+#                                    # (mclab render/check scan these)
 #   BENCHTIME=2s scripts/bench.sh    # override -benchtime
 set -eu
 
 cd "$(dirname "$0")/.."
 allow_dirty=0
-if [ "${1:-}" = "-dirty" ]; then
-	allow_dirty=1
-	shift
-fi
+out_dir=.
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-dirty)
+		allow_dirty=1
+		shift
+		;;
+	-out-dir)
+		[ $# -ge 2 ] || { echo "bench.sh: -out-dir needs a directory" >&2; exit 2; }
+		out_dir=$2
+		shift 2
+		;;
+	*)
+		break
+		;;
+	esac
+done
 sha=$(git rev-parse --short HEAD)
 if ! git diff --quiet HEAD 2>/dev/null; then
 	if [ "$allow_dirty" -ne 1 ]; then
@@ -29,7 +44,8 @@ if ! git diff --quiet HEAD 2>/dev/null; then
 fi
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1s}"
-out="BENCH_${sha}.json"
+mkdir -p "$out_dir"
+out="${out_dir}/BENCH_${sha}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -42,6 +58,7 @@ go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . | tee "$
 	printf '  "cpus": %s,\n' "$(nproc)"
 	printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc)}"
 	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "generated_at_unix": %s,\n' "$(date +%s)"
 	printf '  "benchmarks": [\n'
 	awk '
 		/^Benchmark/ {

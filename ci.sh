@@ -20,6 +20,15 @@ go test -race -shuffle=on ./...
 go run -race ./cmd/mcsim -chaos -n 24 -receivers 6 -chaosseeds 2 >/dev/null
 go test -fuzz=FuzzDecode -fuzztime=10s -run='^$' ./internal/packet
 go test -fuzz=FuzzFrameReader -fuzztime=10s -run='^$' ./internal/transport
+go test -fuzz=FuzzMuxFrameReader -fuzztime=10s -run='^$' ./internal/transport
+
+# Serving-chaos tier: kill/restart the serving daemon across three cycles
+# with connection faults injected, under the race detector. The harness
+# asserts its own invariants (no forged authentications, session resume
+# replayed catch-up, faults actually fired) and exits non-zero otherwise.
+go run -race ./cmd/mcserved -chaos -cycles 3 -streams 4 -n 8 -blocks 4 \
+	-rate 300us -kill-after 250ms -batch 16 -flush 30ms \
+	-conn-reset 0.02 -conn-stall 0.01 -chaos-seed 7 -key ci-chaos >/dev/null
 
 # Diagnostics tier: a small lossy run must produce a root-cause report that
 # mcreport can re-read, and two identical-seed traces must diff empty.
@@ -51,6 +60,13 @@ diff -r "$labdir/w1" "$labdir/w4"
 test -s "$labdir/dashboard.md"
 test -s "$labdir/dashboard.html"
 "$labdir/mclab" check -out "$labdir/w1"
+
+# Churn sweep: the serving tier's session-resume flow (subscriber leaves
+# mid-run, a late joiner is caught up via ResumeFrom) must verify every
+# message and pass the require_server_resume gate. Its own -out dir, since
+# check gates only the latest run under a root.
+"$labdir/mclab" run examples/lab/churn.json -out "$labdir/churn" -workers 4 -stamp ci >/dev/null
+"$labdir/mclab" check -out "$labdir/churn"
 
 # Coverage tier: per-package statement coverage from a quick -short pass
 # and the aggregate figure. Informational only — no threshold is enforced.

@@ -1,0 +1,211 @@
+// Chaos self-test: the serving tier's failure model, exercised end to end
+// in one process. A daemon (server + TCP listener + publishers) is killed
+// and restarted for -cycles rounds against one persistent reconnecting
+// receiver, while connection-level faults (resets mid-frame, torn writes,
+// stalled reads) hit both sides of every subscriber conn. The kill is
+// server.Kill — the in-process equivalent of SIGKILL: partial blocks and
+// unsigned batch roots die, only the write-ahead checkpoint survives.
+//
+// The receiver cross-checks every authenticated message against the
+// publishers' deterministic payload format and against everything
+// previously authenticated under the same (stream, block, index)
+// identity. Because restarted streams resume past their reserved
+// watermark, a conflict can only mean a forged authentication or a forked
+// block — either fails the run. At the end the harness asserts the run
+// actually proved something: resets and reconnects happened, session
+// resume replayed catch-up packets, and at least -min-auth of the
+// published messages authenticated despite the kills.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mcauth/internal/fault"
+	"mcauth/internal/obs"
+	"mcauth/internal/stream"
+)
+
+// chaosVerifier vets authenticated messages. Single-goroutine (the
+// receiver session calls it inline).
+type chaosVerifier struct {
+	// seen maps "stream/block/index" to the authenticated payload; a
+	// second authentication under the same identity must match bit for
+	// bit, or some incarnation of the daemon forked a block.
+	seen   map[string]string
+	forged int
+}
+
+func (cv *chaosVerifier) check(streamID uint64, a stream.Authenticated) error {
+	if len(a.Payload) > 0 && !strings.HasPrefix(string(a.Payload), fmt.Sprintf("stream-%d msg-", streamID)) {
+		cv.forged++
+		return fmt.Errorf("chaos: forged authentication on stream %d block %d index %d: %q",
+			streamID, a.BlockID, a.Index, a.Payload)
+	}
+	key := fmt.Sprintf("%d/%d/%d", streamID, a.BlockID, a.Index)
+	if prev, ok := cv.seen[key]; ok {
+		if prev != string(a.Payload) {
+			cv.forged++
+			return fmt.Errorf("chaos: block fork: stream %d block %d index %d authenticated as both %q and %q",
+				streamID, a.BlockID, a.Index, prev, a.Payload)
+		}
+		return nil
+	}
+	cv.seen[key] = string(a.Payload)
+	return nil
+}
+
+func runChaos(o options, reg *obs.Registry, stdout io.Writer) error {
+	if reg == nil {
+		// The assertions read server.* counters, so chaos always runs with
+		// a live registry (shared across daemon incarnations: counters
+		// accumulate over the whole soak).
+		reg = obs.NewRegistry()
+	}
+	cpPath := o.checkpoint
+	if cpPath == "" {
+		dir, err := os.MkdirTemp("", "mcserved-chaos-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cpPath = filepath.Join(dir, "checkpoint.json")
+	}
+	o.checkpoint = cpPath
+	if o.repair <= 0 {
+		return fmt.Errorf("chaos needs -repair > 0 (session resume replays from repair retention)")
+	}
+
+	// Server-side faults tear subscriber conns (reset mid-frame, partial
+	// write); client-side faults stall the receiver's reads so server-side
+	// write deadlines and priority shedding engage.
+	srvFaults, err := fault.NewConnFaults(fault.ConnFaultConfig{
+		Seed:             o.chaosSeed,
+		ResetRate:        o.connReset,
+		PartialWriteRate: o.connReset / 2,
+	})
+	if err != nil {
+		return err
+	}
+	rcvFaults, err := fault.NewConnFaults(fault.ConnFaultConfig{
+		Seed:          o.chaosSeed + 1,
+		ReadStallRate: o.connStall,
+		StallDelay:    20 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+
+	// One listener address for the whole soak: bind once to grab a free
+	// port, then re-listen on it after every kill.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+
+	// The receiver session persists across every daemon incarnation:
+	// unlimited redials, and verification state that carries resume
+	// cursors over the kills.
+	cv := &chaosVerifier{seen: make(map[string]string)}
+	ro := o
+	ro.reconnect = -1
+	ro.reconnectBackoff = 10 * time.Millisecond
+	rs, err := newReceiverSession(ro, reg, addr)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	rs.onAuth = cv.check
+	rs.dial = func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return rcvFaults.Wrap(conn), nil
+	}
+	recvStop := make(chan struct{})
+	recvDone := make(chan error, 1)
+	go func() { recvDone <- rs.run(recvStop) }()
+
+	kills := 0
+	for cycle := 0; cycle < o.cycles; cycle++ {
+		if ln == nil {
+			if ln, err = net.Listen("tcp", addr); err != nil {
+				close(recvStop)
+				<-recvDone
+				return fmt.Errorf("chaos: re-listen cycle %d: %w", cycle, err)
+			}
+		}
+		srv, err := startServer(o, reg)
+		if err != nil {
+			ln.Close()
+			close(recvStop)
+			<-recvDone
+			return err
+		}
+		connWG := acceptLoop(srv, ln, reg, o.writeTimeout, srvFaults.Wrap)
+		stopPub := make(chan struct{})
+		pubs := publishAll(srv, o, stopPub)
+
+		time.Sleep(o.killAfter)
+		close(stopPub)
+		pubs.Wait()
+		if cycle == o.cycles-1 {
+			// The final incarnation shuts down gracefully: drain, sign the
+			// last batch, record a clean checkpoint.
+			if err := srv.Close(); err != nil {
+				ln.Close()
+				close(recvStop)
+				<-recvDone
+				return err
+			}
+		} else {
+			srv.Kill()
+			kills++
+		}
+		ln.Close()
+		connWG.Wait()
+		ln = nil
+	}
+	// Let the receiver drain what the final graceful close put on the wire
+	// before stopping it.
+	time.Sleep(200 * time.Millisecond)
+	close(recvStop)
+	if err := <-recvDone; err != nil {
+		return err
+	}
+
+	published := reg.Counter("server.published").Value()
+	catchup := reg.Counter("server.resume_catchup_packets").Value()
+	reconnects := reg.Counter("server.reconnects").Value()
+	shedData := reg.Counter("server.shed_data").Value()
+	shedSig := reg.Counter("server.shed_sig").Value()
+	fmt.Fprintf(stdout, "mcserved chaos: %d cycles (%d kills), %d published, %d authenticated (%.2f), %d padding\n",
+		o.cycles, kills, published, rs.authed, float64(rs.authed)/float64(max(published, 1)), rs.padding)
+	fmt.Fprintf(stdout, "  sessions %d, reconnects %d, catch-up packets %d\n", rs.sessions, reconnects, catchup)
+	fmt.Fprintf(stdout, "  injected: %d resets, %d torn writes, %d read stalls; shed %d data / %d sig\n",
+		srvFaults.Resets(), srvFaults.PartialWrites(), rcvFaults.Stalls(), shedData, shedSig)
+
+	if cv.forged > 0 {
+		return fmt.Errorf("chaos: %d forged authentications", cv.forged)
+	}
+	if rs.sessions < 2 || reconnects < 1 {
+		return fmt.Errorf("chaos: receiver never reconnected (%d sessions) — the soak proved nothing", rs.sessions)
+	}
+	if catchup == 0 {
+		return fmt.Errorf("chaos: no resume catch-up was replayed — session resume untested")
+	}
+	if srvFaults.Resets()+srvFaults.PartialWrites() == 0 && o.connReset > 0 {
+		return fmt.Errorf("chaos: no connection faults fired — raise -kill-after or -conn-reset")
+	}
+	if frac := float64(rs.authed) / float64(max(published, 1)); frac < o.minAuth {
+		return fmt.Errorf("chaos: authenticated fraction %.3f below -min-auth %.3f", frac, o.minAuth)
+	}
+	return nil
+}

@@ -18,6 +18,23 @@
 //
 // The demo and daemon sign with a key derived from -key; receivers derive
 // the same verification key, so a quickstart needs no key exchange.
+//
+// A fourth mode exercises the resilience machinery end to end:
+//
+//	mcserved -chaos -cycles 5 -conn-reset 0.02 -conn-stall 0.01
+//	    chaos self-test: run daemon + reconnecting receiver in-process,
+//	    kill and restart the server every -kill-after with connection
+//	    resets, torn writes and stalled reads injected, then assert zero
+//	    forged authentications, no forked blocks, and measured session
+//	    resume. See chaos.go.
+//
+// Daemons are crash-recoverable when given -checkpoint FILE: block IDs are
+// write-ahead reserved there, so a killed and restarted daemon never
+// reuses a block identity, and SIGTERM flushes a clean checkpoint.
+// Receivers reconnect with capped exponential backoff (-reconnect,
+// -reconnect-backoff) and resume their session via a hello carrying
+// per-stream replay cursors, answered from the server's per-stream repair
+// retention (-repair).
 package main
 
 import (
@@ -31,10 +48,12 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"mcauth/internal/crypto"
 	"mcauth/internal/obs"
+	"mcauth/internal/packet"
 	"mcauth/internal/scheme"
 	"mcauth/internal/scheme/augchain"
 	"mcauth/internal/scheme/authtree"
@@ -42,6 +61,7 @@ import (
 	"mcauth/internal/scheme/rohatgi"
 	"mcauth/internal/scheme/signeach"
 	"mcauth/internal/server"
+	"mcauth/internal/stats"
 	"mcauth/internal/stream"
 	"mcauth/internal/transport"
 )
@@ -50,6 +70,7 @@ type options struct {
 	demo    bool
 	listen  string
 	connect string
+	chaos   bool
 
 	streams  int
 	schemeID string
@@ -61,6 +82,20 @@ type options struct {
 	batch int
 	flush time.Duration
 	key   string
+
+	checkpoint   string
+	repair       int
+	writeTimeout time.Duration
+
+	reconnect        int
+	reconnectBackoff time.Duration
+
+	cycles    int
+	killAfter time.Duration
+	connReset float64
+	connStall float64
+	chaosSeed uint64
+	minAuth   float64
 
 	metrics         string
 	metricsInterval time.Duration
@@ -80,6 +115,7 @@ func parseOptions(args []string) (options, error) {
 	fs.BoolVar(&o.demo, "demo", false, "run the in-process demo (serve + receive + verify)")
 	fs.StringVar(&o.listen, "listen", "", "serve receivers on this TCP address (e.g. :7700)")
 	fs.StringVar(&o.connect, "connect", "", "act as a receiver: connect to a daemon and verify its streams")
+	fs.BoolVar(&o.chaos, "chaos", false, "run the chaos self-test: kill/restart the daemon across -cycles with conn faults injected, assert recovery invariants")
 	fs.IntVar(&o.streams, "streams", 64, "number of concurrent authenticated streams")
 	fs.StringVar(&o.schemeID, "scheme", "mixed", "per-stream scheme: rohatgi|emss|augchain|authtree|signeach|mixed")
 	fs.IntVar(&o.n, "n", 8, "block size (payloads per block)")
@@ -89,26 +125,60 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.batch, "batch", 64, "block roots per signature (batch signer auto-flush threshold)")
 	fs.DurationVar(&o.flush, "flush", 50*time.Millisecond, "flush deadline for partial blocks and pending batches")
 	fs.StringVar(&o.key, "key", "mcserved-demo", "signing-key derivation string (receivers derive the matching public key)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "crash-recovery checkpoint file: block IDs are write-ahead reserved here, restarts resume past every emitted block")
+	fs.IntVar(&o.repair, "repair", 64, "blocks of per-stream packet retention for session-resume catch-up (0 disables)")
+	fs.DurationVar(&o.writeTimeout, "write-timeout", 10*time.Second, "per-packet write deadline on subscriber connections (0 = none); a stalled reader loses its conn instead of pinning the writer")
+	fs.IntVar(&o.reconnect, "reconnect", 8, "receiver: give up after this many consecutive failed dials (-1 = retry forever, 0 = single session, no reconnect)")
+	fs.DurationVar(&o.reconnectBackoff, "reconnect-backoff", 50*time.Millisecond, "receiver: initial redial backoff (doubles with jitter, capped at 1s)")
+	fs.IntVar(&o.cycles, "cycles", 5, "chaos: daemon kill/restart cycles")
+	fs.DurationVar(&o.killAfter, "kill-after", 300*time.Millisecond, "chaos: serving time before each kill")
+	fs.Float64Var(&o.connReset, "conn-reset", 0.01, "chaos: per-write probability a subscriber conn resets mid-frame")
+	fs.Float64Var(&o.connStall, "conn-stall", 0.005, "chaos: per-read probability the receiver stalls")
+	fs.Uint64Var(&o.chaosSeed, "chaos-seed", 1, "chaos: fault-injection RNG seed")
+	fs.Float64Var(&o.minAuth, "min-auth", 0.3, "chaos: minimum fraction of published messages that must authenticate")
 	fs.StringVar(&o.metrics, "metrics", "", "write end-of-run metrics: '-' for a text table on stdout, else JSON to this file")
 	fs.DurationVar(&o.metricsInterval, "metrics-interval", 0, "with -metrics FILE: append a timestamped JSONL metrics snapshot at this interval (plus one final line) instead of a single end-of-run object")
-	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof (+/metrics, /statusz) on this address")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof (+/metrics, /statusz, /healthz) on this address")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
 	modes := 0
-	for _, on := range []bool{o.demo, o.listen != "", o.connect != ""} {
+	for _, on := range []bool{o.demo, o.listen != "", o.connect != "", o.chaos} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		return options{}, errors.New("pick exactly one of -demo, -listen, -connect")
+		return options{}, errors.New("pick exactly one of -demo, -listen, -connect, -chaos")
 	}
 	if o.streams < 1 {
 		return options{}, fmt.Errorf("streams %d must be >= 1", o.streams)
 	}
 	if o.blocks < 1 {
 		return options{}, fmt.Errorf("blocks %d must be >= 1", o.blocks)
+	}
+	if o.repair < 0 {
+		return options{}, fmt.Errorf("repair %d must be >= 0", o.repair)
+	}
+	if o.reconnect < -1 {
+		return options{}, fmt.Errorf("reconnect %d must be >= -1", o.reconnect)
+	}
+	if o.reconnectBackoff <= 0 {
+		return options{}, fmt.Errorf("reconnect-backoff %v must be > 0", o.reconnectBackoff)
+	}
+	if o.chaos {
+		if o.cycles < 1 {
+			return options{}, fmt.Errorf("cycles %d must be >= 1", o.cycles)
+		}
+		if o.killAfter <= 0 {
+			return options{}, fmt.Errorf("kill-after %v must be > 0", o.killAfter)
+		}
+		if o.connReset < 0 || o.connReset > 1 || o.connStall < 0 || o.connStall > 1 {
+			return options{}, errors.New("conn-reset and conn-stall must be in [0,1]")
+		}
+		if o.minAuth < 0 || o.minAuth > 1 {
+			return options{}, fmt.Errorf("min-auth %v must be in [0,1]", o.minAuth)
+		}
 	}
 	if o.metricsInterval < 0 {
 		return options{}, fmt.Errorf("metrics-interval %v must be >= 0", o.metricsInterval)
@@ -147,15 +217,17 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	reg, finish, err := setupObservability(o, stdout)
+	reg, health, finish, err := setupObservability(o, stdout)
 	if err != nil {
 		return err
 	}
 	switch {
 	case o.connect != "":
-		err = runReceiver(o, stdout)
+		err = runReceiver(o, reg, stdout)
 	case o.listen != "":
-		err = runDaemon(o, reg, stdout)
+		err = runDaemon(o, reg, health, stdout)
+	case o.chaos:
+		err = runChaos(o, reg, stdout)
 	default:
 		err = runDemo(o, reg, stdout)
 	}
@@ -166,19 +238,20 @@ func run(args []string, stdout io.Writer) error {
 	return finish()
 }
 
-func setupObservability(o options, stdout io.Writer) (*obs.Registry, func() error, error) {
+func setupObservability(o options, stdout io.Writer) (*obs.Registry, *obs.Health, func() error, error) {
 	var (
 		reg         *obs.Registry
 		metricsFile *os.File
 		exposer     *obs.Exposer
 		err         error
 	)
+	health := &obs.Health{}
 	if o.metrics != "" || o.pprofAddr != "" {
 		reg = obs.NewRegistry()
 		if o.metrics != "" && o.metrics != "-" {
 			metricsFile, err = os.Create(o.metrics)
 			if err != nil {
-				return nil, nil, fmt.Errorf("metrics output unwritable: %w", err)
+				return nil, nil, nil, fmt.Errorf("metrics output unwritable: %w", err)
 			}
 		}
 		crypto.Instrument(reg)
@@ -186,7 +259,7 @@ func setupObservability(o options, stdout io.Writer) (*obs.Registry, func() erro
 	if o.pprofAddr != "" {
 		ln, err := net.Listen("tcp", o.pprofAddr)
 		if err != nil {
-			return nil, nil, fmt.Errorf("pprof listen %s: %w", o.pprofAddr, err)
+			return nil, nil, nil, fmt.Errorf("pprof listen %s: %w", o.pprofAddr, err)
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -196,11 +269,12 @@ func setupObservability(o options, stdout io.Writer) (*obs.Registry, func() erro
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		exposer = obs.NewExposer(reg, obs.DefaultExposeInterval)
 		exposer.SetStatus(func(w io.Writer) {
-			fmt.Fprintf(w, "mcserved -streams %d -scheme %s -batch %d -flush %v\n",
-				o.streams, o.schemeID, o.batch, o.flush)
+			fmt.Fprintf(w, "mcserved -streams %d -scheme %s -batch %d -flush %v (%s)\n",
+				o.streams, o.schemeID, o.batch, o.flush, health)
 		})
 		exposer.Register(mux)
-		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/ (+/metrics, /statusz)\n", ln.Addr())
+		health.Register(mux)
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/ (+/metrics, /statusz, /healthz)\n", ln.Addr())
 		go func() { _ = http.Serve(ln, mux) }()
 	}
 	// With -metrics-interval the file carries an append-only JSONL series
@@ -234,6 +308,7 @@ func setupObservability(o options, stdout io.Writer) (*obs.Registry, func() erro
 		}()
 	}
 	finish := func() error {
+		health.SetDraining()
 		crypto.Uninstrument()
 		if exposer != nil {
 			exposer.Refresh()
@@ -265,17 +340,28 @@ func setupObservability(o options, stdout io.Writer) (*obs.Registry, func() erro
 		}
 		return nil
 	}
-	return reg, finish, nil
+	return reg, health, finish, nil
 }
 
-// startServer creates the server and opens every stream.
+// startServer creates the server and opens every stream. When the options
+// name a checkpoint file it is opened (or resumed) here, so a restarted
+// daemon picks up every stream past its reserved watermark.
 func startServer(o options, reg *obs.Registry) (*server.Server, error) {
+	var cp *server.Checkpoint
+	if o.checkpoint != "" {
+		var err error
+		if cp, err = server.OpenCheckpoint(o.checkpoint); err != nil {
+			return nil, err
+		}
+	}
 	srv, err := server.New(server.Config{
 		Signer:             crypto.NewSignerFromString(o.key),
 		BatchSize:          o.batch,
 		FlushInterval:      o.flush,
 		MaxSubscriberQueue: 1 << 16,
 		Metrics:            reg,
+		Checkpoint:         cp,
+		RepairBlocks:       o.repair,
 	})
 	if err != nil {
 		return nil, err
@@ -398,7 +484,78 @@ func runDemo(o options, reg *obs.Registry, stdout io.Writer) error {
 	return nil
 }
 
-func runDaemon(o options, reg *obs.Registry, stdout io.Writer) error {
+// helloReadTimeout is how long the daemon waits for a subscriber's resume
+// hello before treating the connection as a legacy full-stream feed.
+const helloReadTimeout = 2 * time.Second
+
+// serveConn runs one subscriber connection: subscribe first (so live
+// deliveries buffer during replay), then read the optional resume hello
+// and replay catch-up from the repair retention, then forward live. Every
+// write carries a deadline so a stalled TCP reader loses its connection
+// instead of pinning the writer goroutine. wrap, when non-nil, decorates
+// the conn (chaos fault injection).
+func serveConn(srv *server.Server, conn net.Conn, reg *obs.Registry, writeTimeout time.Duration, wrap func(net.Conn) net.Conn) {
+	if wrap != nil {
+		conn = wrap(conn)
+	}
+	defer conn.Close()
+	sub, err := srv.Subscribe()
+	if err != nil {
+		return
+	}
+	defer srv.Unsubscribe(sub)
+	mw := transport.NewMuxFrameWriter(conn)
+	mw.SetMetrics(reg)
+	write := func(streamID uint64, p *packet.Packet) error {
+		if writeTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+		return mw.WritePacket(streamID, p)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(helloReadTimeout))
+	points, herr := transport.ReadHello(conn)
+	_ = conn.SetReadDeadline(time.Time{})
+	if herr == nil {
+		// Replay before forwarding live: duplicates across the seam are
+		// possible and fine (receivers count and discard them).
+		for _, pt := range points {
+			for _, p := range srv.ResumeFrom(pt.StreamID, pt.From) {
+				if write(pt.StreamID, p) != nil {
+					return
+				}
+			}
+		}
+	}
+	for d := range sub.C() {
+		if write(d.StreamID, d.Packet) != nil {
+			return
+		}
+	}
+}
+
+// acceptLoop serves subscriber conns until the listener closes; the
+// returned WaitGroup tracks the per-conn goroutines.
+func acceptLoop(srv *server.Server, ln net.Listener, reg *obs.Registry, writeTimeout time.Duration, wrap func(net.Conn) net.Conn) *sync.WaitGroup {
+	var connWG sync.WaitGroup
+	connWG.Add(1)
+	go func() {
+		defer connWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			connWG.Add(1)
+			go func() {
+				defer connWG.Done()
+				serveConn(srv, conn, reg, writeTimeout, wrap)
+			}()
+		}
+	}()
+	return &connWG
+}
+
+func runDaemon(o options, reg *obs.Registry, health *obs.Health, stdout io.Writer) error {
 	srv, err := startServer(o, reg)
 	if err != nil {
 		return err
@@ -409,38 +566,14 @@ func runDaemon(o options, reg *obs.Registry, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "mcserved: serving %d streams on %s\n", o.streams, ln.Addr())
+	health.SetReady()
 
 	stop := make(chan struct{})
 	pubs := publishAll(srv, o, stop)
-	var connWG sync.WaitGroup
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			connWG.Add(1)
-			go func() {
-				defer connWG.Done()
-				defer conn.Close()
-				sub, err := srv.Subscribe()
-				if err != nil {
-					return
-				}
-				defer srv.Unsubscribe(sub)
-				mw := transport.NewMuxFrameWriter(conn)
-				mw.SetMetrics(reg)
-				for d := range sub.C() {
-					if err := mw.WritePacket(d.StreamID, d.Packet); err != nil {
-						return
-					}
-				}
-			}()
-		}
-	}()
+	connWG := acceptLoop(srv, ln, reg, o.writeTimeout, nil)
 
 	interrupt := make(chan os.Signal, 1)
-	signal.Notify(interrupt, os.Interrupt)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(interrupt)
 	if o.duration > 0 {
 		select {
@@ -450,8 +583,11 @@ func runDaemon(o options, reg *obs.Registry, stdout io.Writer) error {
 	} else {
 		<-interrupt
 	}
+	health.SetDraining()
 	close(stop)
 	pubs.Wait()
+	// Close drains, signs the final batch, and (with -checkpoint) records a
+	// clean checkpoint — the flush-on-SIGTERM path.
 	err = srv.Close() // closes subscriber channels -> conn writers exit
 	ln.Close()
 	connWG.Wait()
@@ -461,20 +597,30 @@ func runDaemon(o options, reg *obs.Registry, stdout io.Writer) error {
 	return err
 }
 
-func runReceiver(o options, stdout io.Writer) error {
-	conn, err := net.Dial("tcp", o.connect)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	interrupt := make(chan os.Signal, 1)
-	signal.Notify(interrupt, os.Interrupt)
-	defer signal.Stop(interrupt)
-	go func() {
-		<-interrupt
-		conn.Close() // unblocks the read loop
-	}()
+// maxReconnectBackoff caps the receiver's redial backoff.
+const maxReconnectBackoff = time.Second
 
+// receiverSession is a persistent verifying subscriber: one Demux whose
+// verification state survives reconnects, a dialer with capped exponential
+// backoff plus jitter, and a resume hello sent on every connect carrying
+// the Demux's per-stream replay cursors. The chaos harness reuses it with
+// an onAuth hook that cross-checks every authenticated payload.
+type receiverSession struct {
+	o    options
+	reg  *obs.Registry
+	dial func() (net.Conn, error)
+	dmx  *stream.Demux
+	rng  *stats.RNG
+	// onAuth, when set, vets every authenticated message; an error aborts
+	// the session (a forged authentication made it through — fatal).
+	onAuth func(streamID uint64, a stream.Authenticated) error
+
+	packets, authed, padding int64
+	reconnects               int64
+	sessions                 int
+}
+
+func newReceiverSession(o options, reg *obs.Registry, addr string) (*receiverSession, error) {
 	dmx, err := stream.NewDemux(func(id uint64) (*stream.Receiver, error) {
 		s, err := buildScheme(o.schemeID, o.n, id, crypto.BatchCapable(crypto.NewSignerFromString(o.key)))
 		if err != nil {
@@ -483,29 +629,133 @@ func runReceiver(o options, stdout io.Writer) error {
 		return stream.NewReceiver(s, 64)
 	}, o.streams)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	return &receiverSession{
+		o:    o,
+		reg:  reg,
+		dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		dmx:  dmx,
+		rng:  stats.NewRNG(uint64(time.Now().UnixNano())),
+	}, nil
+}
+
+// run dials, verifies, and redials until stop closes, dial attempts are
+// exhausted, or verification fails. A connection-level failure (reset,
+// torn frame, EOF) ends the session and triggers a reconnect — never an
+// error: loss is the normal operating mode of this stack.
+func (rs *receiverSession) run(stop <-chan struct{}) error {
+	backoff := rs.o.reconnectBackoff
+	fails := 0
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		conn, err := rs.dial()
+		if err != nil {
+			fails++
+			if rs.o.reconnect >= 0 && fails > rs.o.reconnect {
+				if rs.sessions == 0 {
+					return fmt.Errorf("connect %s: %w", rs.o.connect, err)
+				}
+				return nil
+			}
+			// Jittered exponential backoff: sleep backoff plus up to half
+			// again, so a thundering herd of receivers spreads out.
+			delay := backoff + time.Duration(rs.rng.Intn(int(backoff/2)+1))
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(delay):
+			}
+			backoff = min(2*backoff, maxReconnectBackoff)
+			continue
+		}
+		fails = 0
+		backoff = rs.o.reconnectBackoff
+		if rs.sessions > 0 {
+			rs.reconnects++
+			rs.reg.Counter("server.reconnects").Inc()
+		}
+		rs.sessions++
+		if err := rs.session(conn, stop); err != nil {
+			return err
+		}
+		if rs.o.reconnect == 0 {
+			return nil // legacy single-session mode
+		}
+	}
+}
+
+// session runs one connection: hello with resume cursors, then verify
+// until the conn dies or stop closes.
+func (rs *receiverSession) session(conn net.Conn, stop <-chan struct{}) error {
+	defer conn.Close()
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-stop:
+			conn.Close() // unblocks the read loop
+		case <-watcherDone:
+		}
+	}()
+	points := make([]transport.ResumePoint, 0)
+	for id, from := range rs.dmx.ResumePoints() {
+		points = append(points, transport.ResumePoint{StreamID: id, From: from})
+	}
+	if err := transport.WriteHello(conn, points); err != nil {
+		return nil // conn-level: reconnect
 	}
 	mr := transport.NewMuxFrameReader(conn)
-	var authed, padding, packets int64
+	mr.SetMetrics(rs.reg)
 	for {
 		id, p, err := mr.ReadPacket()
 		if err != nil {
-			break // EOF, daemon shutdown, or interrupt
+			return nil // EOF, reset, or torn frame: reconnect
 		}
-		packets++
-		auths, err := dmx.Ingest(id, p, time.Now())
+		rs.packets++
+		auths, err := rs.dmx.Ingest(id, p, time.Now())
 		if err != nil {
 			return err
 		}
 		for _, a := range auths {
+			if rs.onAuth != nil {
+				if err := rs.onAuth(a.StreamID, a.Authenticated); err != nil {
+					return err
+				}
+			}
 			if len(a.Payload) > 0 {
-				authed++
+				rs.authed++
 			} else {
-				padding++
+				rs.padding++
 			}
 		}
 	}
+}
+
+func runReceiver(o options, reg *obs.Registry, stdout io.Writer) error {
+	rs, err := newReceiverSession(o, reg, o.connect)
+	if err != nil {
+		return err
+	}
+	stop := make(chan struct{})
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(interrupt)
+	go func() {
+		<-interrupt
+		close(stop)
+	}()
+	if err := rs.run(stop); err != nil {
+		return err
+	}
 	fmt.Fprintf(stdout, "mcserved receiver: %d packets, %d verified messages (+%d padding) across %d streams\n",
-		packets, authed, padding, len(dmx.StreamIDs()))
+		rs.packets, rs.authed, rs.padding, len(rs.dmx.StreamIDs()))
+	if rs.reconnects > 0 {
+		fmt.Fprintf(stdout, "mcserved receiver: %d reconnects across %d sessions\n", rs.reconnects, rs.sessions)
+	}
 	return nil
 }

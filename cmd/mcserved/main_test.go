@@ -89,6 +89,9 @@ func TestDaemonServesReceiverOverTCP(t *testing.T) {
 	var recvBuf bytes.Buffer
 	recvErr := run([]string{
 		"-connect", addr, "-streams", "8", "-scheme", "mixed", "-key", "test-tcp",
+		// One quick redial after the daemon exits keeps the test fast while
+		// still exercising the reconnect path's give-up branch.
+		"-reconnect", "1", "-reconnect-backoff", "10ms",
 	}, &recvBuf)
 	if recvErr != nil {
 		t.Fatalf("receiver: %v\n%s", recvErr, recvBuf.String())

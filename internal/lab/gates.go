@@ -22,6 +22,12 @@ type Baselines struct {
 	// bench snapshot vs the best strictly-older snapshot per benchmark
 	// (0.10 = +10%). Zero disables the bench gate.
 	BenchThreshold float64 `json:"bench_threshold,omitempty"`
+	// RequireServerResume gates the serving tier's session-resume path:
+	// every cell that ran the server path with churn enabled must have
+	// replayed catch-up packets to its late subscriber and verified every
+	// published message. Cells without a churn server result pass
+	// vacuously, so the gate composes with non-churn sweeps.
+	RequireServerResume bool `json:"require_server_resume,omitempty"`
 }
 
 // ReadBaselines loads a committed baselines file.
@@ -86,6 +92,27 @@ func (b Baselines) CheckRun(run *RunResult) []error {
 		}
 		params := cellParams(run.Config.Trials, c.Receivers)
 		errs = append(errs, b.Bounds.Check(r, params, c.HasAnalytic, c.HasMonteCarlo, c.HasMeasured)...)
+		if b.RequireServerResume && c.Server != nil && c.Server.Churned {
+			if c.Server.ResumeCatchup <= 0 {
+				errs = append(errs, fmt.Errorf("%s: churn cell replayed no resume catch-up packets", c.ID))
+			}
+			if c.Server.Verified != c.Server.Published {
+				errs = append(errs, fmt.Errorf("%s: churn cell verified %d of %d published messages after resume",
+					c.ID, c.Server.Verified, c.Server.Published))
+			}
+		}
+	}
+	if b.RequireServerResume && run.Config.Server.Churn {
+		churned := false
+		for _, c := range run.Cells {
+			if c.Server != nil && c.Server.Churned {
+				churned = true
+				break
+			}
+		}
+		if !churned {
+			errs = append(errs, fmt.Errorf("run %s: require_server_resume set and config asks for churn, but no cell produced a churn server result", run.RunID()))
+		}
 	}
 	return errs
 }

@@ -96,6 +96,13 @@ type ServerConfig struct {
 	Blocks int `json:"blocks,omitempty"`
 	// Batch is the signature batch size in block roots (default 16).
 	Batch int `json:"batch,omitempty"`
+	// Churn exercises subscriber churn with session resume: the initial
+	// subscriber leaves mid-run, a late subscriber joins and is caught up
+	// from the server's repair retention via ResumeFrom, and the cell
+	// asserts the late subscriber still verifies every published message.
+	// Requires Blocks >= 2. For a deterministic resume_catchup count pick
+	// Batch > Streams*Blocks/2, so no batch signs before the handover.
+	Churn bool `json:"churn,omitempty"`
 }
 
 // Path names.
@@ -207,6 +214,9 @@ func (c *Config) Normalize() error {
 	}
 	if c.Server.Streams < 1 || c.Server.Blocks < 1 || c.Server.Batch < 1 {
 		return fmt.Errorf("lab: server knobs must be >= 1: %+v", c.Server)
+	}
+	if c.Server.Churn && c.Server.Blocks < 2 {
+		return fmt.Errorf("lab: server churn needs blocks >= 2 (got %d): the handover happens at the halfway block", c.Server.Blocks)
 	}
 	return nil
 }

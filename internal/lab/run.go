@@ -69,6 +69,12 @@ type ServerResult struct {
 	Signatures   int64   `json:"signatures"`
 	SignedRoots  int64   `json:"signed_roots"`
 	Amortization float64 `json:"amortization"`
+	// Churned records that the cell ran the subscriber-churn flow: the
+	// late subscriber was caught up via ResumeFrom and ResumeCatchup
+	// packets were replayed to it. Zero-valued (and omitted) for plain
+	// cells, so existing goldens are unchanged.
+	Churned       bool  `json:"churned,omitempty"`
+	ResumeCatchup int64 `json:"resume_catchup,omitempty"`
 }
 
 // CellResult is one cell's outcome across the evaluation layers. Absent
@@ -460,16 +466,27 @@ func runCell(cfg Config, c Cell, seed uint64) (cellArtifacts, error) {
 // deterministic (the flush timer is effectively disabled, so signature
 // count is driven by batch arithmetic); latency histograms are wall-clock
 // and returned separately.
+//
+// With Server.Churn set, the verifying subscriber is a late joiner: an
+// initial subscriber watches the first half of the blocks and leaves, then
+// the verifier joins and is caught up from the server's repair retention
+// via ResumeFrom before following the second half live. It must still
+// verify every published message — the session-resume guarantee.
 func runServerCell(cfg Config, c Cell, cc cellCase) (*ServerResult, *obs.Snapshot, error) {
 	reg := obs.NewRegistry()
 	key := "mclab-server"
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Signer:             crypto.NewSignerFromString(key),
 		BatchSize:          cfg.Server.Batch,
 		FlushInterval:      time.Hour, // flush on Close, keeping counts deterministic
 		MaxSubscriberQueue: 1 << 16,
 		Metrics:            reg,
-	})
+	}
+	if cfg.Server.Churn {
+		// Retain every block so the late joiner can be caught up from 0.
+		scfg.RepairBlocks = cfg.Server.Blocks + 2
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -488,28 +505,111 @@ func runServerCell(cfg Config, c Cell, cc cellCase) (*ServerResult, *obs.Snapsho
 			return nil, nil, err
 		}
 	}
+
+	blockSize := cc.scheme.BlockSize()
+	var published int64
+	publishBlocks := func(from, to int) error {
+		for id := uint64(1); id <= uint64(cfg.Server.Streams); id++ {
+			for i := from * blockSize; i < to*blockSize; i++ {
+				if err := srv.Publish(id, []byte(fmt.Sprintf("cell %s stream-%d msg-%d", c.ID(), id, i))); err != nil {
+					return err
+				}
+				published++
+			}
+		}
+		return nil
+	}
+
+	// firstLive is the block the verifying subscriber starts watching live;
+	// churn publishes everything before it to an earlier subscriber that
+	// then leaves.
+	firstLive := 0
+	if cfg.Server.Churn {
+		firstLive = cfg.Server.Blocks / 2
+		sub1, err := srv.Subscribe()
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		drained := make(chan struct{})
+		go func() {
+			for range sub1.C() {
+			}
+			close(drained)
+		}()
+		if err := publishBlocks(0, firstLive); err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		// Barrier: every stream has emitted its first-half blocks, so the
+		// repair store holds them before the handover.
+		deadline := time.Now().Add(10 * time.Second)
+		for id := uint64(1); id <= uint64(cfg.Server.Streams); id++ {
+			for srv.Stream(id).Blocks() < int64(firstLive) {
+				if time.Now().After(deadline) {
+					srv.Close()
+					return nil, nil, fmt.Errorf("lab: churn barrier: stream %d stuck at %d of %d blocks",
+						id, srv.Stream(id).Blocks(), firstLive)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		srv.Unsubscribe(sub1)
+		<-drained
+	}
+
 	sub, err := srv.Subscribe()
 	if err != nil {
 		srv.Close()
 		return nil, nil, err
 	}
+	dmx, err := stream.NewDemux(func(uint64) (*stream.Receiver, error) {
+		s, err := mk(crypto.BatchCapable(crypto.NewSignerFromString(key)))
+		if err != nil {
+			return nil, err
+		}
+		return stream.NewReceiver(s, cfg.Server.Blocks+2)
+	}, cfg.Server.Streams)
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+
+	var churned bool
+	var resumeCatchup, preVerified int64
+	if cfg.Server.Churn {
+		// Catch the late subscriber up before consuming live deliveries.
+		// Subscribe-then-replay means anything signed after the snapshot
+		// arrives live and anything before is replayed; overlap costs only
+		// duplicates the block verifiers already count and discard.
+		churned = true
+		for id := uint64(1); id <= uint64(cfg.Server.Streams); id++ {
+			for _, p := range srv.ResumeFrom(id, 0) {
+				auths, err := dmx.Ingest(id, p, time.Now())
+				if err != nil {
+					srv.Close()
+					return nil, nil, err
+				}
+				for _, a := range auths {
+					if len(a.Payload) > 0 {
+						preVerified++
+					}
+				}
+			}
+		}
+		resumeCatchup = reg.Counter("server.resume_catchup_packets").Value()
+		if resumeCatchup == 0 {
+			srv.Close()
+			return nil, nil, fmt.Errorf("lab: churn resume replayed nothing")
+		}
+	}
+
 	type counts struct {
 		verified int64
 		err      error
 	}
 	done := make(chan counts, 1)
 	go func() {
-		dmx, err := stream.NewDemux(func(uint64) (*stream.Receiver, error) {
-			s, err := mk(crypto.BatchCapable(crypto.NewSignerFromString(key)))
-			if err != nil {
-				return nil, err
-			}
-			return stream.NewReceiver(s, cfg.Server.Blocks+2)
-		}, cfg.Server.Streams)
-		if err != nil {
-			done <- counts{err: err}
-			return
-		}
 		var verified int64
 		for d := range sub.C() {
 			auths, err := dmx.Ingest(d.StreamID, d.Packet, time.Now())
@@ -526,16 +626,9 @@ func runServerCell(cfg Config, c Cell, cc cellCase) (*ServerResult, *obs.Snapsho
 		done <- counts{verified: verified}
 	}()
 
-	blockSize := cc.scheme.BlockSize()
-	var published int64
-	for id := uint64(1); id <= uint64(cfg.Server.Streams); id++ {
-		for i := 0; i < blockSize*cfg.Server.Blocks; i++ {
-			if err := srv.Publish(id, []byte(fmt.Sprintf("cell %s stream-%d msg-%d", c.ID(), id, i))); err != nil {
-				srv.Close()
-				return nil, nil, err
-			}
-			published++
-		}
+	if err := publishBlocks(firstLive, cfg.Server.Blocks); err != nil {
+		srv.Close()
+		return nil, nil, err
 	}
 	if err := srv.Close(); err != nil {
 		return nil, nil, err
@@ -547,20 +640,23 @@ func runServerCell(cfg Config, c Cell, cc cellCase) (*ServerResult, *obs.Snapsho
 	if drops := sub.Drops(); drops > 0 {
 		return nil, nil, fmt.Errorf("lab: server cell dropped %d deliveries (queue too small)", drops)
 	}
-	if got.verified != published {
-		return nil, nil, fmt.Errorf("lab: server cell verified %d of %d published messages", got.verified, published)
+	verified := got.verified + preVerified
+	if verified != published {
+		return nil, nil, fmt.Errorf("lab: server cell verified %d of %d published messages", verified, published)
 	}
 	tot := srv.BatchTotals()
 	snap := reg.Snapshot()
 	return &ServerResult{
-		Streams:      cfg.Server.Streams,
-		Blocks:       cfg.Server.Blocks,
-		Batch:        cfg.Server.Batch,
-		Published:    published,
-		Verified:     got.verified,
-		Signatures:   tot.Signatures,
-		SignedRoots:  tot.SignedRoots,
-		Amortization: tot.AmortizationRatio(),
+		Streams:       cfg.Server.Streams,
+		Blocks:        cfg.Server.Blocks,
+		Batch:         cfg.Server.Batch,
+		Published:     published,
+		Verified:      verified,
+		Signatures:    tot.Signatures,
+		SignedRoots:   tot.SignedRoots,
+		Amortization:  tot.AmortizationRatio(),
+		Churned:       churned,
+		ResumeCatchup: resumeCatchup,
 	}, &snap, nil
 }
 

@@ -22,8 +22,10 @@ import (
 
 	"mcauth/internal/crypto"
 	"mcauth/internal/obs"
+	"mcauth/internal/packet"
 	"mcauth/internal/scheme"
 	"mcauth/internal/stream"
+	"mcauth/internal/transport"
 )
 
 var (
@@ -62,6 +64,24 @@ type Config struct {
 	Metrics *obs.Registry
 	// Clock defaults to time.Now; tests inject virtual time.
 	Clock func() time.Time
+	// Checkpoint enables crash recovery: streams write-ahead reserve block
+	// IDs through it before emitting, restored streams resume at their
+	// reserved watermark, and Close records exact positions. Nil disables.
+	Checkpoint *Checkpoint
+	// ReserveChunk is how many block IDs one checkpoint write reserves —
+	// the trade between checkpoint write rate (one fsync per chunk of
+	// blocks) and the ID gap a crash leaves. Default 64.
+	ReserveChunk int
+	// RepairBlocks, when positive, keeps each stream's last RepairBlocks
+	// blocks of emitted packets in a RepairStore so reconnecting
+	// subscribers can be caught up via ResumeFrom. 0 disables retention.
+	RepairBlocks int
+	// SigQueueReserve is the tail of each subscriber queue reserved for
+	// signature-class packets (signature or key disclosure present). Under
+	// backpressure data packets shed first: one lost data packet loses one
+	// message, one lost root packet can collapse the whole block's
+	// authentication. Default MaxSubscriberQueue/8, minimum 1.
+	SigQueueReserve int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -86,6 +106,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxSubscriberQueue <= 0 {
 		c.MaxSubscriberQueue = 1024
 	}
+	if c.ReserveChunk <= 0 {
+		c.ReserveChunk = 64
+	}
+	if c.RepairBlocks < 0 {
+		return c, fmt.Errorf("server: repair blocks %d must be >= 0", c.RepairBlocks)
+	}
+	if c.SigQueueReserve <= 0 {
+		c.SigQueueReserve = max(1, c.MaxSubscriberQueue/8)
+	}
+	// The reserve is a tail of the queue, so it must leave at least one
+	// data slot; a one-slot queue degenerates to no reservation.
+	c.SigQueueReserve = min(c.SigQueueReserve, c.MaxSubscriberQueue-1)
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -109,6 +141,12 @@ type metrics struct {
 	// amortization ratio.
 	batchSignatures  *obs.Gauge
 	batchSignedRoots *obs.Gauge
+	// shedData / shedSig split the backpressure drops by packet class; a
+	// healthy shedding policy keeps shedSig near zero while shedData grows.
+	shedData *obs.Counter
+	shedSig  *obs.Counter
+	// resumeCatchup counts packets replayed to reconnecting subscribers.
+	resumeCatchup *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -125,6 +163,9 @@ func newMetrics(reg *obs.Registry) metrics {
 		rootHold:           reg.Histogram("server.root_hold_ns"),
 		batchSignatures:    reg.Gauge("server.batch_signatures"),
 		batchSignedRoots:   reg.Gauge("server.batch_signed_roots"),
+		shedData:           reg.Counter("server.shed_data"),
+		shedSig:            reg.Counter("server.shed_sig"),
+		resumeCatchup:      reg.Counter("server.resume_catchup_packets"),
 	}
 }
 
@@ -196,12 +237,25 @@ func (s *Server) OpenStream(id uint64, build func(signer crypto.Signer) (scheme.
 	if err != nil {
 		return fmt.Errorf("server: stream %d: %w", id, err)
 	}
-	snd, err := stream.NewSender(sch, 0)
+	// With a checkpoint, the stream restarts at its reserved watermark:
+	// strictly above every block any earlier incarnation may have emitted,
+	// so restarted streams can never fork a block ID.
+	var start uint64
+	if s.cfg.Checkpoint != nil {
+		start = s.cfg.Checkpoint.StartBlock(id)
+	}
+	snd, err := stream.NewSender(sch, start)
 	if err != nil {
 		return fmt.Errorf("server: stream %d: %w", id, err)
 	}
 	snd.SetFlushAfter(s.cfg.FlushInterval)
 	st := newStream(s, id, snd)
+	st.reserved = start
+	if s.cfg.RepairBlocks > 0 {
+		if st.repair, err = transport.NewRepairStore(s.cfg.RepairBlocks); err != nil {
+			return fmt.Errorf("server: stream %d: %w", id, err)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -231,7 +285,12 @@ func (s *Server) CloseStream(id uint64) error {
 	}
 	delete(s.streams, id)
 	s.m.streams.Set(int64(len(s.streams)))
+	// Joining pubWG under the same lock that checked closed keeps the
+	// dispatch below ordered before Close's shard-channel close — without
+	// it, CloseStream racing Close could send on a closed task channel.
+	s.pubWG.Add(1)
 	s.mu.Unlock()
+	defer s.pubWG.Done()
 	// Ordered behind the stream's pending publish tasks; if the server is
 	// racing into Close, the drain pass flushes instead.
 	s.dispatch(st, func() { st.flushPartial() })
@@ -349,6 +408,12 @@ func (s *Server) enqueueRoot(st *Stream, db *stream.DeferredBlock) {
 	pending, err := s.signer.Enqueue(db.Root.Content, func(sig []byte) {
 		db.Root.Attach(sig)
 		s.m.rootHold.Observe(s.cfg.Clock().Sub(t0).Nanoseconds())
+		// Retain for resume only now that the signature is attached: a
+		// replayed root packet without its signature would be useless, and
+		// storing earlier would race Attach against a concurrent ResumeFrom.
+		if st.repair != nil {
+			st.repair.Add(db.BlockID, db.Held)
+		}
 		for _, p := range db.Held {
 			s.deliver(st.id, p)
 		}
@@ -396,15 +461,32 @@ func (s *Server) Stream(id uint64) *Stream {
 // amortization ratio is Totals().AmortizationRatio().
 func (s *Server) BatchTotals() crypto.BatchTotals { return s.signer.Totals() }
 
-// Close drains and stops the server: it waits for in-flight publishes,
-// lets the shards work off their queues, pads out partial blocks, signs
-// the final batch, and closes every subscriber channel. Publishers
-// blocked on backpressure at Close time abort with ErrClosed.
-func (s *Server) Close() error {
+// ResumeFrom returns every retained packet of stream id with block ID >=
+// from (the session-resume catch-up replay), counting the replay in
+// server.resume_catchup_packets. Nil when the stream is unknown or
+// retention is disabled (RepairBlocks == 0). The packets are shared with
+// the repair store; callers must not mutate them.
+func (s *Server) ResumeFrom(id uint64, from uint64) []*packet.Packet {
+	s.mu.Lock()
+	st := s.streams[id]
+	s.mu.Unlock()
+	if st == nil || st.repair == nil {
+		return nil
+	}
+	pkts := st.repair.Since(from)
+	s.m.resumeCatchup.Add(int64(len(pkts)))
+	return pkts
+}
+
+// stop runs the shutdown steps Close and Kill share: mark closed, stop
+// the flusher, wait out in-flight publishes, and drain the shard workers.
+// Returns the surviving streams (now exclusively owned by the caller) and
+// false if the server was already stopped.
+func (s *Server) stop() ([]*Stream, bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return ErrClosed
+		return nil, false
 	}
 	s.closed = true
 	close(s.closing)
@@ -428,6 +510,29 @@ func (s *Server) Close() error {
 	s.streams = make(map[uint64]*Stream)
 	s.m.streams.Set(0)
 	s.mu.Unlock()
+	return streams, true
+}
+
+// closeSubscribers ends every feed; consumers see their channels close.
+func (s *Server) closeSubscribers() {
+	s.subMu.Lock()
+	for sub := range s.subs {
+		close(sub.ch)
+	}
+	s.subs = nil
+	s.subMu.Unlock()
+}
+
+// Close drains and stops the server: it waits for in-flight publishes,
+// lets the shards work off their queues, pads out partial blocks, signs
+// the final batch, records a clean checkpoint, and closes every
+// subscriber channel. Publishers blocked on backpressure at Close time
+// abort with ErrClosed.
+func (s *Server) Close() error {
+	streams, ok := s.stop()
+	if !ok {
+		return ErrClosed
+	}
 	for _, st := range streams {
 		st.flushPartial()
 	}
@@ -438,13 +543,33 @@ func (s *Server) Close() error {
 		s.m.batchFill.Observe(int64(n))
 	}
 	s.noteBatchTotals()
-	s.subMu.Lock()
-	for sub := range s.subs {
-		close(sub.ch)
+	var cpErr error
+	if s.cfg.Checkpoint != nil {
+		// Everything is emitted and signed: tighten the watermarks to the
+		// exact next block IDs so a clean restart leaves no ID gap.
+		next := make(map[uint64]uint64, len(streams))
+		for _, st := range streams {
+			next[st.id] = st.snd.NextBlockID()
+		}
+		cpErr = s.cfg.Checkpoint.markClean(next)
 	}
-	s.subs = nil
-	s.subMu.Unlock()
-	return nil
+	s.closeSubscribers()
+	return cpErr
+}
+
+// Kill stops the server the way a crash would: no partial-block flush, no
+// final batch signature, no clean checkpoint — pending batch roots die
+// unsigned, so their blocks' withheld signature packets are never
+// delivered, exactly what subscribers of a SIGKILLed daemon observe. The
+// write-ahead checkpoint still guarantees a restart never reuses a block
+// ID. In-flight publishes finish (the process boundary in this in-process
+// simulation is the shard drain); subscriber channels close. Chaos
+// harnesses call this between cycles.
+func (s *Server) Kill() {
+	if _, ok := s.stop(); !ok {
+		return
+	}
+	s.closeSubscribers()
 }
 
 // shard is one worker: a bounded FIFO task queue drained by a single

@@ -73,13 +73,34 @@ func (s *Server) Unsubscribe(sub *Subscriber) {
 	}
 }
 
+// sigClass reports whether a packet carries authentication material whose
+// loss can cost a whole block (a signature or a TESLA key disclosure), as
+// opposed to one message. Shedding policy keys off this split.
+func sigClass(p *packet.Packet) bool {
+	return len(p.Signature) > 0 || len(p.DisclosedKey) > 0
+}
+
 // deliver fans one packet out to every interested subscriber without ever
-// blocking: full queues drop and count.
+// blocking: full queues drop and count. Shedding is priority-aware — the
+// last SigQueueReserve slots of each queue are reserved for
+// signature-class packets, because one lost data packet loses one message
+// while one lost root packet collapses the block's q_min (the
+// loss-amortization argument batch signing rests on). Per-class drops land
+// in server.shed_data / server.shed_sig.
 func (s *Server) deliver(streamID uint64, p *packet.Packet) {
+	sig := sigClass(p)
 	s.subMu.RLock()
 	defer s.subMu.RUnlock()
 	for sub := range s.subs {
 		if sub.filter != nil && !sub.filter[streamID] {
+			continue
+		}
+		if !sig && len(sub.ch) >= cap(sub.ch)-s.cfg.SigQueueReserve {
+			// Queue has backed up into the reserved tail: shed data now so
+			// the signature packets behind it still fit.
+			sub.drops.Add(1)
+			s.m.packetsDropped.Inc()
+			s.m.shedData.Inc()
 			continue
 		}
 		select {
@@ -88,6 +109,11 @@ func (s *Server) deliver(streamID uint64, p *packet.Packet) {
 		default:
 			sub.drops.Add(1)
 			s.m.packetsDropped.Inc()
+			if sig {
+				s.m.shedSig.Inc()
+			} else {
+				s.m.shedData.Inc()
+			}
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"mcauth/internal/obs"
 	"mcauth/internal/stream"
+	"mcauth/internal/transport"
 )
 
 // Stream is one authenticated stream's server-side state. All sender
@@ -24,6 +25,16 @@ type Stream struct {
 	published atomic.Int64
 	blocks    atomic.Int64
 	errors    atomic.Int64
+
+	// reserved caches the stream's durably checkpointed block-ID watermark
+	// (shard goroutine / Close drain only — same single-threaded discipline
+	// as snd). Blocks below it may be emitted without touching the
+	// checkpoint; reaching it forces a new write-ahead reservation.
+	reserved uint64
+
+	// repair retains recently emitted packets for session-resume catch-up
+	// (nil when Config.RepairBlocks is 0).
+	repair *transport.RepairStore
 
 	// m holds the stream's registry instruments (per-stream throughput in
 	// /metrics); nil-safe when the server has no registry.
@@ -83,16 +94,45 @@ func (st *Stream) flushPartial() {
 	st.emit(db)
 }
 
+// ensureReserved write-ahead reserves block IDs through the checkpoint
+// before blockID becomes externally visible: nothing is emitted under an
+// ID the checkpoint has not durably reserved, so a restart (which resumes
+// at the watermark) can never fork a block. Reserving a chunk at a time
+// amortizes the fsync over ReserveChunk blocks. Shard goroutine / Close
+// drain only.
+func (st *Stream) ensureReserved(blockID uint64) bool {
+	cp := st.srv.cfg.Checkpoint
+	if cp == nil || blockID < st.reserved {
+		return true
+	}
+	through := blockID + uint64(st.srv.cfg.ReserveChunk)
+	if err := cp.reserve(st.id, through); err != nil {
+		return false
+	}
+	st.reserved = through
+	return true
+}
+
 // emit delivers a freshly authenticated block: immediate packets fan out
 // now, the root goes to the batch signer and its packets follow once the
-// signature lands. A nil block (nothing emitted) is a no-op.
+// signature lands. A nil block (nothing emitted) is a no-op. A block whose
+// ID cannot be durably reserved is dropped whole — losing a block is
+// recoverable (receivers treat it as wholly lost), emitting an unreserved
+// one could fork identities after a crash.
 func (st *Stream) emit(db *stream.DeferredBlock) {
 	if db == nil {
+		return
+	}
+	if !st.ensureReserved(db.BlockID) {
+		st.errors.Add(1)
 		return
 	}
 	st.blocks.Add(1)
 	st.srv.m.blocks.Inc()
 	st.m.blocks.Inc()
+	if st.repair != nil {
+		st.repair.Add(db.BlockID, db.Immediate)
+	}
 	for _, p := range db.Immediate {
 		st.srv.deliver(st.id, p)
 	}

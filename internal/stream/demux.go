@@ -141,6 +141,34 @@ func (d *Demux) evictColdest() {
 // for per-stream stats.
 func (d *Demux) Receiver(streamID uint64) *Receiver { return d.receivers[streamID] }
 
+// Close drops a stream's receiver state (an explicit leave, as opposed to
+// LRU eviction), reporting whether the stream was live. A later packet for
+// the stream re-joins it through the factory like any newcomer.
+func (d *Demux) Close(streamID uint64) bool {
+	if _, ok := d.receivers[streamID]; !ok {
+		return false
+	}
+	delete(d.receivers, streamID)
+	delete(d.lastActive, streamID)
+	return true
+}
+
+// ResumePoints reports, per live stream, the block ID replay should
+// resume from after a reconnect (see Receiver.ResumeFrom) — 0 for streams
+// that have authenticated nothing yet, meaning "replay everything
+// retained". The map is freshly allocated; callers may keep it.
+func (d *Demux) ResumePoints() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(d.receivers))
+	for id, r := range d.receivers {
+		from, ok := r.ResumeFrom()
+		if !ok {
+			from = 0
+		}
+		out[id] = from
+	}
+	return out
+}
+
 // StreamIDs lists the live streams in ascending order.
 func (d *Demux) StreamIDs() []uint64 {
 	out := make([]uint64, 0, len(d.receivers))

@@ -167,3 +167,130 @@ func TestDemuxValidation(t *testing.T) {
 		t.Error("nil receiver from factory accepted")
 	}
 }
+
+// churnBlocks emits n consecutive blocks from one long-lived sender, so
+// later blocks genuinely depend on a receiver's ability to join
+// mid-stream (each block carries its own signature packet under EMSS).
+func churnBlocks(t *testing.T, n int) [][]*packet.Packet {
+	t.Helper()
+	snd, err := NewSender(emssScheme(t, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := make([][]*packet.Packet, 0, n)
+	for b := 0; b < n; b++ {
+		var pkts []*packet.Packet
+		for i := 0; i < 4; i++ {
+			out, err := snd.Push([]byte(fmt.Sprintf("b%d-m%d", b, i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkts = out
+		}
+		blocks = append(blocks, pkts)
+	}
+	return blocks
+}
+
+// feed ingests one block's packets for a stream and returns how many
+// messages authenticated.
+func feed(t *testing.T, dmx *Demux, id uint64, pkts []*packet.Packet) int {
+	t.Helper()
+	auths := 0
+	for _, p := range pkts {
+		out, err := dmx.Ingest(id, p, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		auths += len(out)
+	}
+	return auths
+}
+
+// TestDemuxChurn exercises subscriber churn against a bounded demux: a
+// late joiner entering mid-stream, an evicted stream re-joining after its
+// state was dropped, and an explicit leave/re-join via Close. Every
+// (re)joined stream must authenticate the blocks it sees after joining.
+func TestDemuxChurn(t *testing.T) {
+	dmx := demuxFixture(t, 2)
+	blocks := churnBlocks(t, 4)
+
+	// Stream 1 joins at the start and follows the whole stream.
+	if got := feed(t, dmx, 1, blocks[0]); got != 4 {
+		t.Fatalf("stream 1 block 0: authenticated %d of 4", got)
+	}
+	// Late join: stream 2's first packet is from block 2 — blocks 0 and 1
+	// were never seen. It must still authenticate from there on.
+	if got := feed(t, dmx, 2, blocks[2]); got != 4 {
+		t.Fatalf("late joiner: authenticated %d of 4 on its first block", got)
+	}
+
+	// Churn past the cap: stream 3 joins, evicting the coldest (stream 1).
+	if got := feed(t, dmx, 3, blocks[3]); got != 4 {
+		t.Fatalf("stream 3: authenticated %d of 4", got)
+	}
+	if dmx.Receiver(1) != nil {
+		t.Fatal("stream 1 should have been evicted")
+	}
+	if tot := dmx.Totals(); tot.EvictedStreams != 1 {
+		t.Fatalf("evictions = %d, want 1", tot.EvictedStreams)
+	}
+
+	// Re-join after evict: stream 1 comes back with fresh state (its
+	// receiver was dropped) and picks the stream up at block 3.
+	if got := feed(t, dmx, 1, blocks[3]); got != 4 {
+		t.Fatalf("re-joined stream 1: authenticated %d of 4", got)
+	}
+
+	// Explicit leave: Close drops the state immediately; the same ID can
+	// rejoin through the factory afterwards.
+	if !dmx.Close(1) {
+		t.Fatal("Close(1) found no stream")
+	}
+	if dmx.Close(1) {
+		t.Fatal("second Close(1) claimed to drop state again")
+	}
+	if dmx.Receiver(1) != nil {
+		t.Fatal("closed stream still live")
+	}
+	if got := feed(t, dmx, 1, blocks[2]); got != 4 {
+		t.Fatalf("stream 1 after Close: authenticated %d of 4", got)
+	}
+}
+
+// TestDemuxResumePoints checks the resume cursors a reconnecting
+// subscriber sends in its hello: 0 for streams that never authenticated
+// (ask for everything), else the highest block that produced at least one
+// authenticated message (re-requested, since it may be partial).
+func TestDemuxResumePoints(t *testing.T) {
+	dmx := demuxFixture(t, 4)
+	blocks := churnBlocks(t, 3)
+
+	// Stream 1 authenticates through block 2; stream 2 only block 0;
+	// stream 3 sees a single packet and authenticates nothing.
+	feed(t, dmx, 1, blocks[0])
+	feed(t, dmx, 1, blocks[2])
+	feed(t, dmx, 2, blocks[0])
+	if _, err := dmx.Ingest(3, blocks[1][0], time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := dmx.Receiver(1)
+	if from, ok := r.ResumeFrom(); !ok || from != 2 {
+		t.Fatalf("stream 1 ResumeFrom = (%d, %v), want (2, true)", from, ok)
+	}
+	if from, ok := dmx.Receiver(3).ResumeFrom(); ok || from != 0 {
+		t.Fatalf("unauthenticated ResumeFrom = (%d, %v), want (0, false)", from, ok)
+	}
+
+	pts := dmx.ResumePoints()
+	want := map[uint64]uint64{1: 2, 2: 0, 3: 0}
+	if len(pts) != len(want) {
+		t.Fatalf("ResumePoints = %v, want %v", pts, want)
+	}
+	for id, from := range want {
+		if pts[id] != from {
+			t.Errorf("ResumePoints[%d] = %d, want %d", id, pts[id], from)
+		}
+	}
+}

@@ -125,6 +125,10 @@ type Receiver struct {
 	// cannot grow memory without bound.
 	maxBufferedPerBlock int
 	totals              Totals
+	// maxAuthed / hasAuthed track the highest block that has authenticated
+	// at least one message — the receiver's resume cursor (see ResumeFrom).
+	maxAuthed uint64
+	hasAuthed bool
 }
 
 // closedTombstonesPerBlock sizes the tombstone set relative to the live
@@ -216,7 +220,25 @@ func (r *Receiver) Ingest(p *packet.Packet, at time.Time) ([]Authenticated, erro
 		r.totals.Authenticated++
 		out = append(out, Authenticated{BlockID: p.BlockID, Index: e.Index, Payload: e.Payload})
 	}
+	if len(out) > 0 && (!r.hasAuthed || p.BlockID > r.maxAuthed) {
+		r.maxAuthed = p.BlockID
+		r.hasAuthed = true
+	}
 	return out, nil
+}
+
+// ResumeFrom returns the block ID a reconnecting receiver should request
+// replay from: the highest block that has authenticated anything. That
+// block is itself re-requested — it may be only partially delivered, and
+// replaying what did arrive costs only duplicates the verifiers already
+// count and discard, so the cursor rounds down rather than ever skipping
+// a possibly-incomplete block. ok is false while nothing has
+// authenticated yet (request everything).
+func (r *Receiver) ResumeFrom() (uint64, bool) {
+	if !r.hasAuthed {
+		return 0, false
+	}
+	return r.maxAuthed, true
 }
 
 func (r *Receiver) evictIfNeeded() {

@@ -101,3 +101,61 @@ func TestFrameReaderLargeFrameStillWorks(t *testing.T) {
 		t.Fatalf("want EOF after the only frame, got %v", err)
 	}
 }
+
+// FuzzMuxFrameReader is FuzzFrameReader for the stream-tagged framing the
+// serving tier emits: arbitrary byte streams must never panic the reader,
+// malformed frames must error, and an attacker-controlled length prefix
+// must not force a large allocation up front.
+func FuzzMuxFrameReader(f *testing.F) {
+	var valid bytes.Buffer
+	mw := NewMuxFrameWriter(&valid)
+	seedPkts := []*packet.Packet{
+		{BlockID: 1, Index: 1, Payload: []byte("hello")},
+		{
+			BlockID: 1, Index: 2, Payload: []byte("world"),
+			Hashes:    []packet.HashRef{{TargetIndex: 3, Digest: crypto.HashBytes([]byte("x"))}},
+			Signature: []byte("sig"),
+		},
+	}
+	for i, p := range seedPkts {
+		if err := mw.WritePacket(uint64(i+1)<<32, p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	// A frame shorter than the stream-ID prefix.
+	short := make([]byte, 4)
+	binary.BigEndian.PutUint32(short, muxIDSize-1)
+	f.Add(short)
+	// A header claiming the cap with no bytes behind it, and one over it.
+	huge := make([]byte, 4)
+	binary.BigEndian.PutUint32(huge, MaxFrameSize+muxIDSize)
+	f.Add(huge)
+	over := make([]byte, 4)
+	binary.BigEndian.PutUint32(over, MaxFrameSize+muxIDSize+1)
+	f.Add(over)
+	// Truncated mid-frame, and a torn-write seam: a valid stream cut and
+	// restarted mid-frame, as an injected partial write produces.
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	torn := append([]byte{}, valid.Bytes()[:valid.Len()/3]...)
+	torn = append(torn, valid.Bytes()...)
+	f.Add(torn)
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		mr := NewMuxFrameReader(bytes.NewReader(stream))
+		for i := 0; i < 64; i++ {
+			id, p, err := mr.ReadPacket()
+			if err != nil {
+				return // any error ends the stream; it must just not panic
+			}
+			if p == nil {
+				t.Fatalf("nil packet with nil error (stream %d)", id)
+			}
+			if _, err := p.Encode(); err != nil {
+				t.Fatalf("decoded packet does not re-encode: %v", err)
+			}
+		}
+	})
+}

@@ -175,6 +175,43 @@ func (rs *RepairStore) Put(blockID uint64, pkts []*packet.Packet) {
 	}
 }
 
+// Add appends packets to a block without replacing what is already stored
+// — the serving tier stores a block in two phases (data packets at emit,
+// withheld signature packets once the batch root is signed). Eviction
+// bounds apply as in Put.
+func (rs *RepairStore) Add(blockID uint64, pkts []*packet.Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, exists := rs.blocks[blockID]; !exists {
+		rs.order = append(rs.order, blockID)
+	}
+	rs.blocks[blockID] = append(rs.blocks[blockID], pkts...)
+	for len(rs.blocks) > rs.maxBlocks {
+		oldest := rs.order[0]
+		rs.order = rs.order[1:]
+		delete(rs.blocks, oldest)
+	}
+}
+
+// Since returns every retained packet of every block with ID >= from, in
+// insertion order of blocks — the session-resume catch-up replay. The
+// packets themselves are shared, not copied; callers must not mutate them.
+func (rs *RepairStore) Since(from uint64) []*packet.Packet {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []*packet.Packet
+	for _, id := range rs.order {
+		if id < from {
+			continue
+		}
+		out = append(out, rs.blocks[id]...)
+	}
+	return out
+}
+
 // Packets answers one repair request: for NACKSigRequest, every
 // signature-bearing packet of the block; otherwise the packet with the
 // given index. Nil when the block is unknown (evicted or never stored).

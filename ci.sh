@@ -47,6 +47,27 @@ test -s "$diagdir/rep.json.md"
 # cannot bit-rot; real measurements come from scripts/bench.sh.
 go test -run='^$' -bench=. -benchtime=1x . >/dev/null
 
+# Verify fast-path tier: the zero-alloc guards (AllocsPerRun on the
+# ...Into/scratch/cached paths — they skip under -race, so this is their
+# only enforced run), then the verify benchmarks at a fixed iteration
+# count with allocs/op ceilings. The ceilings mirror
+# lab/baselines.json bench_alloc_ceilings but fire pre-commit, without
+# needing a committed snapshot.
+go test -count=1 -run='AllocFree|SteadyState' ./internal/crypto
+go test -run='^$' -bench='BenchmarkVerify($|/)' -benchtime=100x -benchmem . \
+	| awk '
+		/^BenchmarkVerify/ {
+			for (i = 3; i < NF; i++) if ($(i + 1) == "allocs/op") allocs = $i
+			ceil = 320
+			if ($1 ~ /tesla/) ceil = 80
+			if (allocs + 0 > ceil) {
+				printf "verify-bench gate: %s at %s allocs/op exceeds ceiling %d\n", $1, allocs, ceil
+				bad = 1
+			}
+		}
+		END { exit bad }
+	'
+
 # Lab tier: the bundled example sweep must run at two worker counts with
 # byte-identical artifacts, render a dashboard joining the committed
 # BENCH_*.json history, and pass the committed regression gates.

@@ -64,6 +64,7 @@ import (
 	"mcauth/internal/stats"
 	"mcauth/internal/stream"
 	"mcauth/internal/transport"
+	"mcauth/internal/verifier"
 )
 
 type options struct {
@@ -82,6 +83,9 @@ type options struct {
 	batch int
 	flush time.Duration
 	key   string
+
+	verifyBatch int
+	verifyCache int
 
 	checkpoint   string
 	repair       int
@@ -125,6 +129,8 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.batch, "batch", 64, "block roots per signature (batch signer auto-flush threshold)")
 	fs.DurationVar(&o.flush, "flush", 50*time.Millisecond, "flush deadline for partial blocks and pending batches")
 	fs.StringVar(&o.key, "key", "mcserved-demo", "signing-key derivation string (receivers derive the matching public key)")
+	fs.IntVar(&o.verifyBatch, "verify-batch", 32, "receiver fast path: defer signature checks to a batch-verify queue holding this many pending packets, amortizing duplicate underlying checks (0 = verify synchronously)")
+	fs.IntVar(&o.verifyCache, "verify-cache", 1024, "receiver fast path: shared per-block verification cache entries — packets proven authentic once are accepted by digest on re-receipt (0 = off)")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "crash-recovery checkpoint file: block IDs are write-ahead reserved here, restarts resume past every emitted block")
 	fs.IntVar(&o.repair, "repair", 64, "blocks of per-stream packet retention for session-resume catch-up (0 disables)")
 	fs.DurationVar(&o.writeTimeout, "write-timeout", 10*time.Second, "per-packet write deadline on subscriber connections (0 = none); a stalled reader loses its conn instead of pinning the writer")
@@ -159,6 +165,12 @@ func parseOptions(args []string) (options, error) {
 	}
 	if o.repair < 0 {
 		return options{}, fmt.Errorf("repair %d must be >= 0", o.repair)
+	}
+	if o.verifyBatch < 0 {
+		return options{}, fmt.Errorf("verify-batch %d must be >= 0", o.verifyBatch)
+	}
+	if o.verifyCache < 0 {
+		return options{}, fmt.Errorf("verify-cache %d must be >= 0", o.verifyCache)
 	}
 	if o.reconnect < -1 {
 		return options{}, fmt.Errorf("reconnect %d must be >= -1", o.reconnect)
@@ -410,6 +422,42 @@ func publishAll(srv *server.Server, o options, stop <-chan struct{}) *sync.WaitG
 	return &wg
 }
 
+// verifyFastPath builds the receiver fast path the options ask for and
+// attaches it to the demux: a shared per-block verification cache
+// (-verify-cache) and/or a deferred batch-verify queue (-verify-batch).
+// It returns the queue (nil when batching is off) so the ingest loop can
+// resolve pending verdicts.
+func verifyFastPath(o options, reg *obs.Registry, dmx *stream.Demux) (*crypto.BatchVerifyQueue, error) {
+	var (
+		cache *verifier.SharedCache
+		q     *crypto.BatchVerifyQueue
+		err   error
+	)
+	if o.verifyCache > 0 {
+		if cache, err = verifier.NewSharedCache(o.verifyCache); err != nil {
+			return nil, err
+		}
+		if reg != nil {
+			cache.SetMetrics(reg)
+		}
+	}
+	if o.verifyBatch > 0 {
+		sigEntries := o.verifyCache
+		if sigEntries <= 0 {
+			sigEntries = 1024
+		}
+		sig, err := crypto.NewSigCache(sigEntries)
+		if err != nil {
+			return nil, err
+		}
+		if q, err = crypto.NewBatchVerifyQueue(o.verifyBatch, sig); err != nil {
+			return nil, err
+		}
+	}
+	dmx.SetVerifyFastPath(cache, q)
+	return q, nil
+}
+
 func runDemo(o options, reg *obs.Registry, stdout io.Writer) error {
 	if reg == nil {
 		// The demo's summary reads the server instruments, so it always
@@ -438,12 +486,13 @@ func runDemo(o options, reg *obs.Registry, stdout io.Writer) error {
 			verified <- [2]int64{}
 			return
 		}
+		q, err := verifyFastPath(o, reg, dmx)
+		if err != nil {
+			verified <- [2]int64{}
+			return
+		}
 		var authed, padding int64
-		for d := range sub.C() {
-			auths, err := dmx.Ingest(d.StreamID, d.Packet, time.Now())
-			if err != nil {
-				break
-			}
+		count := func(auths []stream.StreamAuthenticated) {
 			for _, a := range auths {
 				if len(a.Payload) > 0 {
 					authed++
@@ -451,6 +500,21 @@ func runDemo(o options, reg *obs.Registry, stdout io.Writer) error {
 					padding++
 				}
 			}
+		}
+		for d := range sub.C() {
+			auths, err := dmx.Ingest(d.StreamID, d.Packet, time.Now())
+			if err != nil {
+				break
+			}
+			count(auths)
+			if q != nil {
+				count(dmx.DrainDeferred())
+			}
+		}
+		if q != nil {
+			// Settle the tail: verdicts still pending when the feed ends.
+			q.Resolve()
+			count(dmx.DrainDeferred())
 		}
 		verified <- [2]int64{authed, padding}
 	}()
@@ -611,6 +675,11 @@ type receiverSession struct {
 	dial func() (net.Conn, error)
 	dmx  *stream.Demux
 	rng  *stats.RNG
+	// verifyQ, when set, is the deferred batch-verify queue shared by all
+	// stream receivers; the session loop resolves it (the verdict
+	// callbacks mutate verifier state, so resolution must stay on the
+	// ingest goroutine).
+	verifyQ *crypto.BatchVerifyQueue
 	// onAuth, when set, vets every authenticated message; an error aborts
 	// the session (a forged authentication made it through — fatal).
 	onAuth func(streamID uint64, a stream.Authenticated) error
@@ -631,12 +700,17 @@ func newReceiverSession(o options, reg *obs.Registry, addr string) (*receiverSes
 	if err != nil {
 		return nil, err
 	}
+	q, err := verifyFastPath(o, reg, dmx)
+	if err != nil {
+		return nil, err
+	}
 	return &receiverSession{
-		o:    o,
-		reg:  reg,
-		dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
-		dmx:  dmx,
-		rng:  stats.NewRNG(uint64(time.Now().UnixNano())),
+		o:       o,
+		reg:     reg,
+		dial:    func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		dmx:     dmx,
+		rng:     stats.NewRNG(uint64(time.Now().UnixNano())),
+		verifyQ: q,
 	}, nil
 }
 
@@ -714,26 +788,58 @@ func (rs *receiverSession) session(conn net.Conn, stop <-chan struct{}) error {
 	for {
 		id, p, err := mr.ReadPacket()
 		if err != nil {
-			return nil // EOF, reset, or torn frame: reconnect
+			// EOF, reset, or torn frame: settle pending verdicts, then
+			// reconnect.
+			return rs.settleDeferred()
 		}
 		rs.packets++
 		auths, err := rs.dmx.Ingest(id, p, time.Now())
 		if err != nil {
 			return err
 		}
-		for _, a := range auths {
-			if rs.onAuth != nil {
-				if err := rs.onAuth(a.StreamID, a.Authenticated); err != nil {
-					return err
-				}
+		if rs.verifyQ != nil {
+			// Bound verdict latency: resolve at least once per queue-full
+			// of packets even when enqueues trickle in below the
+			// auto-resolve threshold.
+			if rs.packets%int64(rs.o.verifyBatch) == 0 && rs.verifyQ.Pending() > 0 {
+				rs.verifyQ.Resolve()
 			}
-			if len(a.Payload) > 0 {
-				rs.authed++
-			} else {
-				rs.padding++
-			}
+			auths = append(auths, rs.dmx.DrainDeferred()...)
+		}
+		if err := rs.handleAuths(auths); err != nil {
+			return err
 		}
 	}
+}
+
+// handleAuths vets and counts a batch of authenticated messages.
+func (rs *receiverSession) handleAuths(auths []stream.StreamAuthenticated) error {
+	for _, a := range auths {
+		if rs.onAuth != nil {
+			if err := rs.onAuth(a.StreamID, a.Authenticated); err != nil {
+				return err
+			}
+		}
+		if len(a.Payload) > 0 {
+			rs.authed++
+		} else {
+			rs.padding++
+		}
+	}
+	return nil
+}
+
+// settleDeferred resolves any still-pending deferred signature checks and
+// processes the resulting authentications (end of a session: the wire went
+// quiet, so nothing else will trigger a resolve).
+func (rs *receiverSession) settleDeferred() error {
+	if rs.verifyQ == nil {
+		return nil
+	}
+	if rs.verifyQ.Pending() > 0 {
+		rs.verifyQ.Resolve()
+	}
+	return rs.handleAuths(rs.dmx.DrainDeferred())
 }
 
 func runReceiver(o options, reg *obs.Registry, stdout io.Writer) error {

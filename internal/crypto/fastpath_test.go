@@ -1,0 +1,337 @@
+package crypto
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMACScratchMatchesHMAC cross-checks the flat-buffer HMAC against the
+// stdlib implementation across the RFC 2104 key-length regimes.
+func TestMACScratchMatchesHMAC(t *testing.T) {
+	var s MACScratch
+	keyLens := []int{0, 1, 16, 32, 63, 64, 65, 128, 200}
+	dataLens := []int{0, 1, 55, 64, 100, 1000}
+	for _, kl := range keyLens {
+		for _, dl := range dataLens {
+			key := bytes.Repeat([]byte{byte(kl + 1)}, kl)
+			data := bytes.Repeat([]byte{byte(dl + 7)}, dl)
+			want := MAC(key, data)
+			got := s.Sum(key, data)
+			if !bytes.Equal(got[:], want) {
+				t.Fatalf("MACScratch.Sum(key %d, data %d) diverges from MAC", kl, dl)
+			}
+			if !s.Verify(key, data, want) {
+				t.Fatalf("MACScratch.Verify rejects genuine MAC (key %d, data %d)", kl, dl)
+			}
+			want[0] ^= 1
+			if s.Verify(key, data, want) {
+				t.Fatalf("MACScratch.Verify accepts corrupted MAC (key %d, data %d)", kl, dl)
+			}
+		}
+	}
+}
+
+// TestHashScratchMatchesHashConcat checks the flat-buffer concatenation
+// hash against HashConcat.
+func TestHashScratchMatchesHashConcat(t *testing.T) {
+	var s HashScratch
+	parts := [][]byte{[]byte("alpha"), {}, []byte("beta"), bytes.Repeat([]byte{9}, 500)}
+	want := HashConcat(parts...)
+	for _, p := range parts {
+		s.Write(p)
+	}
+	if got := s.Sum(); got != want {
+		t.Fatalf("HashScratch.Sum diverges from HashConcat")
+	}
+	// Sum resets: a second round must match a fresh concatenation.
+	s.Write([]byte("gamma"))
+	if got, want := s.Sum(), HashConcat([]byte("gamma")); got != want {
+		t.Fatalf("HashScratch did not reset after Sum")
+	}
+}
+
+// TestKeychainIntoMatchesLegacy checks the Into key-chain derivations
+// against the allocating originals.
+func TestKeychainIntoMatchesLegacy(t *testing.T) {
+	kc, err := NewKeyChain([]byte("into-seed"), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s MACScratch
+	k30, _ := kc.Key(30)
+	for target := 0; target < 30; target += 7 {
+		want, err := RecoverEarlierKey(k30, 30, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, KeySize)
+		if err := RecoverEarlierKeyInto(&s, got, k30, 30, target); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("RecoverEarlierKeyInto(30 -> %d) diverges", target)
+		}
+	}
+	// Aliased in-place recovery.
+	aliased := append([]byte(nil), k30...)
+	if err := RecoverEarlierKeyInto(&s, aliased, aliased, 30, 5); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := RecoverEarlierKey(k30, 30, 5)
+	if !bytes.Equal(aliased, want) {
+		t.Fatalf("aliased RecoverEarlierKeyInto diverges")
+	}
+	if err := RecoverEarlierKeyInto(&s, aliased, k30, 30, 30); err == nil {
+		t.Fatalf("RecoverEarlierKeyInto accepted target >= from")
+	}
+	mk := make([]byte, KeySize)
+	DeriveMACKeyInto(&s, mk, k30)
+	if !bytes.Equal(mk, DeriveMACKey(k30)) {
+		t.Fatalf("DeriveMACKeyInto diverges from DeriveMACKey")
+	}
+}
+
+// TestVerifyAnyCachedPlainAndBlob checks cached verification against the
+// uncached paths for both signature forms, and that hits skip the
+// public-key operation.
+func TestVerifyAnyCachedPlainAndBlob(t *testing.T) {
+	signer := NewSignerFromString("vac")
+	pub := signer.Public()
+	cache, err := NewSigCache(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch VerifyScratch
+
+	msg := []byte("plain message")
+	sig := signer.Sign(msg)
+	for round := 0; round < 3; round++ {
+		if !VerifyAnyCached(cache, &scratch, pub, msg, sig) {
+			t.Fatalf("round %d: genuine plain signature rejected", round)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("plain sig cache stats = %+v, want 2 hits / 1 miss", st)
+	}
+
+	contents := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")}
+	blobs, err := BatchSign(signer, contents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range contents {
+		if !VerifyAnyCached(cache, &scratch, pub, c, blobs[i]) {
+			t.Fatalf("blob %d rejected", i)
+		}
+		if !VerifyBatchBlob(pub, c, blobs[i]) {
+			t.Fatalf("blob %d rejected by legacy path", i)
+		}
+	}
+	// All five blobs share one inner signature: one miss, four hits.
+	st = cache.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("after blob batch: misses = %d, want 2 (one per distinct check)", st.Misses)
+	}
+
+	// Cross-content forgery: a valid blob must not authenticate other
+	// content, cached or not.
+	if VerifyAnyCached(cache, &scratch, pub, []byte("z"), blobs[0]) {
+		t.Fatalf("blob accepted for wrong content")
+	}
+	// Corrupted inner signature never caches.
+	bad := append([]byte(nil), blobs[1]...)
+	bad[9] ^= 1
+	for round := 0; round < 2; round++ {
+		if VerifyAnyCached(cache, &scratch, pub, contents[1], bad) {
+			t.Fatalf("round %d: corrupted blob accepted", round)
+		}
+	}
+	// Wrong-key plain signature never caches.
+	otherPub := NewSignerFromString("vac-other").Public()
+	for round := 0; round < 2; round++ {
+		if VerifyAnyCached(cache, &scratch, otherPub, msg, sig) {
+			t.Fatalf("round %d: signature accepted under wrong key", round)
+		}
+	}
+	// Nil cache and nil scratch still verify correctly.
+	if !VerifyAnyCached(nil, nil, pub, msg, sig) {
+		t.Fatalf("nil-cache verify rejected genuine signature")
+	}
+}
+
+// TestSigCacheRotation checks the two-generation bound: the cache never
+// exceeds 2*max entries and old entries are evicted, not hit.
+func TestSigCacheRotation(t *testing.T) {
+	cache, err := NewSigCache(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k sigKey
+	for i := 0; i < 100; i++ {
+		k.msg[0], k.msg[1] = byte(i), byte(i>>8)
+		cache.store(k)
+		if n := cache.Len(); n > 16 {
+			t.Fatalf("after %d inserts cache holds %d > 2*max entries", i+1, n)
+		}
+	}
+	if cache.Stats().Evicted == 0 {
+		t.Fatalf("100 inserts into a 8-entry cache evicted nothing")
+	}
+	// The newest entry is present; the oldest was rotated out.
+	k.msg[0], k.msg[1] = 99, 0
+	if !cache.seen(k) {
+		t.Fatalf("newest entry missing")
+	}
+	k.msg[0], k.msg[1] = 0, 0
+	if cache.seen(k) {
+		t.Fatalf("oldest entry survived 100 inserts")
+	}
+}
+
+// TestBatchVerifyQueueDedup checks that identical underlying checks are
+// verified once and verdicts are delivered in enqueue order.
+func TestBatchVerifyQueueDedup(t *testing.T) {
+	signer := NewSignerFromString("bvq")
+	pub := signer.Public()
+	cache, _ := NewSigCache(64)
+	q, err := NewBatchVerifyQueue(100, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("shared root message")
+	sig := signer.Sign(msg)
+	var got []bool
+	for i := 0; i < 10; i++ {
+		if _, err := q.Enqueue(pub, msg, sig, func(ok bool) { got = append(got, ok) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := q.Resolve(); n != 10 {
+		t.Fatalf("Resolve settled %d checks, want 10", n)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d verdicts, want 10", len(got))
+	}
+	for i, ok := range got {
+		if !ok {
+			t.Fatalf("verdict %d is reject, want accept", i)
+		}
+	}
+	tot := q.Totals()
+	if tot.Checks != 1 {
+		t.Fatalf("10 identical checks ran %d public-key ops, want 1", tot.Checks)
+	}
+	if r := tot.AmortizationRatio(); r != 10 {
+		t.Fatalf("amortization ratio = %g, want 10", r)
+	}
+
+	// A second round of the same check settles entirely from the cache.
+	q.Enqueue(pub, msg, sig, func(bool) {})
+	q.Resolve()
+	if tot := q.Totals(); tot.Checks != 1 || tot.CacheHits != 1 {
+		t.Fatalf("cached re-check totals = %+v, want no new checks and 1 cache hit", tot)
+	}
+}
+
+// TestBatchVerifyQueueFallback checks that a failed group re-verifies
+// per item, isolating the bad signature without poisoning good ones.
+func TestBatchVerifyQueueFallback(t *testing.T) {
+	signer := NewSignerFromString("bvq-fb")
+	pub := signer.Public()
+	q, err := NewBatchVerifyQueue(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []byte("good message")
+	goodSig := signer.Sign(good)
+	badSig := append([]byte(nil), goodSig...)
+	badSig[3] ^= 1
+
+	verdicts := make(map[string]bool)
+	q.Enqueue(pub, good, goodSig, func(ok bool) { verdicts["good1"] = ok })
+	q.Enqueue(pub, good, badSig, func(ok bool) { verdicts["bad"] = ok })
+	q.Enqueue(pub, good, goodSig, func(ok bool) { verdicts["good2"] = ok })
+	q.Resolve()
+	if !verdicts["good1"] || !verdicts["good2"] {
+		t.Fatalf("good signatures rejected: %+v", verdicts)
+	}
+	if verdicts["bad"] {
+		t.Fatalf("forged signature accepted")
+	}
+	tot := q.Totals()
+	if tot.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1 (the forged group's lone member)", tot.Fallbacks)
+	}
+	if tot.Accepted != 2 || tot.Rejected != 1 {
+		t.Fatalf("totals = %+v, want 2 accepted / 1 rejected", tot)
+	}
+}
+
+// TestBatchVerifyQueueAutoResolve checks the threshold-triggered resolve
+// and that blob checks reduce to their shared inner signature.
+func TestBatchVerifyQueueAutoResolve(t *testing.T) {
+	signer := NewSignerFromString("bvq-auto")
+	pub := signer.Public()
+	contents := make([][]byte, 8)
+	for i := range contents {
+		contents[i] = []byte(fmt.Sprintf("content-%d", i))
+	}
+	blobs, err := BatchSign(signer, contents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewBatchVerifyQueue(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settled := 0
+	for i := range contents {
+		pending, err := q.Enqueue(pub, contents[i], blobs[i], func(ok bool) {
+			if !ok {
+				t.Errorf("blob verdict reject")
+			}
+			settled++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 7 && pending != i+1 {
+			t.Fatalf("pending = %d after %d enqueues", pending, i+1)
+		}
+	}
+	if settled != 8 {
+		t.Fatalf("auto-resolve settled %d, want 8", settled)
+	}
+	if tot := q.Totals(); tot.Checks != 1 {
+		t.Fatalf("8 blobs of one batch ran %d public-key ops, want 1", tot.Checks)
+	}
+}
+
+// TestSigCacheConcurrent hammers one cache from many goroutines under the
+// race detector.
+func TestSigCacheConcurrent(t *testing.T) {
+	cache, _ := NewSigCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var k sigKey
+			for i := 0; i < 200; i++ {
+				k.msg[0], k.msg[1] = byte(i), byte(g)
+				if i%2 == 0 {
+					cache.store(k)
+				} else {
+					cache.seen(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Len() > 64 {
+		t.Fatalf("cache exceeded bound: %d", cache.Len())
+	}
+}

@@ -103,6 +103,42 @@ func RecoverEarlierKey(fromKey []byte, from, target int) ([]byte, error) {
 	return cur, nil
 }
 
+// prfStepInto computes K_{i-1} from K_i into out (KeySize bytes) using
+// scratch, allocating nothing in steady state. out and key may alias: the
+// key is consumed before out is written.
+func prfStepInto(s *MACScratch, out, key []byte) {
+	sum := s.Sum(key, labelChain)
+	copy(out[:KeySize], sum[:KeySize])
+}
+
+// DeriveMACKeyInto derives the per-interval MAC key K'_i from chain
+// element K_i into out (KeySize bytes) using scratch. Identical output to
+// DeriveMACKey.
+func DeriveMACKeyInto(s *MACScratch, out, chainKey []byte) {
+	sum := s.Sum(chainKey, labelMAC)
+	copy(out[:KeySize], sum[:KeySize])
+}
+
+// RecoverEarlierKeyInto derives K_target from a later element K_from into
+// out (KeySize bytes) using scratch, with identical results to
+// RecoverEarlierKey but no per-step allocations. out and fromKey may
+// alias.
+func RecoverEarlierKeyInto(s *MACScratch, out, fromKey []byte, from, target int) error {
+	if target >= from {
+		return fmt.Errorf("crypto: cannot recover key %d from earlier key %d", target, from)
+	}
+	if target < 0 {
+		return fmt.Errorf("crypto: negative key index %d", target)
+	}
+	var cur [KeySize]byte
+	copy(cur[:], fromKey)
+	for i := from; i > target; i-- {
+		prfStepInto(s, cur[:], cur[:])
+	}
+	copy(out[:KeySize], cur[:])
+	return nil
+}
+
 // IntervalKeyID encodes a key index for inclusion in wire packets.
 func IntervalKeyID(i int) []byte {
 	var buf [8]byte

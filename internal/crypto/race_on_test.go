@@ -1,0 +1,5 @@
+//go:build race
+
+package crypto
+
+const raceEnabled = true

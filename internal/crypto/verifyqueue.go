@@ -1,0 +1,246 @@
+// Batched signature verification: the receive-side mirror of BatchSigner.
+// Callers enqueue pending (pub, content, sig) checks and receive a
+// deferred verdict callback when the queue resolves. Resolution dedups the
+// queue by underlying signature check — every packet of a Wong–Lam tree
+// block repeats one root signature, and every blob of a batch-signature
+// flush shares one inner signature — so one amortized pass performs each
+// distinct Ed25519 verification once. A failed deduped check falls back to
+// verifying its members individually, so a forged signature is isolated
+// without poisoning verdicts that happen to share its group.
+package crypto
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// pendingVerify is one enqueued signature check awaiting resolution.
+type pendingVerify struct {
+	pub     Verifier
+	content []byte
+	sig     []byte
+	done    func(ok bool)
+}
+
+// VerifyTotals snapshots a BatchVerifyQueue's lifetime counters.
+type VerifyTotals struct {
+	// Enqueued is how many checks were submitted.
+	Enqueued int64
+	// Resolves counts Resolve passes that settled at least one check.
+	Resolves int64
+	// Checks is how many underlying public-key verifications ran
+	// (including fallback re-verifies). Enqueued/Checks is the
+	// amortization ratio.
+	Checks int64
+	// CacheHits counts checks settled from the SigCache with no
+	// public-key operation at all.
+	CacheHits int64
+	// Fallbacks counts per-item re-verifications run because a deduped
+	// group's representative check failed.
+	Fallbacks int64
+	// Accepted and Rejected count the verdicts delivered.
+	Accepted int64
+	Rejected int64
+}
+
+// AmortizationRatio returns Enqueued / Checks (0 before the first
+// resolve). Above 1 means dedup and caching are paying for themselves.
+func (t VerifyTotals) AmortizationRatio() float64 {
+	if t.Checks == 0 {
+		return 0
+	}
+	return float64(t.Enqueued) / float64(t.Checks)
+}
+
+// BatchVerifyQueue accumulates pending signature checks across packets
+// and streams and resolves them in amortized passes. It is safe for
+// concurrent use; verdict callbacks run outside the internal lock, in
+// enqueue order, and may re-enter the queue. Callers own the resolve
+// policy (threshold and deadline), exactly like BatchSigner's flush
+// policy; the queue auto-resolves when maxPending checks accumulate so a
+// missing deadline can only bound latency, not correctness.
+type BatchVerifyQueue struct {
+	mu      sync.Mutex
+	max     int
+	cache   *SigCache
+	scratch VerifyScratch
+	pending []pendingVerify
+	totals  VerifyTotals
+}
+
+// NewBatchVerifyQueue creates a queue that auto-resolves at maxPending
+// accumulated checks (maxPending >= 1; 1 degenerates to immediate
+// per-check verification). cache may be nil; sharing one SigCache between
+// the queue and synchronous verifiers lets each settle checks the other
+// already paid for.
+func NewBatchVerifyQueue(maxPending int, cache *SigCache) (*BatchVerifyQueue, error) {
+	if maxPending < 1 {
+		return nil, fmt.Errorf("crypto: max pending %d must be >= 1", maxPending)
+	}
+	return &BatchVerifyQueue{max: maxPending, cache: cache}, nil
+}
+
+// MaxPending returns the auto-resolve threshold.
+func (q *BatchVerifyQueue) MaxPending() int { return q.max }
+
+// Cache returns the queue's shared signature cache (nil when caching is
+// off), so synchronous verify paths can share it.
+func (q *BatchVerifyQueue) Cache() *SigCache { return q.cache }
+
+// Enqueue submits one signature check; done is invoked with the verdict
+// when the queue resolves. content and sig are retained until then and
+// must not be mutated. When the queue reaches the auto-resolve threshold
+// it resolves before Enqueue returns (so done may run synchronously).
+// Returns the number of checks still pending after the call.
+func (q *BatchVerifyQueue) Enqueue(pub Verifier, content, sig []byte, done func(ok bool)) (int, error) {
+	if done == nil {
+		return 0, errors.New("crypto: nil verdict callback")
+	}
+	q.mu.Lock()
+	q.totals.Enqueued++
+	q.pending = append(q.pending, pendingVerify{pub: pub, content: content, sig: sig, done: done})
+	if len(q.pending) < q.max {
+		n := len(q.pending)
+		q.mu.Unlock()
+		return n, nil
+	}
+	items, verdicts := q.resolveLocked()
+	q.mu.Unlock()
+	deliverVerdicts(items, verdicts)
+	return 0, nil
+}
+
+// Resolve settles every pending check now and returns how many verdicts
+// were delivered. A no-op when nothing is pending.
+func (q *BatchVerifyQueue) Resolve() int {
+	q.mu.Lock()
+	items, verdicts := q.resolveLocked()
+	q.mu.Unlock()
+	deliverVerdicts(items, verdicts)
+	return len(items)
+}
+
+// Pending returns the number of checks awaiting resolution.
+func (q *BatchVerifyQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// Totals snapshots the lifetime counters.
+func (q *BatchVerifyQueue) Totals() VerifyTotals {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.totals
+}
+
+// verifyGroup is one distinct underlying signature check and the pending
+// items that reduce to it.
+type verifyGroup struct {
+	pub     Verifier
+	msg     []byte // the actually-signed message (root message for blobs)
+	sig     []byte // the plain / inner signature
+	members []int  // indices into the pending slice
+}
+
+// resolveLocked settles the pending queue: malformed checks fail fast,
+// well-formed ones are grouped by underlying (pub, message, signature)
+// check, each group is verified once (through the cache when present),
+// and a failed group re-verifies its members individually. Verdict
+// callbacks are returned for the caller to run after unlocking.
+func (q *BatchVerifyQueue) resolveLocked() ([]pendingVerify, []bool) {
+	if len(q.pending) == 0 {
+		return nil, nil
+	}
+	items := q.pending
+	q.pending = nil
+	verdicts := make([]bool, len(items))
+	groups := make(map[sigKey]*verifyGroup)
+	order := make([]sigKey, 0, len(items))
+	for i, it := range items {
+		msg, sig, ok := q.reduceCheck(it)
+		if !ok {
+			continue // verdict stays false
+		}
+		k := makeSigKey(it.pub, msg, sig)
+		g, exists := groups[k]
+		if !exists {
+			// msg may point into q.scratch; copy so later reductions
+			// cannot clobber it before the group is verified.
+			g = &verifyGroup{pub: it.pub, msg: append([]byte(nil), msg...), sig: sig}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.members = append(g.members, i)
+	}
+	for _, k := range order {
+		g := groups[k]
+		if q.cache != nil && q.cache.seen(k) {
+			q.totals.CacheHits += int64(len(g.members))
+			for _, i := range g.members {
+				verdicts[i] = true
+			}
+			continue
+		}
+		q.totals.Checks++
+		if g.pub != nil && g.pub.Verify(g.msg, g.sig) {
+			if q.cache != nil {
+				q.cache.store(k)
+			}
+			for _, i := range g.members {
+				verdicts[i] = true
+			}
+			continue
+		}
+		// The deduped check failed: isolate the bad signature by
+		// re-verifying each member on its own, so a digest collision or
+		// a single forged blob can never reject an honest sibling.
+		for _, i := range g.members {
+			q.totals.Checks++
+			q.totals.Fallbacks++
+			it := items[i]
+			verdicts[i] = VerifyAnyCached(q.cache, &q.scratch, it.pub, it.content, it.sig)
+		}
+	}
+	q.totals.Resolves++
+	for _, ok := range verdicts {
+		if ok {
+			q.totals.Accepted++
+		} else {
+			q.totals.Rejected++
+		}
+	}
+	return items, verdicts
+}
+
+// reduceCheck maps one pending item to its underlying plain signature
+// check: (content, sig) for plain signatures, (root message, inner sig)
+// for batch blobs. Malformed items report ok=false. The returned msg may
+// alias q.scratch and is only valid until the next reduceCheck call.
+func (q *BatchVerifyQueue) reduceCheck(it pendingVerify) (msg, sig []byte, ok bool) {
+	if it.pub == nil || len(it.sig) == 0 {
+		return nil, nil, false
+	}
+	if len(it.sig) == SignatureSize {
+		return it.content, it.sig, true
+	}
+	count, index, inner, path, ok := splitBatchBlob(it.sig)
+	if !ok {
+		return nil, nil, false
+	}
+	leaf := batchLeafScratch(&q.scratch.hs, it.content)
+	root, ok := batchRootFromPathScratch(&q.scratch.hs, leaf, index, count, path)
+	if !ok {
+		return nil, nil, false
+	}
+	q.scratch.msg = append(q.scratch.msg[:0], batchRootLabel...)
+	q.scratch.msg = append(q.scratch.msg, root[:]...)
+	return q.scratch.msg, inner, true
+}
+
+func deliverVerdicts(items []pendingVerify, verdicts []bool) {
+	for i, it := range items {
+		it.done(verdicts[i])
+	}
+}

@@ -37,6 +37,16 @@ type BenchFile struct {
 	File string `json:"-"`
 }
 
+// Dirty reports whether the snapshot was taken on an unclean working
+// tree (scripts/bench.sh -dirty). Older files tag only the filename, so
+// both the commit field and the source path are consulted. Dirty
+// snapshots render in the dashboard but never gate: their numbers are
+// not attributable to any commit.
+func (b *BenchFile) Dirty() bool {
+	return strings.HasSuffix(b.Commit, "-dirty") ||
+		strings.Contains(filepath.Base(b.File), "-dirty")
+}
+
 // ShortCommit trims the commit hash for display, preserving a -dirty tag.
 func (b *BenchFile) ShortCommit() string {
 	c := b.Commit

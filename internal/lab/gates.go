@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"mcauth/internal/conformance"
 )
@@ -22,6 +24,13 @@ type Baselines struct {
 	// bench snapshot vs the best strictly-older snapshot per benchmark
 	// (0.10 = +10%). Zero disables the bench gate.
 	BenchThreshold float64 `json:"bench_threshold,omitempty"`
+	// BenchAllocCeilings are absolute allocs/op ceilings for named
+	// benchmarks, checked against the latest clean snapshot. Unlike the
+	// relative BenchThreshold they hold even when every snapshot in the
+	// history regressed together, which is what keeps the zero-alloc
+	// verify fast path honest. A key matches the benchmark name exactly
+	// or with a -<procs> suffix (go test appends GOMAXPROCS when > 1).
+	BenchAllocCeilings map[string]float64 `json:"bench_alloc_ceilings,omitempty"`
 	// RequireServerResume gates the serving tier's session-resume path:
 	// every cell that ran the server path with churn enabled must have
 	// replayed catch-up packets to its late subscriber and verified every
@@ -45,6 +54,11 @@ func ReadBaselines(path string) (Baselines, error) {
 	}
 	if b.BenchThreshold < 0 {
 		return Baselines{}, fmt.Errorf("lab: baselines %s: bench_threshold %g must be >= 0", path, b.BenchThreshold)
+	}
+	for name, ceil := range b.BenchAllocCeilings {
+		if ceil < 0 {
+			return Baselines{}, fmt.Errorf("lab: baselines %s: alloc ceiling for %s is negative", path, name)
+		}
 	}
 	for i, bd := range b.Bounds {
 		if bd.MCTol < 0 || bd.NetsimTol < 0 || bd.MinQMin < 0 || bd.MinQMin > 1 {
@@ -117,19 +131,32 @@ func (b Baselines) CheckRun(run *RunResult) []error {
 	return errs
 }
 
-// CheckBench gates the newest bench snapshot against the best
-// strictly-older snapshot per benchmark: ns/op may not regress by more
-// than the threshold fraction, and allocs/op by more than the threshold
-// fraction plus an absolute slack of 2 allocations (so near-zero counts
-// are not gated on integer jitter). Benchmarks with no older measurement
-// pass vacuously; an empty or single-file history passes.
+// CheckBench gates the newest clean bench snapshot against the best
+// strictly-older clean snapshot per benchmark: ns/op may not regress by
+// more than the threshold fraction, and allocs/op by more than the
+// threshold fraction plus an absolute slack of 2 allocations (so
+// near-zero counts are not gated on integer jitter). Dirty-tree
+// snapshots are dropped from the comparison entirely — as baseline and
+// as candidate — so only commit-attributable numbers ever gate.
+// Benchmarks with no older measurement pass vacuously; an empty or
+// single-file clean history passes the relative gate, but absolute
+// alloc ceilings still apply to the latest clean snapshot.
 func (b Baselines) CheckBench(history []*BenchFile) []error {
-	if b.BenchThreshold <= 0 || len(history) < 2 {
-		return nil
+	clean := history[:0:0]
+	for _, bf := range history {
+		if !bf.Dirty() {
+			clean = append(clean, bf)
+		}
 	}
-	latest := history[len(history)-1]
-	series := SeriesByName(history[:len(history)-1])
 	var errs []error
+	if len(clean) > 0 {
+		errs = append(errs, b.checkAllocCeilings(clean[len(clean)-1])...)
+	}
+	if b.BenchThreshold <= 0 || len(clean) < 2 {
+		return errs
+	}
+	latest := clean[len(clean)-1]
+	series := SeriesByName(clean[:len(clean)-1])
 	for _, bm := range latest.Benchmarks {
 		points := series[bm.Name]
 		if len(points) == 0 {
@@ -159,6 +186,41 @@ func (b Baselines) CheckBench(history []*BenchFile) []error {
 					"%s: %.0f allocs/op regresses over best baseline %.0f allocs/op (threshold %.0f%% + 2)",
 					bm.Name, *bm.AllocsPerOp, bestAllocs, 100*b.BenchThreshold))
 			}
+		}
+	}
+	return errs
+}
+
+// checkAllocCeilings applies the absolute allocs/op ceilings to one
+// snapshot. Ceiling keys match the benchmark name exactly or with a
+// trailing -<procs> tag; benchmarks absent from the snapshot pass
+// vacuously (the ceiling gates regressions, not bench coverage).
+func (b Baselines) checkAllocCeilings(latest *BenchFile) []error {
+	if len(b.BenchAllocCeilings) == 0 {
+		return nil
+	}
+	var errs []error
+	for _, bm := range latest.Benchmarks {
+		if bm.AllocsPerOp == nil {
+			continue
+		}
+		name := bm.Name
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ceil, ok := b.BenchAllocCeilings[name]
+		if !ok {
+			ceil, ok = b.BenchAllocCeilings[bm.Name]
+		}
+		if !ok {
+			continue
+		}
+		if *bm.AllocsPerOp > ceil {
+			errs = append(errs, fmt.Errorf(
+				"%s: %.0f allocs/op exceeds absolute ceiling %.0f (%s)",
+				bm.Name, *bm.AllocsPerOp, ceil, latest.ShortCommit()))
 		}
 	}
 	return errs

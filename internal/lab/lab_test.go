@@ -315,6 +315,66 @@ func TestBenchGate(t *testing.T) {
 	}
 }
 
+// TestBenchGateDirtyFilter: dirty-tree snapshots neither set baselines
+// nor get gated; only clean commits compare against each other.
+func TestBenchGateDirtyFilter(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	mk := func(commit string, at int64, ns float64) *BenchFile {
+		return &BenchFile{
+			Commit:          commit,
+			GeneratedAtUnix: at,
+			Benchmarks:      []Benchmark{{Name: "BenchmarkMC", NsPerOp: f(ns), AllocsPerOp: f(10)}},
+			File:            "BENCH_" + commit + ".json",
+		}
+	}
+	b := Baselines{BenchThreshold: 0.10}
+	// A dirty snapshot with an absurdly fast number must not become the
+	// baseline the clean latest is judged against.
+	if errs := b.CheckBench([]*BenchFile{mk("aaaaaaa1", 1, 100), mk("bbbbbbb2-dirty", 2, 1), mk("ccccccc3", 3, 105)}); len(errs) != 0 {
+		t.Errorf("dirty snapshot served as baseline: %v", errs)
+	}
+	// A dirty latest is not gated at all (its regression is not
+	// attributable), but the newest clean snapshot before it still is.
+	if errs := b.CheckBench([]*BenchFile{mk("aaaaaaa1", 1, 100), mk("ccccccc3", 3, 150), mk("bbbbbbb2-dirty", 4, 999)}); len(errs) != 1 {
+		t.Errorf("clean regression hidden behind dirty latest: %v", errs)
+	}
+	// Legacy files tag only the filename.
+	legacy := mk("bbbbbbb2", 2, 1)
+	legacy.File = "BENCH_bbbbbb2-dirty.json"
+	if errs := b.CheckBench([]*BenchFile{mk("aaaaaaa1", 1, 100), legacy, mk("ccccccc3", 3, 105)}); len(errs) != 0 {
+		t.Errorf("filename-tagged dirty snapshot served as baseline: %v", errs)
+	}
+}
+
+// TestBenchGateAllocCeilings: absolute allocs/op ceilings hold on the
+// latest clean snapshot even with no prior history, and match names
+// carrying a GOMAXPROCS suffix.
+func TestBenchGateAllocCeilings(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	b := Baselines{BenchAllocCeilings: map[string]float64{"BenchmarkVerify/tesla": 80}}
+	mk := func(name string, allocs float64) *BenchFile {
+		return &BenchFile{
+			Commit:     "aaaaaaa1",
+			Benchmarks: []Benchmark{{Name: name, AllocsPerOp: f(allocs)}},
+			File:       "BENCH_aaaaaaa1.json",
+		}
+	}
+	if errs := b.CheckBench([]*BenchFile{mk("BenchmarkVerify/tesla", 35)}); len(errs) != 0 {
+		t.Errorf("under-ceiling snapshot gated: %v", errs)
+	}
+	if errs := b.CheckBench([]*BenchFile{mk("BenchmarkVerify/tesla", 500)}); len(errs) != 1 {
+		t.Errorf("over-ceiling snapshot not gated: %v", errs)
+	}
+	if errs := b.CheckBench([]*BenchFile{mk("BenchmarkVerify/tesla-4", 500)}); len(errs) != 1 {
+		t.Errorf("GOMAXPROCS-suffixed name not matched: %v", errs)
+	}
+	dirty := mk("BenchmarkVerify/tesla", 500)
+	dirty.Commit = "aaaaaaa1-dirty"
+	if errs := b.CheckBench([]*BenchFile{dirty}); len(errs) != 0 {
+		t.Errorf("ceiling applied to dirty snapshot: %v", errs)
+	}
+}
+
 // TestBenchHistoryOrdering checks generated_at_unix ordering with
 // filename tie-breaks for pre-field files.
 func TestBenchHistoryOrdering(t *testing.T) {

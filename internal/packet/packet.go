@@ -64,6 +64,14 @@ func (p *Packet) ContentBytes() []byte {
 	return p.appendContent(make([]byte, 0, p.contentSize()))
 }
 
+// AppendContent appends the authenticated-content encoding to buf (which
+// may be nil) and returns the extended slice — the zero-allocation
+// counterpart of ContentBytes for verify hot paths that reuse one buffer
+// across packets.
+func (p *Packet) AppendContent(buf []byte) []byte {
+	return p.appendContent(buf)
+}
+
 // appendContent appends the authenticated-content encoding to buf.
 func (p *Packet) appendContent(buf []byte) []byte {
 	var scratch [8]byte
@@ -203,6 +211,85 @@ func (d *decoder) blob(limit int) ([]byte, error) {
 		return nil, err
 	}
 	return append([]byte(nil), raw...), nil
+}
+
+// blobInto decodes a length-prefixed field into dst's capacity, growing
+// only when the field outgrows it. Empty fields return dst truncated to
+// zero length (nil stays nil), so callers must test emptiness with len.
+func (d *decoder) blobInto(dst []byte, limit int) ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return dst, err
+	}
+	if int(n) > limit {
+		return dst, fmt.Errorf("packet: field length %d exceeds limit %d", n, limit)
+	}
+	raw, err := d.bytes(int(n))
+	if err != nil {
+		return dst, err
+	}
+	return append(dst[:0], raw...), nil
+}
+
+// DecodeInto parses wire bytes produced by Encode into p, reusing the
+// capacity of p's existing Payload/Hashes/Signature/MAC/DisclosedKey
+// slices — the zero-allocation counterpart of Decode for hot loops that
+// consume each packet before decoding the next. The caller must not
+// retain references into the previous decode. Results match Decode except
+// that absent fields are zero-length rather than necessarily nil.
+func DecodeInto(p *Packet, wire []byte) error {
+	d := &decoder{buf: wire}
+	var err error
+	if p.BlockID, err = d.u64(); err != nil {
+		return err
+	}
+	if p.Index, err = d.u32(); err != nil {
+		return err
+	}
+	if p.KeyIndex, err = d.u32(); err != nil {
+		return err
+	}
+	if p.Payload, err = d.blobInto(p.Payload, MaxPayloadSize); err != nil {
+		return err
+	}
+	nHashes, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if nHashes > MaxHashes {
+		return fmt.Errorf("packet: %d hashes exceed %d", nHashes, MaxHashes)
+	}
+	if cap(p.Hashes) >= int(nHashes) {
+		p.Hashes = p.Hashes[:nHashes]
+	} else {
+		p.Hashes = make([]HashRef, nHashes)
+	}
+	for i := range p.Hashes {
+		if p.Hashes[i].TargetIndex, err = d.u32(); err != nil {
+			return err
+		}
+		raw, err := d.bytes(crypto.HashSize)
+		if err != nil {
+			return err
+		}
+		copy(p.Hashes[i].Digest[:], raw)
+	}
+	if p.Signature, err = d.blobInto(p.Signature, MaxBlobSize); err != nil {
+		return err
+	}
+	if p.MAC, err = d.blobInto(p.MAC, MaxBlobSize); err != nil {
+		return err
+	}
+	if p.DisclosedKey, err = d.blobInto(p.DisclosedKey, MaxBlobSize); err != nil {
+		return err
+	}
+	if p.DisclosedKeyIndex, err = d.u32(); err != nil {
+		return err
+	}
+	if d.off != len(wire) {
+		return fmt.Errorf("packet: %d trailing bytes", len(wire)-d.off)
+	}
+	return nil
 }
 
 // Decode parses wire bytes produced by Encode.

@@ -152,13 +152,11 @@ func (t *Tree) pathRef(level, slot int) uint32 {
 	return uint32(level*t.arity + slot)
 }
 
-// Authenticate implements Scheme: it builds the Merkle tree over the
-// block, signs the root once, and equips every packet with the signature
-// and its sibling path. Each sibling is stored as a HashRef whose
-// TargetIndex encodes its (level, child-slot) position.
-func (t *Tree) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error) {
+// buildPackets constructs the block's packets with their sibling paths
+// filled in, signatures left empty, and returns them with the tree root.
+func (t *Tree) buildPackets(blockID uint64, payloads [][]byte) ([]*packet.Packet, crypto.Digest, error) {
 	if len(payloads) != t.n {
-		return nil, fmt.Errorf("authtree: got %d payloads, want %d", len(payloads), t.n)
+		return nil, crypto.Digest{}, fmt.Errorf("authtree: got %d payloads, want %d", len(payloads), t.n)
 	}
 	// levels[0] = leaves ... levels[depth] = [root].
 	levels := make([][]crypto.Digest, t.depth+1)
@@ -179,15 +177,13 @@ func (t *Tree) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet
 		levels[lvl] = cur
 	}
 	root := levels[t.depth][0]
-	sig := t.signer.Sign(rootMessage(blockID, t.n, root))
 
 	pkts := make([]*packet.Packet, t.n)
 	for i := 0; i < t.n; i++ {
 		p := &packet.Packet{
-			BlockID:   blockID,
-			Index:     uint32(i + 1),
-			Payload:   payloads[i],
-			Signature: append([]byte(nil), sig...),
+			BlockID: blockID,
+			Index:   uint32(i + 1),
+			Payload: payloads[i],
 		}
 		pos := i
 		for lvl := 0; lvl < t.depth; lvl++ {
@@ -206,8 +202,48 @@ func (t *Tree) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet
 		}
 		pkts[i] = p
 	}
+	return pkts, root, nil
+}
+
+// Authenticate implements Scheme: it builds the Merkle tree over the
+// block, signs the root once, and equips every packet with the signature
+// and its sibling path. Each sibling is stored as a HashRef whose
+// TargetIndex encodes its (level, child-slot) position.
+func (t *Tree) Authenticate(blockID uint64, payloads [][]byte) ([]*packet.Packet, error) {
+	pkts, root, err := t.buildPackets(blockID, payloads)
+	if err != nil {
+		return nil, err
+	}
+	sig := t.signer.Sign(rootMessage(blockID, t.n, root))
+	for _, p := range pkts {
+		p.Signature = sig
+	}
 	return pkts, nil
 }
+
+// AuthenticateDeferred implements scheme.DeferredAuthenticator: the root
+// signature — which every packet of the block carries — is supplied later
+// via PendingRoot.Attach, typically by a crypto.BatchSigner amortizing one
+// signature across many blocks. All wire positions are held, since every
+// packet carries the signature.
+func (t *Tree) AuthenticateDeferred(blockID uint64, payloads [][]byte) ([]*packet.Packet, *scheme.PendingRoot, error) {
+	pkts, root, err := t.buildPackets(blockID, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+	held := make([]int, t.n)
+	for i := range held {
+		held[i] = i
+	}
+	pr := scheme.NewPendingRoot(rootMessage(blockID, t.n, root), held, func(sig []byte) {
+		for _, p := range pkts {
+			p.Signature = sig
+		}
+	})
+	return pkts, pr, nil
+}
+
+var _ scheme.DeferredAuthenticator = (*Tree)(nil)
 
 // NewVerifier implements Scheme.
 func (t *Tree) NewVerifier() (scheme.Verifier, error) {
@@ -222,12 +258,172 @@ type treeVerifier struct {
 
 	authentic map[uint32]bool
 	stats     verifier.Stats
+
+	// Receiver fast path. Every packet of a block repeats the same root
+	// signature, so one successful signature check per recomputed root is
+	// enough: verifiedRoots remembers them (successes only — entering the
+	// memo required a real signature check over a root that binds the
+	// block ID through every leaf). The scratch fields make the per-packet
+	// path walk allocation-free.
+	verifiedRoots map[crypto.Digest]struct{}
+	children      []crypto.Digest
+	hs            crypto.HashScratch
+	rootMsg       []byte
+	vs            crypto.VerifyScratch
+	// pendingRoots tracks roots whose signature check is in flight on the
+	// batch-verify queue: later packets proving the same root park here and
+	// share the verdict instead of enqueueing duplicate checks.
+	pendingRoots map[crypto.Digest][]*packet.Packet
+
+	cache    *verifier.SharedCache
+	streamID uint64
+	batchQ   *crypto.BatchVerifyQueue
+	sink     func([]verifier.Event)
+	// maxBuffered caps pending-signature packets in deferred mode
+	// (0 = unbounded), mirroring verifier.WithMaxBuffered.
+	maxBuffered int
 }
 
-var _ scheme.Verifier = (*treeVerifier)(nil)
+var (
+	_ scheme.Verifier         = (*treeVerifier)(nil)
+	_ scheme.CacheAware       = (*treeVerifier)(nil)
+	_ scheme.DeferredVerifier = (*treeVerifier)(nil)
+	_ scheme.BufferBounded    = (*treeVerifier)(nil)
+)
+
+// SetSharedCache implements scheme.CacheAware.
+func (tv *treeVerifier) SetSharedCache(c *verifier.SharedCache, streamID uint64) {
+	tv.cache = c
+	tv.streamID = streamID
+}
+
+// SetBatchVerify implements scheme.DeferredVerifier.
+func (tv *treeVerifier) SetBatchVerify(q *crypto.BatchVerifyQueue, sink func([]verifier.Event)) {
+	tv.batchQ = q
+	tv.sink = sink
+}
+
+// SetMaxBuffered implements scheme.BufferBounded (only deferred mode
+// buffers).
+func (tv *treeVerifier) SetMaxBuffered(n int) {
+	if n >= 0 {
+		tv.maxBuffered = n
+	}
+}
+
+// leafDigestScratch, nodeDigestScratch and appendRootMessage are the
+// zero-allocation counterparts of leafDigest, nodeDigest and rootMessage;
+// identical outputs.
+func (tv *treeVerifier) leafDigestScratch(blockID uint64, index uint32, payload []byte) crypto.Digest {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], blockID)
+	binary.BigEndian.PutUint32(hdr[8:], index)
+	tv.hs.Reset()
+	tv.hs.Write(labelLeaf)
+	tv.hs.Write(hdr[:])
+	tv.hs.Write(payload)
+	return tv.hs.Sum()
+}
+
+func (tv *treeVerifier) nodeDigestScratch(children []crypto.Digest) crypto.Digest {
+	tv.hs.Reset()
+	tv.hs.Write(labelNode)
+	for i := range children {
+		tv.hs.Write(children[i][:])
+	}
+	return tv.hs.Sum()
+}
+
+func (tv *treeVerifier) appendRootMessage(blockID uint64, root crypto.Digest) []byte {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], blockID)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(tv.n))
+	msg := append(tv.rootMsg[:0], labelRoot...)
+	msg = append(msg, hdr[:]...)
+	msg = append(msg, root[:]...)
+	tv.rootMsg = msg
+	return msg
+}
+
+// computeRoot walks the packet's sibling path up to the Merkle root,
+// reporting false for malformed paths.
+func (tv *treeVerifier) computeRoot(p *packet.Packet) (crypto.Digest, bool) {
+	digest := tv.leafDigestScratch(p.BlockID, p.Index, p.Payload)
+	pos := int(p.Index) - 1
+	next := 0
+	if cap(tv.children) < tv.arity {
+		tv.children = make([]crypto.Digest, tv.arity)
+	}
+	children := tv.children[:tv.arity]
+	for lvl := 0; lvl < tv.depth; lvl++ {
+		own := pos % tv.arity
+		for slot := 0; slot < tv.arity; slot++ {
+			if slot == own {
+				children[slot] = digest
+				continue
+			}
+			ref := p.Hashes[next]
+			next++
+			if ref.TargetIndex != uint32(lvl*tv.arity+slot) {
+				return crypto.Digest{}, false
+			}
+			children[slot] = ref.Digest
+		}
+		digest = tv.nodeDigestScratch(children)
+		pos /= tv.arity
+	}
+	return digest, true
+}
+
+// accept marks p authentic and publishes it to the shared cache.
+func (tv *treeVerifier) accept(p *packet.Packet) []verifier.Event {
+	tv.authentic[p.Index] = true
+	tv.stats.Authenticated++
+	if tv.cache != nil {
+		tv.cache.MarkAuthentic(tv.streamID, p.BlockID, tv.cache.DigestOf(p))
+	}
+	return []verifier.Event{{Index: p.Index, Payload: p.Payload}}
+}
+
+// resolveRoot applies a deferred signature verdict for the root digest p
+// proved its path against, settling every packet parked on the same root.
+func (tv *treeVerifier) resolveRoot(p *packet.Packet, root crypto.Digest, ok bool) {
+	waiters := tv.pendingRoots[root]
+	delete(tv.pendingRoots, root)
+	var events []verifier.Event
+	settle := func(pkt *packet.Packet, verified bool) {
+		tv.stats.PendingSignature--
+		if tv.authentic[pkt.Index] {
+			tv.stats.Duplicates++
+			return
+		}
+		if !verified {
+			tv.stats.Rejected++
+			return
+		}
+		tv.verifiedRoots[root] = struct{}{}
+		events = append(events, tv.accept(pkt)...)
+	}
+	settle(p, ok)
+	for _, w := range waiters {
+		verified := ok
+		if !verified {
+			// The enqueued copy's signature bytes failed; the waiter
+			// carries its own — give it its own synchronous check.
+			msg := tv.appendRootMessage(w.BlockID, root)
+			verified = crypto.VerifyAnyCached(nil, &tv.vs, tv.pub, msg, w.Signature)
+		}
+		settle(w, verified)
+	}
+	if len(events) > 0 && tv.sink != nil {
+		tv.sink(events)
+	}
+}
 
 // Ingest implements scheme.Verifier: each packet verifies independently by
-// recomputing the root from its leaf and sibling path.
+// recomputing the root from its leaf and sibling path; the signature over
+// a given root is checked at most once per verifier, and at most once per
+// stream when a shared cache is attached.
 func (tv *treeVerifier) Ingest(p *packet.Packet, _ time.Time) ([]verifier.Event, error) {
 	if p == nil {
 		return nil, fmt.Errorf("authtree: nil packet")
@@ -238,49 +434,59 @@ func (tv *treeVerifier) Ingest(p *packet.Packet, _ time.Time) ([]verifier.Event,
 	tv.stats.Received++
 	if tv.authentic == nil {
 		tv.authentic = make(map[uint32]bool)
+		tv.verifiedRoots = make(map[crypto.Digest]struct{})
+		tv.pendingRoots = make(map[crypto.Digest][]*packet.Packet)
 	}
 	if tv.authentic[p.Index] {
 		tv.stats.Duplicates++
 		return nil, nil
 	}
+	if tv.cache != nil {
+		if d := tv.cache.DigestOf(p); tv.cache.IsAuthentic(tv.streamID, p.BlockID, d) {
+			tv.stats.CacheHits++
+			return tv.accept(p), nil
+		}
+	}
 	if len(p.Hashes) != tv.depth*(tv.arity-1) {
 		tv.stats.Rejected++
 		return nil, nil
 	}
-	digest := leafDigest(p.BlockID, p.Index, p.Payload)
-	pos := int(p.Index) - 1
-	next := 0
-	children := make([]crypto.Digest, tv.arity)
-	for lvl := 0; lvl < tv.depth; lvl++ {
-		own := pos % tv.arity
-		ok := true
-		for slot := 0; slot < tv.arity; slot++ {
-			if slot == own {
-				children[slot] = digest
-				continue
-			}
-			ref := p.Hashes[next]
-			next++
-			if ref.TargetIndex != uint32(lvl*tv.arity+slot) {
-				ok = false
-				break
-			}
-			children[slot] = ref.Digest
-		}
-		if !ok {
-			tv.stats.Rejected++
-			return nil, nil
-		}
-		digest = nodeDigest(children)
-		pos /= tv.arity
-	}
-	if !tv.pub.Verify(rootMessage(p.BlockID, tv.n, digest), p.Signature) {
+	root, ok := tv.computeRoot(p)
+	if !ok {
 		tv.stats.Rejected++
 		return nil, nil
 	}
-	tv.authentic[p.Index] = true
-	tv.stats.Authenticated++
-	return []verifier.Event{{Index: p.Index, Payload: p.Payload}}, nil
+	if _, seen := tv.verifiedRoots[root]; seen {
+		return tv.accept(p), nil
+	}
+	msg := tv.appendRootMessage(p.BlockID, root)
+	if tv.batchQ != nil {
+		if tv.maxBuffered > 0 && tv.stats.PendingSignature >= tv.maxBuffered {
+			tv.stats.DroppedOverflow++
+			return nil, nil
+		}
+		if waiters, pending := tv.pendingRoots[root]; pending {
+			// This root's signature check is already in flight; share its
+			// verdict rather than enqueue a duplicate.
+			tv.stats.PendingSignature++
+			tv.pendingRoots[root] = append(waiters, p)
+			return nil, nil
+		}
+		tv.stats.PendingSignature++
+		tv.pendingRoots[root] = nil
+		// The queue retains the signed message; msg is reused scratch.
+		held := append([]byte(nil), msg...)
+		tv.batchQ.Enqueue(tv.pub, held, p.Signature, func(ok bool) {
+			tv.resolveRoot(p, root, ok)
+		})
+		return nil, nil
+	}
+	if !crypto.VerifyAnyCached(nil, &tv.vs, tv.pub, msg, p.Signature) {
+		tv.stats.Rejected++
+		return nil, nil
+	}
+	tv.verifiedRoots[root] = struct{}{}
+	return tv.accept(p), nil
 }
 
 // Stats implements scheme.Verifier.

@@ -194,11 +194,17 @@ type chainedVerifier struct {
 	tracer      obs.Tracer
 	metrics     *obs.Registry
 	maxBuffered int
+	cache       *verifier.SharedCache
+	streamID    uint64
+	batchQ      *crypto.BatchVerifyQueue
+	sink        func([]verifier.Event)
 }
 
 var (
 	_ obs.Instrumented = (*chainedVerifier)(nil)
 	_ BufferBounded    = (*chainedVerifier)(nil)
+	_ CacheAware       = (*chainedVerifier)(nil)
+	_ DeferredVerifier = (*chainedVerifier)(nil)
 )
 
 func newChainedVerifier(n int, pub crypto.Verifier) (*chainedVerifier, error) {
@@ -235,6 +241,24 @@ func (cv *chainedVerifier) SetMaxBuffered(n int) {
 	}
 }
 
+// SetSharedCache implements CacheAware.
+func (cv *chainedVerifier) SetSharedCache(c *verifier.SharedCache, streamID uint64) {
+	cv.cache = c
+	cv.streamID = streamID
+	if cv.inner != nil {
+		cv.inner.SetSharedCache(c, streamID)
+	}
+}
+
+// SetBatchVerify implements DeferredVerifier.
+func (cv *chainedVerifier) SetBatchVerify(q *crypto.BatchVerifyQueue, sink func([]verifier.Event)) {
+	cv.batchQ = q
+	cv.sink = sink
+	if cv.inner != nil {
+		cv.inner.SetBatchVerify(q, sink)
+	}
+}
+
 // Ingest implements Verifier. The first packet binds the verifier to its
 // block ID.
 func (cv *chainedVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Event, error) {
@@ -253,6 +277,12 @@ func (cv *chainedVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Ev
 			inner.SetMetrics(cv.metrics)
 		}
 		inner.SetMaxBuffered(cv.maxBuffered)
+		if cv.cache != nil {
+			inner.SetSharedCache(cv.cache, cv.streamID)
+		}
+		if cv.batchQ != nil {
+			inner.SetBatchVerify(cv.batchQ, cv.sink)
+		}
 		cv.inner = inner
 	}
 	return cv.inner.Ingest(p, at)

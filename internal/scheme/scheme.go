@@ -9,6 +9,7 @@ package scheme
 import (
 	"time"
 
+	"mcauth/internal/crypto"
 	"mcauth/internal/depgraph"
 	"mcauth/internal/packet"
 	"mcauth/internal/verifier"
@@ -94,6 +95,29 @@ func (pr *PendingRoot) Attach(sig []byte) { pr.attach(sig) }
 // difference as long as held packets are only sent after Attach.
 type DeferredAuthenticator interface {
 	AuthenticateDeferred(blockID uint64, payloads [][]byte) ([]*packet.Packet, *PendingRoot, error)
+}
+
+// CacheAware is implemented by verifiers that can share a cross-subscriber
+// verification cache (the receiver fast path): packet digests are hashed
+// once per process and each proven-authentic digest is proven once per
+// stream, instead of once per subscriber. Layers that fan one stream out
+// to many subscribers (the stream demultiplexer, the serving daemon)
+// attach the cache via this interface, mirroring BufferBounded. streamID
+// must identify the stream — and therefore the signing key — the verifier
+// serves.
+type CacheAware interface {
+	SetSharedCache(c *verifier.SharedCache, streamID uint64)
+}
+
+// DeferredVerifier is implemented by verifiers that can defer signature
+// checks to a crypto.BatchVerifyQueue — the receive-side mirror of
+// DeferredAuthenticator. Ingest parks signature-carrying packets as
+// pending-signature; when the queue resolves, accepted packets
+// authenticate and their events are delivered through sink (the
+// originating Ingest has already returned). Callers own the resolve
+// policy and must resolve on the ingest goroutine.
+type DeferredVerifier interface {
+	SetBatchVerify(q *crypto.BatchVerifyQueue, sink func([]verifier.Event))
 }
 
 // BufferBounded is implemented by verifiers whose pending-packet buffers

@@ -288,6 +288,29 @@ type teslaVerifier struct {
 	maxBuffered int // cap on preBoot+buffered; 0 = unbounded
 	stats       verifier.Stats
 
+	// Receiver fast path. Validating a disclosed key walks the PRF chain
+	// down to the last verified key anyway; chainKeys memoizes every
+	// element that walk derives, so per-packet verification is a table
+	// lookup instead of an O(chain-length) re-walk (the old cost was
+	// quadratic over a block). haveKey gates each entry: candidates are
+	// written during the walk but only committed once the walk lands on
+	// the verified anchor, so a forged disclosure never populates the
+	// table. The scratch fields make MAC verification allocation-free.
+	chainKeys [][crypto.KeySize]byte // index -> chain key K_i
+	haveKey   []bool
+	ms        crypto.MACScratch
+	content   []byte
+	mkBuf     [crypto.KeySize]byte
+	keyBuf    [crypto.KeySize]byte
+	// events is the per-Ingest result buffer, reused across calls (every
+	// caller consumes the returned slice before ingesting again); pendPool
+	// recycles the per-interval pending slices absorbKey releases.
+	events   []verifier.Event
+	pendPool [][]pendingPacket
+
+	cache    *verifier.SharedCache
+	streamID uint64
+
 	tracer obs.Tracer
 	m      *teslaMetrics
 }
@@ -296,7 +319,18 @@ var (
 	_ scheme.Verifier      = (*teslaVerifier)(nil)
 	_ obs.Instrumented     = (*teslaVerifier)(nil)
 	_ scheme.BufferBounded = (*teslaVerifier)(nil)
+	_ scheme.CacheAware    = (*teslaVerifier)(nil)
 )
+
+// SetSharedCache implements scheme.CacheAware. The cache is consulted
+// only after a packet passes the safety condition: MAC validity is
+// timeless, but acceptance is not — a replay arriving after its key
+// became public must still be dropped, so the deadline check can never be
+// skipped.
+func (tv *teslaVerifier) SetSharedCache(c *verifier.SharedCache, streamID uint64) {
+	tv.cache = c
+	tv.streamID = streamID
+}
 
 // teslaMetrics caches the registry instruments the verifier updates; the
 // metric names are shared with the hash-chained engine so runs aggregate
@@ -408,7 +442,9 @@ func (tv *teslaVerifier) markRejected(p *packet.Packet, at time.Time, reason str
 	tv.emit(e)
 }
 
-// Ingest implements scheme.Verifier.
+// Ingest implements scheme.Verifier. The returned event slice is reused
+// by the next Ingest call; callers must consume or copy it before
+// ingesting again.
 func (tv *teslaVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Event, error) {
 	if p == nil {
 		return nil, errors.New("tesla: nil packet")
@@ -418,6 +454,7 @@ func (tv *teslaVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Even
 		tv.authentic = make(map[uint32]bool)
 		tv.buffered = make(map[int][]pendingPacket)
 	}
+	tv.events = tv.events[:0]
 
 	if len(p.Signature) > 0 {
 		return tv.ingestBootstrap(p, at)
@@ -459,44 +496,40 @@ func (tv *teslaVerifier) ingestBootstrap(p *packet.Packet, at time.Time) ([]veri
 	tv.bestKey = bp.commitment
 	tv.markAuthenticated(p, at, at)
 
-	var events []verifier.Event
 	held := tv.preBoot
 	tv.preBoot = nil
 	for _, pend := range held {
 		if pend.p.BlockID != tv.blockID {
 			continue
 		}
-		evs, err := tv.ingestData(pend, at)
-		if err != nil {
-			return events, err
+		if _, err := tv.ingestData(pend, at); err != nil {
+			return tv.events, err
 		}
-		events = append(events, evs...)
 	}
-	return events, nil
+	return tv.events, nil
 }
 
 func (tv *teslaVerifier) ingestData(pend pendingPacket, at time.Time) ([]verifier.Event, error) {
 	p := pend.p
-	var events []verifier.Event
 
 	// Disclosed keys self-authenticate against the commitment chain and
 	// may unlock buffered packets, regardless of this packet's own fate.
 	if len(p.DisclosedKey) > 0 {
-		events = append(events, tv.absorbKey(int(p.DisclosedKeyIndex), p.DisclosedKey, at)...)
+		tv.absorbKey(int(p.DisclosedKeyIndex), p.DisclosedKey, at)
 	}
 
 	if p.KeyIndex == 0 {
 		// Key-only trailing packet: nothing further to verify.
-		return events, nil
+		return tv.events, nil
 	}
 	if tv.authentic[p.Index] {
 		tv.stats.Duplicates++
-		return events, nil
+		return tv.events, nil
 	}
 	interval := int(p.KeyIndex)
 	if interval > tv.params.n {
 		tv.markRejected(p, at, "bad_interval")
-		return events, nil
+		return tv.events, nil
 	}
 	// Safety condition: the packet must have arrived before the sender
 	// could have disclosed its key (condition (2) of the paper; packets
@@ -513,76 +546,138 @@ func (tv *teslaVerifier) ingestData(pend pendingPacket, at time.Time) ([]verifie
 			Type: obs.EventUnsafe, Index: p.Index, Block: p.BlockID,
 			TimeNS: obs.TimeNS(at), Reason: "deadline",
 		})
-		return events, nil
+		return tv.events, nil
+	}
+	// Shared-cache fast path — safe only here, after the deadline check:
+	// a packet with this exact content already passed a real MAC check in
+	// this stream and block, and this arrival independently satisfied the
+	// safety condition.
+	if tv.cache != nil {
+		if d := tv.cache.DigestOf(p); tv.cache.IsAuthentic(tv.streamID, p.BlockID, d) {
+			tv.stats.CacheHits++
+			tv.authentic[p.Index] = true
+			tv.markAuthenticated(p, pend.arrived, at)
+			tv.events = append(tv.events, verifier.Event{Index: p.Index, Payload: p.Payload})
+			return tv.events, nil
+		}
 	}
 	if tv.bestIdx >= interval {
-		events = append(events, tv.verifyData(pend, at)...)
-		return events, nil
+		tv.verifyData(pend, at)
+		return tv.events, nil
 	}
 	if tv.bufferFull(p, at) {
-		return events, nil
+		return tv.events, nil
 	}
-	tv.buffered[interval] = append(tv.buffered[interval], pend)
+	pends, live := tv.buffered[interval]
+	if !live && len(tv.pendPool) > 0 {
+		last := len(tv.pendPool) - 1
+		pends = tv.pendPool[last]
+		tv.pendPool = tv.pendPool[:last]
+	}
+	tv.buffered[interval] = append(pends, pend)
 	tv.trackBufferHighWater(p, at)
-	return events, nil
+	return tv.events, nil
 }
 
 // absorbKey validates a disclosed chain key and releases every buffered
-// packet whose interval it covers.
-func (tv *teslaVerifier) absorbKey(idx int, key []byte, at time.Time) []verifier.Event {
+// packet whose interval it covers. The validation walk memoizes every
+// chain element it derives (committed only after the walk reaches the
+// verified anchor), so later per-packet key lookups are O(1). Released
+// packets append their events to tv.events.
+func (tv *teslaVerifier) absorbKey(idx int, key []byte, at time.Time) {
 	if tv.params == nil || idx < 1 || idx > tv.params.n {
-		return nil
+		return
 	}
 	if idx <= tv.bestIdx {
-		return nil // already covered by a later verified key
+		return // already covered by a later verified key
 	}
-	recovered, err := crypto.RecoverEarlierKey(key, idx, tv.bestIdx)
-	if err != nil || !bytesEqual(recovered, tv.bestKey) {
+	// Genuine chain elements are exactly KeySize bytes (the PRF truncates
+	// to KeySize); anything else cannot reproduce the commitment.
+	if len(key) != crypto.KeySize {
 		tv.markRejected(nil, at, "bad_key_chain")
-		return nil
+		return
+	}
+	if tv.chainKeys == nil {
+		tv.chainKeys = make([][crypto.KeySize]byte, tv.params.n+1)
+		tv.haveKey = make([]bool, tv.params.n+1)
+	}
+	var cur [crypto.KeySize]byte
+	copy(cur[:], key)
+	for i := idx; i > tv.bestIdx; i-- {
+		tv.chainKeys[i] = cur
+		if err := crypto.RecoverEarlierKeyInto(&tv.ms, cur[:], cur[:], i, i-1); err != nil {
+			tv.markRejected(nil, at, "bad_key_chain")
+			return
+		}
+	}
+	if !bytesEqual(cur[:], tv.bestKey) {
+		tv.markRejected(nil, at, "bad_key_chain")
+		return
+	}
+	for i := idx; i > tv.bestIdx; i-- {
+		tv.haveKey[i] = true
 	}
 	tv.bestIdx = idx
-	tv.bestKey = append([]byte(nil), key...)
+	tv.bestKey = append(tv.bestKey[:0], key...)
 
-	var events []verifier.Event
 	for interval, pends := range tv.buffered {
 		if interval > idx {
 			continue
 		}
 		for _, pend := range pends {
-			events = append(events, tv.verifyData(pend, at)...)
+			tv.verifyData(pend, at)
 		}
 		delete(tv.buffered, interval)
+		tv.pendPool = append(tv.pendPool, pends[:0])
 	}
-	return events
 }
 
-// verifyData checks a safe packet's MAC under its (now known) interval key.
-func (tv *teslaVerifier) verifyData(pend pendingPacket, at time.Time) []verifier.Event {
+// intervalChainKey returns the verified chain key K_interval, preferring
+// the memo table and falling back to a PRF walk from the best key.
+func (tv *teslaVerifier) intervalChainKey(interval int) ([]byte, bool) {
+	if interval < len(tv.haveKey) && tv.haveKey[interval] {
+		return tv.chainKeys[interval][:], true
+	}
+	if interval == tv.bestIdx {
+		return tv.bestKey, true
+	}
+	if interval > tv.bestIdx {
+		return nil, false
+	}
+	if err := crypto.RecoverEarlierKeyInto(&tv.ms, tv.keyBuf[:], tv.bestKey, tv.bestIdx, interval); err != nil {
+		return nil, false
+	}
+	return tv.keyBuf[:], true
+}
+
+// verifyData checks a safe packet's MAC under its (now known) interval
+// key, appending the resulting event (if any) to tv.events.
+func (tv *teslaVerifier) verifyData(pend pendingPacket, at time.Time) {
 	p := pend.p
 	if tv.authentic[p.Index] {
 		// A duplicate of this wire packet was buffered before the key
 		// arrived; emit nothing twice.
 		tv.stats.Duplicates++
-		return nil
+		return
 	}
 	interval := int(p.KeyIndex)
-	chainKey, err := crypto.RecoverEarlierKey(tv.bestKey, tv.bestIdx, interval)
-	if err != nil {
-		if interval == tv.bestIdx {
-			chainKey = tv.bestKey
-		} else {
-			tv.markRejected(p, at, "bad_key_chain")
-			return nil
-		}
+	chainKey, ok := tv.intervalChainKey(interval)
+	if !ok {
+		tv.markRejected(p, at, "bad_key_chain")
+		return
 	}
-	if !crypto.VerifyMAC(crypto.DeriveMACKey(chainKey), p.ContentBytes(), p.MAC) {
+	crypto.DeriveMACKeyInto(&tv.ms, tv.mkBuf[:], chainKey)
+	tv.content = p.AppendContent(tv.content[:0])
+	if !tv.ms.Verify(tv.mkBuf[:], tv.content, p.MAC) {
 		tv.markRejected(p, at, "bad_mac")
-		return nil
+		return
 	}
 	tv.authentic[p.Index] = true
+	if tv.cache != nil {
+		tv.cache.MarkAuthentic(tv.streamID, p.BlockID, tv.cache.DigestOf(p))
+	}
 	tv.markAuthenticated(p, pend.arrived, at)
-	return []verifier.Event{{Index: p.Index, Payload: p.Payload}}
+	tv.events = append(tv.events, verifier.Event{Index: p.Index, Payload: p.Payload})
 }
 
 func (tv *teslaVerifier) trackBufferHighWater(p *packet.Packet, at time.Time) {

@@ -6,7 +6,9 @@ import (
 	"sort"
 	"time"
 
+	"mcauth/internal/crypto"
 	"mcauth/internal/packet"
+	"mcauth/internal/verifier"
 )
 
 // StreamAuthenticated is one verified message delivered by a Demux,
@@ -39,6 +41,10 @@ type Demux struct {
 	lastActive  map[uint64]int64 // tick of most recent packet, for eviction
 	tick        int64
 	totals      DemuxTotals
+	// Receiver fast path, applied to every receiver the factory creates
+	// from now on (see SetVerifyFastPath).
+	cache  *verifier.SharedCache
+	batchQ *crypto.BatchVerifyQueue
 }
 
 // NewDemux creates a demultiplexer keeping at most maxStreams live
@@ -59,6 +65,31 @@ func NewDemux(newReceiver func(streamID uint64) (*Receiver, error), maxStreams i
 		receivers:   make(map[uint64]*Receiver),
 		lastActive:  make(map[uint64]int64),
 	}, nil
+}
+
+// SetVerifyFastPath attaches the receiver fast path to every stream
+// receiver created from now on: cache (when non-nil) shares proven-
+// authentic packet digests across all of the demux's streams, keyed by
+// the transport stream ID, and q (when non-nil) defers signature checks
+// to a shared batch-verify queue. Deferred verdicts that resolve while a
+// different stream's packet is being ingested are collected via
+// DrainDeferred. Either argument may be nil to enable only the other.
+func (d *Demux) SetVerifyFastPath(cache *verifier.SharedCache, q *crypto.BatchVerifyQueue) {
+	d.cache = cache
+	d.batchQ = q
+}
+
+// DrainDeferred collects messages authenticated by deferred batch-verify
+// verdicts across all live streams (see Receiver.DrainDeferred); call it
+// after resolving the batch-verify queue directly.
+func (d *Demux) DrainDeferred() []StreamAuthenticated {
+	var out []StreamAuthenticated
+	for id, r := range d.receivers {
+		for _, a := range r.DrainDeferred() {
+			out = append(out, StreamAuthenticated{StreamID: id, Authenticated: a})
+		}
+	}
+	return out
 }
 
 // Ingest routes one decoded packet to its stream's receiver, returning
@@ -112,6 +143,12 @@ func (d *Demux) receiver(streamID uint64) (*Receiver, error) {
 	}
 	if r == nil {
 		return nil, fmt.Errorf("stream: factory returned nil receiver for stream %d", streamID)
+	}
+	if d.cache != nil {
+		r.SetSharedVerifyCache(d.cache, streamID)
+	}
+	if d.batchQ != nil {
+		r.SetBatchVerify(d.batchQ)
 	}
 	d.receivers[streamID] = r
 	d.lastActive[streamID] = d.tick

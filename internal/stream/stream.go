@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"time"
 
+	"mcauth/internal/crypto"
 	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/scheme"
+	"mcauth/internal/verifier"
 )
 
 // Sender accumulates messages and emits authenticated wire packets one
@@ -101,6 +103,12 @@ type Totals struct {
 	InvalidPackets int
 	EvictedBlocks  int
 	ActiveBlocks   int
+	// CacheHits counts packets authenticated straight from the shared
+	// verification cache (see SetSharedVerifyCache) without re-proving.
+	CacheHits int
+	// PendingSignature is the number of packets currently parked awaiting
+	// a deferred batch-verify verdict (a gauge, not a counter).
+	PendingSignature int
 	// TimeToAuth merges the per-block verifiers' arrival-to-
 	// authentication histograms — the measured receiver delay of a
 	// transport-driven run, in nanoseconds.
@@ -125,6 +133,22 @@ type Receiver struct {
 	// cannot grow memory without bound.
 	maxBufferedPerBlock int
 	totals              Totals
+	// Receiver fast path (see SetSharedVerifyCache / SetBatchVerify):
+	// cache and batchQ are applied to every new block verifier that
+	// supports the corresponding scheme interface.
+	cache       *verifier.SharedCache
+	cacheStream uint64
+	batchQ      *crypto.BatchVerifyQueue
+	// lastStats snapshots each live verifier's counters at the last fold
+	// into totals. Deferred verdicts mutate verifier stats outside Ingest
+	// (and possibly in a different block than the packet being ingested),
+	// so totals are synced by delta against these snapshots rather than a
+	// before/after pair around one Ingest call.
+	lastStats map[uint64]verifier.Stats
+	// deferredOut accumulates messages authenticated by deferred batch
+	// verdicts; Ingest drains it into its return value, and DrainDeferred
+	// collects verdicts delivered by an explicit queue Resolve.
+	deferredOut []Authenticated
 	// maxAuthed / hasAuthed track the highest block that has authenticated
 	// at least one message — the receiver's resume cursor (see ResumeFrom).
 	maxAuthed uint64
@@ -151,7 +175,55 @@ func NewReceiver(s scheme.Scheme, maxBlocks int) (*Receiver, error) {
 		maxBlocks: maxBlocks,
 		verifiers: make(map[uint64]scheme.Verifier),
 		closed:    make(map[uint64]bool),
+		lastStats: make(map[uint64]verifier.Stats),
 	}, nil
+}
+
+// SetSharedVerifyCache attaches a cross-subscriber verification cache: every
+// block verifier created from now on that implements scheme.CacheAware
+// authenticates cache-hit packets without re-proving them. streamID must
+// identify this receiver's stream (and therefore its signing key) within
+// the cache; receivers of different streams sharing one cache must use
+// distinct IDs.
+func (r *Receiver) SetSharedVerifyCache(c *verifier.SharedCache, streamID uint64) {
+	r.cache = c
+	r.cacheStream = streamID
+}
+
+// SetBatchVerify defers signature checks of every scheme.DeferredVerifier
+// block verifier created from now on to q. Packets whose signature is
+// pending park inside their block verifier; verdicts resolve when q fills
+// (auto-resolve during some later Ingest) or when the caller invokes
+// q.Resolve directly — after which DrainDeferred returns the newly
+// authenticated messages. The queue must only be resolved on the goroutine
+// that calls Ingest.
+func (r *Receiver) SetBatchVerify(q *crypto.BatchVerifyQueue) {
+	r.batchQ = q
+}
+
+// DrainDeferred returns (and clears) messages authenticated by deferred
+// batch-verify verdicts since the last Ingest or DrainDeferred call. Call
+// it after resolving the batch-verify queue directly.
+func (r *Receiver) DrainDeferred() []Authenticated {
+	out := r.deferredOut
+	r.deferredOut = nil
+	if r.batchQ != nil {
+		r.syncAllStats()
+	}
+	return out
+}
+
+// noteDeferred is the sink handed to deferred block verifiers: it records
+// messages authenticated after their Ingest already returned.
+func (r *Receiver) noteDeferred(blockID uint64, events []verifier.Event) {
+	for _, e := range events {
+		r.totals.Authenticated++
+		r.deferredOut = append(r.deferredOut, Authenticated{BlockID: blockID, Index: e.Index, Payload: e.Payload})
+	}
+	if len(events) > 0 && (!r.hasAuthed || blockID > r.maxAuthed) {
+		r.maxAuthed = blockID
+		r.hasAuthed = true
+	}
 }
 
 // IngestWire decodes one wire datagram and routes it to its block's
@@ -201,20 +273,35 @@ func (r *Receiver) Ingest(p *packet.Packet, at time.Time) ([]Authenticated, erro
 		if bb, ok := v.(scheme.BufferBounded); ok && r.maxBufferedPerBlock > 0 {
 			bb.SetMaxBuffered(r.maxBufferedPerBlock)
 		}
+		if ca, ok := v.(scheme.CacheAware); ok && r.cache != nil {
+			ca.SetSharedCache(r.cache, r.cacheStream)
+		}
+		if dv, ok := v.(scheme.DeferredVerifier); ok && r.batchQ != nil {
+			blockID := p.BlockID
+			dv.SetBatchVerify(r.batchQ, func(events []verifier.Event) {
+				r.noteDeferred(blockID, events)
+			})
+		}
 		r.verifiers[p.BlockID] = v
 		r.order = append(r.order, p.BlockID)
 		r.evictIfNeeded()
 	}
-	before := v.Stats()
+	var resolvesBefore int64
+	if r.batchQ != nil {
+		resolvesBefore = r.batchQ.Totals().Resolves
+	}
 	events, err := v.Ingest(p, at)
 	if err != nil {
 		r.totals.InvalidPackets++
 		return nil, nil
 	}
-	after := v.Stats()
-	r.totals.Rejected += after.Rejected - before.Rejected
-	r.totals.Unsafe += after.Unsafe - before.Unsafe
-	r.totals.Duplicates += after.Duplicates - before.Duplicates
+	if r.batchQ != nil && r.batchQ.Totals().Resolves != resolvesBefore {
+		// An auto-resolve fired during this Ingest; verdicts may have
+		// mutated stats of other blocks' verifiers too.
+		r.syncAllStats()
+	} else {
+		r.syncStats(p.BlockID, v)
+	}
 	out := make([]Authenticated, 0, len(events))
 	for _, e := range events {
 		r.totals.Authenticated++
@@ -224,7 +311,30 @@ func (r *Receiver) Ingest(p *packet.Packet, at time.Time) ([]Authenticated, erro
 		r.maxAuthed = p.BlockID
 		r.hasAuthed = true
 	}
+	// Deferred verdicts resolved during this Ingest ride out with it.
+	if len(r.deferredOut) > 0 {
+		out = append(out, r.deferredOut...)
+		r.deferredOut = nil
+	}
 	return out, nil
+}
+
+// syncStats folds one live verifier's counter growth since the last fold
+// into the lifetime totals.
+func (r *Receiver) syncStats(blockID uint64, v scheme.Verifier) {
+	last := r.lastStats[blockID]
+	st := v.Stats()
+	r.totals.Rejected += st.Rejected - last.Rejected
+	r.totals.Unsafe += st.Unsafe - last.Unsafe
+	r.totals.Duplicates += st.Duplicates - last.Duplicates
+	r.totals.CacheHits += st.CacheHits - last.CacheHits
+	r.lastStats[blockID] = st
+}
+
+func (r *Receiver) syncAllStats() {
+	for id, v := range r.verifiers {
+		r.syncStats(id, v)
+	}
 }
 
 // ResumeFrom returns the block ID a reconnecting receiver should request
@@ -255,9 +365,11 @@ func (r *Receiver) evictIfNeeded() {
 // into the lifetime totals before dropping its state.
 func (r *Receiver) retireVerifier(blockID uint64) {
 	if v, ok := r.verifiers[blockID]; ok {
+		r.syncStats(blockID, v)
 		r.totals.TimeToAuth.Merge(v.Stats().TimeToAuth)
 	}
 	delete(r.verifiers, blockID)
+	delete(r.lastStats, blockID)
 }
 
 func (r *Receiver) markClosed(blockID uint64) {
@@ -310,10 +422,13 @@ func (r *Receiver) Starved() []uint64 {
 // Totals returns the receiver's lifetime counters. The latency histogram
 // covers retired blocks plus the live verifiers' state at call time.
 func (r *Receiver) Totals() Totals {
+	r.syncAllStats()
 	t := r.totals
 	t.ActiveBlocks = len(r.verifiers)
 	for _, v := range r.verifiers {
-		t.TimeToAuth.Merge(v.Stats().TimeToAuth)
+		st := v.Stats()
+		t.PendingSignature += st.PendingSignature
+		t.TimeToAuth.Merge(st.TimeToAuth)
 	}
 	return t
 }

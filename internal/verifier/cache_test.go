@@ -1,0 +1,151 @@
+package verifier
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mcauth/internal/obs"
+	"mcauth/internal/packet"
+)
+
+func cachePacket(block uint64, index uint32, payload string) *packet.Packet {
+	return &packet.Packet{BlockID: block, Index: index, Payload: []byte(payload)}
+}
+
+// TestSharedCacheForgedPacketMisses is the core forgery-safety property:
+// marking a genuine packet authentic must not create a hit for any
+// packet whose authenticated content differs — tampered payload, shifted
+// index, replayed into another block, or replayed into another stream.
+func TestSharedCacheForgedPacketMisses(t *testing.T) {
+	c, err := NewSharedCache(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genuine := cachePacket(3, 7, "legitimate payload")
+	c.MarkAuthentic(1, 3, c.DigestOf(genuine))
+	if !c.IsAuthentic(1, 3, c.DigestOf(genuine)) {
+		t.Fatal("genuine packet should hit after marking")
+	}
+	forgeries := map[string]*packet.Packet{
+		"tampered payload": cachePacket(3, 7, "malicious payload"),
+		"shifted index":    cachePacket(3, 8, "legitimate payload"),
+	}
+	for name, forged := range forgeries {
+		if c.IsAuthentic(1, 3, c.DigestOf(forged)) {
+			t.Errorf("%s: forged packet hit the cache", name)
+		}
+	}
+	// The same digest is scoped to its (stream, block): replays across
+	// either boundary are misses even with byte-identical content.
+	d := c.DigestOf(genuine)
+	if c.IsAuthentic(1, 4, d) {
+		t.Error("cross-block replay hit the cache")
+	}
+	if c.IsAuthentic(2, 3, d) {
+		t.Error("cross-stream replay hit the cache")
+	}
+	// Zero digest (the value of an uninitialized lookup bug) never hits.
+	var zero [32]byte
+	if c.IsAuthentic(1, 3, zero) {
+		t.Error("zero digest hit the cache")
+	}
+}
+
+// TestSharedCacheEvictionUnderChurn: the two-generation rotation keeps
+// both tables bounded at 2*max entries under unbounded distinct inserts,
+// counts evictions, and evicted digests simply miss (forcing a re-proof,
+// never a false accept).
+func TestSharedCacheEvictionUnderChurn(t *testing.T) {
+	const max = 8
+	c, err := NewSharedCache(max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cachePacket(0, 0, "payload-0")
+	c.MarkAuthentic(1, 0, c.DigestOf(first))
+	for i := 1; i < 20*max; i++ {
+		p := cachePacket(0, uint32(i), fmt.Sprintf("payload-%d", i))
+		c.MarkAuthentic(1, 0, c.DigestOf(p))
+		if got := c.Len(); got > 2*max {
+			t.Fatalf("after %d inserts: %d cached digests, bound is %d", i+1, got, 2*max)
+		}
+	}
+	st := c.Stats()
+	if st.Evicted == 0 {
+		t.Error("churn past capacity evicted nothing")
+	}
+	if c.IsAuthentic(1, 0, c.DigestOf(first)) {
+		t.Error("long-evicted digest still hits")
+	}
+	// Re-proving after eviction works.
+	c.MarkAuthentic(1, 0, c.DigestOf(first))
+	if !c.IsAuthentic(1, 0, c.DigestOf(first)) {
+		t.Error("re-marked digest misses")
+	}
+}
+
+// TestSharedCacheConcurrentSubscribers hammers one cache from many
+// goroutines mixing DigestOf, MarkAuthentic, and IsAuthentic — the
+// Demux fan-out shape. Run under -race this is the concurrency guard;
+// the only semantic assertion is that hits are never produced for
+// digests nobody marked.
+func TestSharedCacheConcurrentSubscribers(t *testing.T) {
+	c, err := NewSharedCache(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.SetMetrics(reg)
+	shared := make([]*packet.Packet, 16)
+	for i := range shared {
+		shared[i] = cachePacket(0, uint32(i), fmt.Sprintf("shared-%d", i))
+	}
+	var wg sync.WaitGroup
+	for sub := 0; sub < 8; sub++ {
+		wg.Add(1)
+		go func(sub int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for i, p := range shared {
+					d := c.DigestOf(p)
+					if i%2 == 0 {
+						c.MarkAuthentic(1, 0, d)
+					}
+					c.IsAuthentic(1, 0, d)
+					// Never-marked stream: must always miss.
+					if c.IsAuthentic(99, 0, d) {
+						t.Errorf("sub %d: unmarked stream hit", sub)
+						return
+					}
+				}
+			}
+		}(sub)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 || st.DigestHits == 0 {
+		t.Errorf("concurrent churn produced degenerate stats %+v", st)
+	}
+}
+
+func TestSharedCacheValidationAndMetrics(t *testing.T) {
+	if _, err := NewSharedCache(0); err == nil {
+		t.Error("size 0 should fail")
+	}
+	c, err := NewSharedCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.SetMetrics(reg)
+	p := cachePacket(1, 1, "metrics")
+	d := c.DigestOf(p)
+	c.IsAuthentic(5, 1, d) // miss
+	c.MarkAuthentic(5, 1, d)
+	c.IsAuthentic(5, 1, d) // hit
+	snap := reg.Snapshot()
+	if snap.Counters["verify.cache_hits"] != 1 || snap.Counters["verify.cache_misses"] != 1 {
+		t.Errorf("registry counters = %+v, want 1 hit / 1 miss", snap.Counters)
+	}
+}

@@ -58,6 +58,13 @@ type Stats struct {
 	// measured receiver delay of the paper, recorded inside the engine
 	// so transport-driven runs get receiver-delay numbers too.
 	TimeToAuth obs.HistogramData
+
+	// CacheHits counts packets accepted straight from a SharedCache
+	// (content digest already proven authentic by another subscriber).
+	CacheHits int
+	// PendingSignature counts signature packets currently awaiting a
+	// deferred batch-verify verdict.
+	PendingSignature int
 }
 
 // Option configures a Chained verifier.
@@ -134,6 +141,16 @@ type Chained struct {
 	maxBuffered int // 0 = unbounded
 	stats       Stats
 
+	// Receiver fast path (see SetSharedCache / SetBatchVerify).
+	cache    *SharedCache
+	streamID uint64
+	batchQ   *crypto.BatchVerifyQueue
+	sink     func([]Event)
+	// pendingSig holds signature packets awaiting a deferred verdict. A
+	// slice per index, so an attacker racing a forged signature packet
+	// ahead of the genuine one cannot occupy the index and starve it.
+	pendingSig map[uint32][]bufferedPacket
+
 	tracer obs.Tracer
 	m      *metrics
 }
@@ -174,6 +191,41 @@ func (v *Chained) SetTracer(t obs.Tracer) { v.tracer = t }
 // verifier.* instruments in reg (nil disables).
 func (v *Chained) SetMetrics(reg *obs.Registry) { v.m = newMetrics(reg) }
 
+// SetSharedCache attaches the cross-subscriber verification cache: packet
+// digests are memoized through it, a packet whose digest the cache has
+// proven authentic for (streamID, block) is accepted without re-verifying
+// its signature or digest chain, and every authentication this verifier
+// performs is published back. streamID must identify the stream (and so
+// the signing key) this verifier serves. nil detaches.
+func (v *Chained) SetSharedCache(c *SharedCache, streamID uint64) {
+	v.cache = c
+	v.streamID = streamID
+}
+
+// SetBatchVerify defers signature-packet verification to q: Ingest parks
+// such packets as pending-signature and enqueues the check; when the
+// queue resolves (threshold or explicit Resolve), an accepting verdict
+// authenticates the packet and delivers its cascade of events to sink,
+// while a rejecting verdict counts a rejection. Verdicts must resolve on
+// the goroutine that ingests (the engine itself is not thread-safe). nil
+// q restores synchronous verification; sink is required otherwise.
+func (v *Chained) SetBatchVerify(q *crypto.BatchVerifyQueue, sink func([]Event)) {
+	v.batchQ = q
+	v.sink = sink
+	if q != nil && v.pendingSig == nil {
+		v.pendingSig = make(map[uint32][]bufferedPacket)
+	}
+}
+
+// digestOf computes p's content digest through the shared memo when one
+// is attached.
+func (v *Chained) digestOf(p *packet.Packet) crypto.Digest {
+	if v.cache != nil {
+		return v.cache.DigestOf(p)
+	}
+	return p.Digest()
+}
+
 // Ingest processes one arriving packet at the given receiver-local time.
 // The timestamp orders buffering against authentication for the receiver-
 // delay measurement; hash-chained schemes have no timing condition of
@@ -195,9 +247,24 @@ func (v *Chained) Ingest(p *packet.Packet, at time.Time) ([]Event, error) {
 		return nil, nil
 	}
 
+	// Shared-cache fast path: a packet whose exact content was already
+	// proven authentic in this stream and block (by this or any other
+	// subscriber) is accepted without re-running its signature or digest
+	// check — see the forgery-safety argument in cache.go.
+	if v.cache != nil {
+		if d := v.cache.DigestOf(p); v.cache.IsAuthentic(v.streamID, p.BlockID, d) {
+			v.stats.CacheHits++
+			return v.accept(p, at), nil
+		}
+	}
+
 	var events []Event
 	switch {
 	case len(p.Signature) > 0:
+		if v.batchQ != nil {
+			v.deferSignature(p, at)
+			return nil, nil
+		}
 		if !v.pub.Verify(p.ContentBytes(), p.Signature) {
 			v.reject(p, at, "bad_signature")
 			return nil, nil
@@ -206,7 +273,7 @@ func (v *Chained) Ingest(p *packet.Packet, at time.Time) ([]Event, error) {
 	default:
 		want, ok := v.trusted[p.Index]
 		if !ok {
-			if v.maxBuffered > 0 && len(v.buffered) >= v.maxBuffered {
+			if v.maxBuffered > 0 && len(v.buffered)+v.stats.PendingSignature >= v.maxBuffered {
 				v.stats.DroppedOverflow++
 				v.m.countOverflow()
 				v.emit(obs.Event{
@@ -228,13 +295,83 @@ func (v *Chained) Ingest(p *packet.Packet, at time.Time) ([]Event, error) {
 			})
 			return nil, nil
 		}
-		if p.Digest() != want {
+		if v.digestOf(p) != want {
 			v.reject(p, at, "digest_mismatch")
 			return nil, nil
 		}
 		events = v.accept(p, at)
 	}
 	return events, nil
+}
+
+// deferSignature parks a signature packet pending its batch verdict and
+// enqueues the underlying check. The packet counts against the buffer cap
+// like any buffered packet (pending-signature floods are attacker
+// reachable).
+func (v *Chained) deferSignature(p *packet.Packet, at time.Time) {
+	if v.maxBuffered > 0 && len(v.buffered)+v.stats.PendingSignature >= v.maxBuffered {
+		v.stats.DroppedOverflow++
+		v.m.countOverflow()
+		v.emit(obs.Event{
+			Type: obs.EventOverflowDropped, Index: p.Index,
+			Block: p.BlockID, TimeNS: obs.TimeNS(at), Depth: len(v.buffered),
+		})
+		return
+	}
+	v.pendingSig[p.Index] = append(v.pendingSig[p.Index], bufferedPacket{p: p, arrived: at})
+	v.stats.PendingSignature++
+	v.emit(obs.Event{
+		Type: obs.EventMsgBuffered, Index: p.Index,
+		Block: p.BlockID, TimeNS: obs.TimeNS(at), Depth: len(v.buffered) + v.stats.PendingSignature,
+	})
+	// The verdict callback may run synchronously (threshold reached) or
+	// from a later Resolve on the ingest goroutine.
+	v.batchQ.Enqueue(v.pub, p.ContentBytes(), p.Signature, func(ok bool) {
+		v.resolveSignature(p, at, ok)
+	})
+}
+
+// resolveSignature applies one deferred verdict. Authentication events
+// cascade exactly as in the synchronous path but are delivered through
+// the sink, since the originating Ingest has long returned. The packet's
+// arrival time stands in for the verdict time, so TimeToAuth keeps using
+// the caller's clock (batch-resolution latency is observable on the queue
+// instead).
+func (v *Chained) resolveSignature(p *packet.Packet, arrived time.Time, ok bool) {
+	v.unparkPending(p)
+	if v.authentic[p.Index] {
+		// Another copy of the signature packet (or a cascade) got there
+		// first.
+		v.stats.Duplicates++
+		v.m.countDuplicate()
+		return
+	}
+	if !ok {
+		v.reject(p, arrived, "bad_signature")
+		return
+	}
+	events := v.accept(p, arrived)
+	if v.sink != nil && len(events) > 0 {
+		v.sink(events)
+	}
+}
+
+// unparkPending removes one pending-signature entry for p.
+func (v *Chained) unparkPending(p *packet.Packet) {
+	list := v.pendingSig[p.Index]
+	for i := range list {
+		if list[i].p == p {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			v.stats.PendingSignature--
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(v.pendingSig, p.Index)
+	} else {
+		v.pendingSig[p.Index] = list
+	}
 }
 
 func (v *Chained) reject(p *packet.Packet, at time.Time, reason string) {
@@ -251,6 +388,9 @@ func (v *Chained) reject(p *packet.Packet, at time.Time, reason string) {
 func (v *Chained) authenticate(p *packet.Packet, arrived, at time.Time) {
 	v.authentic[p.Index] = true
 	v.stats.Authenticated++
+	if v.cache != nil {
+		v.cache.MarkAuthentic(v.streamID, p.BlockID, v.cache.DigestOf(p))
+	}
 	latency := at.Sub(arrived)
 	if latency < 0 {
 		latency = 0
@@ -293,7 +433,7 @@ func (v *Chained) accept(p *packet.Packet, at time.Time) []Event {
 				}
 				continue
 			}
-			if waiting.p.Digest() != h.Digest {
+			if v.digestOf(waiting.p) != h.Digest {
 				v.reject(waiting.p, at, "digest_mismatch")
 				delete(v.buffered, h.TargetIndex)
 				continue

@@ -33,14 +33,16 @@ while [ $# -gt 0 ]; do
 	esac
 done
 sha=$(git rev-parse --short HEAD)
+commit=$(git rev-parse HEAD)
 if ! git diff --quiet HEAD 2>/dev/null; then
 	if [ "$allow_dirty" -ne 1 ]; then
 		echo "bench.sh: working tree is dirty; results would not be attributable to a commit." >&2
 		echo "bench.sh: commit or stash first, or rerun as: scripts/bench.sh -dirty" >&2
 		exit 1
 	fi
-	echo "bench.sh: WARNING: dirty tree, tagging results ${sha}-dirty" >&2
+	echo "bench.sh: WARNING: dirty tree, tagging results ${sha}-dirty (excluded from mclab bench gating)" >&2
 	sha="${sha}-dirty"
+	commit="${commit}-dirty"
 fi
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1s}"
@@ -49,11 +51,15 @@ out="${out_dir}/BENCH_${sha}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
+# Parallel-scaling rows are meaningless unless you know the machine shape;
+# put it in front of the numbers, not just buried in the JSON.
+echo "bench.sh: commit=${sha} cpus=$(nproc) GOMAXPROCS=${GOMAXPROCS:-$(nproc)} $(go env GOVERSION)" >&2
+
 go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . | tee "$raw" >&2
 
 {
 	printf '{\n'
-	printf '  "commit": "%s",\n' "$(git rev-parse HEAD)"
+	printf '  "commit": "%s",\n' "$commit"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "cpus": %s,\n' "$(nproc)"
 	printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc)}"

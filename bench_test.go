@@ -22,6 +22,7 @@ import (
 	"mcauth/internal/experiments"
 	"mcauth/internal/loss"
 	"mcauth/internal/netsim"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/scheme"
 	"mcauth/internal/scheme/augchain"
@@ -297,6 +298,53 @@ func BenchmarkVerify(b *testing.B) {
 				v, err := s.NewVerifier()
 				if err != nil {
 					b.Fatal(err)
+				}
+				b.StartTimer()
+				for w, p := range pkts {
+					if _, err := v.Ingest(p, at[w]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifySpanOverhead measures the tracing tax on the receiver
+// verify path in its two production states: "off" (no span ring attached,
+// the library default) and "disabled" (a ring attached but not enabled —
+// the mcserved default, where every span site costs one atomic load).
+// The ci gate holds disabled within 2% of off, which is what "near-zero
+// overhead when disabled" means as an enforced number.
+func BenchmarkVerifySpanOverhead(b *testing.B) {
+	for _, mode := range []string{"off", "disabled"} {
+		b.Run(mode, func(b *testing.B) {
+			s := benchScheme(b, "emss")
+			payloads := benchPayloads(s.BlockSize(), 512)
+			pkts, err := s.Authenticate(1, payloads)
+			if err != nil {
+				b.Fatal(err)
+			}
+			at := make([]time.Time, len(pkts))
+			for w := range pkts {
+				at[w] = time.Unix(0, 0).Add(time.Duration(w)*time.Millisecond + time.Microsecond)
+			}
+			ring := obs.NewSpanRing(obs.DefaultSpanCapacity)
+			b.SetBytes(int64(s.BlockSize() * 512))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				v, err := s.NewVerifier()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "disabled" {
+					sa, ok := v.(scheme.SpanAware)
+					if !ok {
+						b.Fatal("emss verifier lost its SpanAware implementation")
+					}
+					sa.SetSpans(ring, 1)
 				}
 				b.StartTimer()
 				for w, p := range pkts {

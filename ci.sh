@@ -68,6 +68,37 @@ go test -run='^$' -bench='BenchmarkVerify($|/)' -benchtime=100x -benchmem . \
 		END { exit bad }
 	'
 
+# Telemetry tier: the span JSONL schema golden (wire compatibility with
+# the PR 1 tracer), a flight-recorder smoke under serving chaos — the dump
+# must render as a post-mortem containing at least one complete
+# sender->authenticate block lifecycle — and the tracing-overhead gate:
+# with a span ring attached but disabled, BenchmarkVerify may not slow
+# down by more than 2% vs no ring at all. -count interleaves off/disabled
+# pairs; the gate takes the best paired delta, so a systematic tracing tax
+# fails every pair while one-off scheduler noise fails none.
+go test -count=1 -run 'TestSpanGoldenSchema' ./internal/obs
+go test -count=1 -run 'TestGoldenFlightReport|TestFlightReportContent' ./cmd/mcreport
+go run ./cmd/mcserved -chaos -cycles 2 -streams 2 -n 8 -blocks 6 \
+	-rate 300us -kill-after 250ms -batch 8 -flush 30ms \
+	-conn-reset 0.01 -chaos-seed 11 -key ci-flight -min-auth 0.2 \
+	-slo-p99 5s -slo-min-auth 0.2 -flight "$diagdir/flight.jsonl" >/dev/null
+test -s "$diagdir/flight.jsonl"
+go run ./cmd/mcreport -flight "$diagdir/flight.jsonl" > "$diagdir/flight.txt"
+grep 'complete sender->authenticate:' "$diagdir/flight.txt" \
+	| awk -F'authenticate: ' '{ n = $2 + 0 } END { if (n < 1) { print "flight smoke: no complete block lifecycle in the dump"; exit 1 } }'
+go test -run='^$' -bench='BenchmarkVerifySpanOverhead/' -benchtime=500x -count=5 . \
+	| awk '
+		/^BenchmarkVerifySpanOverhead\/off/      { off[++no] = $3 + 0 }
+		/^BenchmarkVerifySpanOverhead\/disabled/ { dis[++nd] = $3 + 0 }
+		END {
+			if (no == 0 || nd != no) { print "span-overhead gate: missing benchmark output"; exit 1 }
+			best = 1e9
+			for (i = 1; i <= no; i++) { d = dis[i] / off[i] - 1; if (d < best) best = d }
+			printf "span-overhead gate: best paired delta %+.2f%% over %d pairs\n", 100 * best, no
+			if (best > 0.02) { print "span-overhead gate: disabled tracing exceeds 2% overhead in every pair"; exit 1 }
+		}
+	'
+
 # Lab tier: the bundled example sweep must run at two worker counts with
 # byte-identical artifacts, render a dashboard joining the committed
 # BENCH_*.json history, and pass the committed regression gates.

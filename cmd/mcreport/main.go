@@ -42,6 +42,8 @@ type options struct {
 	jsonOut string
 	mdOut   string
 	diff    bool
+	flight  string
+	series  string
 	args    []string
 }
 
@@ -65,6 +67,8 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.jsonOut, "json", "", "also write the report as JSON to this file")
 	fs.StringVar(&o.mdOut, "md", "", "also write the report as markdown to this file")
 	fs.BoolVar(&o.diff, "diff", false, "diff the reports of two traces instead of printing one")
+	fs.StringVar(&o.flight, "flight", "", "render an mcserved flight-recorder dump (JSONL) as a human-readable post-mortem")
+	fs.StringVar(&o.series, "series", "", "summarize an mcserved -metrics-interval JSONL series (snapshot count, time span, skipped lines)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -145,6 +149,12 @@ func run(args []string) error {
 	o, err := parseOptions(args)
 	if err != nil {
 		return err
+	}
+	if o.flight != "" {
+		return runFlight(o.flight)
+	}
+	if o.series != "" {
+		return runSeries(o.series)
 	}
 	opts, err := buildOptions(o)
 	if err != nil {

@@ -60,12 +60,13 @@ func (cv *chaosVerifier) check(streamID uint64, a stream.Authenticated) error {
 	return nil
 }
 
-func runChaos(o options, reg *obs.Registry, stdout io.Writer) error {
+func runChaos(o options, reg *obs.Registry, tel *telemetry, stdout io.Writer) error {
 	if reg == nil {
 		// The assertions read server.* counters, so chaos always runs with
 		// a live registry (shared across daemon incarnations: counters
 		// accumulate over the whole soak).
 		reg = obs.NewRegistry()
+		tel.bindRegistry(reg)
 	}
 	cpPath := o.checkpoint
 	if cpPath == "" {
@@ -116,7 +117,7 @@ func runChaos(o options, reg *obs.Registry, stdout io.Writer) error {
 	ro := o
 	ro.reconnect = -1
 	ro.reconnectBackoff = 10 * time.Millisecond
-	rs, err := newReceiverSession(ro, reg, addr)
+	rs, err := newReceiverSession(ro, reg, tel, addr)
 	if err != nil {
 		ln.Close()
 		return err
@@ -135,6 +136,9 @@ func runChaos(o options, reg *obs.Registry, stdout io.Writer) error {
 
 	kills := 0
 	for cycle := 0; cycle < o.cycles; cycle++ {
+		if cycle > 0 {
+			tel.noteFault("restart", fmt.Sprintf("cycle %d: daemon restarted from checkpoint", cycle))
+		}
 		if ln == nil {
 			if ln, err = net.Listen("tcp", addr); err != nil {
 				close(recvStop)
@@ -142,14 +146,14 @@ func runChaos(o options, reg *obs.Registry, stdout io.Writer) error {
 				return fmt.Errorf("chaos: re-listen cycle %d: %w", cycle, err)
 			}
 		}
-		srv, err := startServer(o, reg)
+		srv, err := startServer(o, reg, tel)
 		if err != nil {
 			ln.Close()
 			close(recvStop)
 			<-recvDone
 			return err
 		}
-		connWG := acceptLoop(srv, ln, reg, o.writeTimeout, srvFaults.Wrap)
+		connWG := acceptLoop(srv, ln, reg, tel.spanRing(), o.writeTimeout, srvFaults.Wrap)
 		stopPub := make(chan struct{})
 		pubs := publishAll(srv, o, stopPub)
 
@@ -168,6 +172,7 @@ func runChaos(o options, reg *obs.Registry, stdout io.Writer) error {
 		} else {
 			srv.Kill()
 			kills++
+			tel.noteFault("kill", fmt.Sprintf("cycle %d: server killed (SIGKILL-equivalent)", cycle))
 		}
 		ln.Close()
 		connWG.Wait()
@@ -177,8 +182,13 @@ func runChaos(o options, reg *obs.Registry, stdout io.Writer) error {
 	// before stopping it.
 	time.Sleep(200 * time.Millisecond)
 	close(recvStop)
-	if err := <-recvDone; err != nil {
-		return err
+	recvErr := <-recvDone
+	// The soak's post-mortem: the fault timeline carries every kill and
+	// restart, and the span ring holds the freshest block lifecycles from
+	// both halves of the pipeline (sender and receiver share one process).
+	tel.dump("chaos_kill")
+	if recvErr != nil {
+		return recvErr
 	}
 
 	published := reg.Counter("server.published").Value()

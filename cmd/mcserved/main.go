@@ -104,6 +104,12 @@ type options struct {
 	metrics         string
 	metricsInterval time.Duration
 	pprofAddr       string
+
+	spanBuf    int
+	flight     string
+	sloWindow  time.Duration
+	sloP99     time.Duration
+	sloMinAuth float64
 }
 
 func main() {
@@ -144,7 +150,12 @@ func parseOptions(args []string) (options, error) {
 	fs.Float64Var(&o.minAuth, "min-auth", 0.3, "chaos: minimum fraction of published messages that must authenticate")
 	fs.StringVar(&o.metrics, "metrics", "", "write end-of-run metrics: '-' for a text table on stdout, else JSON to this file")
 	fs.DurationVar(&o.metricsInterval, "metrics-interval", 0, "with -metrics FILE: append a timestamped JSONL metrics snapshot at this interval (plus one final line) instead of a single end-of-run object")
-	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof (+/metrics, /statusz, /healthz) on this address")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof (+/metrics, /statusz, /healthz, /slo) on this address")
+	fs.IntVar(&o.spanBuf, "span-buf", 8192, "causal span ring capacity: per-packet lifecycle spans (push, shard enqueue, sign attach, mux write, decode, deferred park, resolve, authenticate/reject) kept for the flight recorder (0 disables tracing)")
+	fs.StringVar(&o.flight, "flight", "", "write the flight-recorder post-mortem (JSONL) to this file on panic, SIGUSR1, chaos kill, or SLO budget exhaustion (render with mcreport -flight)")
+	fs.DurationVar(&o.sloWindow, "slo-window", time.Minute, "per-stream SLO sliding evaluation window")
+	fs.DurationVar(&o.sloP99, "slo-p99", 0, "per-stream SLO: p99 time-to-auth objective (0 = no latency objective)")
+	fs.Float64Var(&o.sloMinAuth, "slo-min-auth", 0, "per-stream SLO: minimum authenticated fraction objective, the paper's q_min as a live target (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -195,6 +206,18 @@ func parseOptions(args []string) (options, error) {
 	if o.metricsInterval < 0 {
 		return options{}, fmt.Errorf("metrics-interval %v must be >= 0", o.metricsInterval)
 	}
+	if o.spanBuf < 0 {
+		return options{}, fmt.Errorf("span-buf %d must be >= 0", o.spanBuf)
+	}
+	if o.sloWindow <= 0 {
+		return options{}, fmt.Errorf("slo-window %v must be > 0", o.sloWindow)
+	}
+	if o.sloP99 < 0 {
+		return options{}, fmt.Errorf("slo-p99 %v must be >= 0", o.sloP99)
+	}
+	if o.sloMinAuth < 0 || o.sloMinAuth > 1 {
+		return options{}, fmt.Errorf("slo-min-auth %v must be in [0,1]", o.sloMinAuth)
+	}
 	if o.metricsInterval > 0 && (o.metrics == "" || o.metrics == "-") {
 		return options{}, errors.New("-metrics-interval needs -metrics FILE (the JSONL series goes to a file)")
 	}
@@ -229,19 +252,24 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	reg, health, finish, err := setupObservability(o, stdout)
+	reg, health, tel, finish, err := setupObservability(o, stdout)
 	if err != nil {
 		return err
 	}
+	// The crash artifact outlives the crash: a panic anywhere below dumps
+	// the flight record before re-panicking, and SIGUSR1 dumps on demand.
+	defer tel.recoverDump()
+	stopUSR1 := tel.installSIGUSR1()
+	defer stopUSR1()
 	switch {
 	case o.connect != "":
-		err = runReceiver(o, reg, stdout)
+		err = runReceiver(o, reg, tel, stdout)
 	case o.listen != "":
-		err = runDaemon(o, reg, health, stdout)
+		err = runDaemon(o, reg, health, tel, stdout)
 	case o.chaos:
-		err = runChaos(o, reg, stdout)
+		err = runChaos(o, reg, tel, stdout)
 	default:
-		err = runDemo(o, reg, stdout)
+		err = runDemo(o, reg, tel, stdout)
 	}
 	if err != nil {
 		finish()
@@ -250,7 +278,7 @@ func run(args []string, stdout io.Writer) error {
 	return finish()
 }
 
-func setupObservability(o options, stdout io.Writer) (*obs.Registry, *obs.Health, func() error, error) {
+func setupObservability(o options, stdout io.Writer) (*obs.Registry, *obs.Health, *telemetry, func() error, error) {
 	var (
 		reg         *obs.Registry
 		metricsFile *os.File
@@ -263,15 +291,16 @@ func setupObservability(o options, stdout io.Writer) (*obs.Registry, *obs.Health
 		if o.metrics != "" && o.metrics != "-" {
 			metricsFile, err = os.Create(o.metrics)
 			if err != nil {
-				return nil, nil, nil, fmt.Errorf("metrics output unwritable: %w", err)
+				return nil, nil, nil, nil, fmt.Errorf("metrics output unwritable: %w", err)
 			}
 		}
 		crypto.Instrument(reg)
 	}
+	tel := newTelemetry(o, reg)
 	if o.pprofAddr != "" {
 		ln, err := net.Listen("tcp", o.pprofAddr)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("pprof listen %s: %w", o.pprofAddr, err)
+			return nil, nil, nil, nil, fmt.Errorf("pprof listen %s: %w", o.pprofAddr, err)
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -283,10 +312,16 @@ func setupObservability(o options, stdout io.Writer) (*obs.Registry, *obs.Health
 		exposer.SetStatus(func(w io.Writer) {
 			fmt.Fprintf(w, "mcserved -streams %d -scheme %s -batch %d -flush %v (%s)\n",
 				o.streams, o.schemeID, o.batch, o.flush, health)
+			tel.writeStatus(w)
 		})
 		exposer.Register(mux)
 		health.Register(mux)
-		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/ (+/metrics, /statusz, /healthz)\n", ln.Addr())
+		tel.registerHTTP(mux)
+		endpoints := "/metrics, /statusz, /healthz"
+		if tel != nil {
+			endpoints += ", /slo"
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/ (+%s)\n", ln.Addr(), endpoints)
 		go func() { _ = http.Serve(ln, mux) }()
 	}
 	// With -metrics-interval the file carries an append-only JSONL series
@@ -352,13 +387,13 @@ func setupObservability(o options, stdout io.Writer) (*obs.Registry, *obs.Health
 		}
 		return nil
 	}
-	return reg, health, finish, nil
+	return reg, health, tel, finish, nil
 }
 
 // startServer creates the server and opens every stream. When the options
 // name a checkpoint file it is opened (or resumed) here, so a restarted
 // daemon picks up every stream past its reserved watermark.
-func startServer(o options, reg *obs.Registry) (*server.Server, error) {
+func startServer(o options, reg *obs.Registry, tel *telemetry) (*server.Server, error) {
 	var cp *server.Checkpoint
 	if o.checkpoint != "" {
 		var err error
@@ -372,6 +407,7 @@ func startServer(o options, reg *obs.Registry) (*server.Server, error) {
 		FlushInterval:      o.flush,
 		MaxSubscriberQueue: 1 << 16,
 		Metrics:            reg,
+		Spans:              tel.spanRing(),
 		Checkpoint:         cp,
 		RepairBlocks:       o.repair,
 	})
@@ -453,18 +489,20 @@ func verifyFastPath(o options, reg *obs.Registry, dmx *stream.Demux) (*crypto.Ba
 		if q, err = crypto.NewBatchVerifyQueue(o.verifyBatch, sig); err != nil {
 			return nil, err
 		}
+		q.SetMetrics(reg)
 	}
 	dmx.SetVerifyFastPath(cache, q)
 	return q, nil
 }
 
-func runDemo(o options, reg *obs.Registry, stdout io.Writer) error {
+func runDemo(o options, reg *obs.Registry, tel *telemetry, stdout io.Writer) error {
 	if reg == nil {
 		// The demo's summary reads the server instruments, so it always
 		// runs with a live registry.
 		reg = obs.NewRegistry()
+		tel.bindRegistry(reg)
 	}
-	srv, err := startServer(o, reg)
+	srv, err := startServer(o, reg, tel)
 	if err != nil {
 		return err
 	}
@@ -486,12 +524,13 @@ func runDemo(o options, reg *obs.Registry, stdout io.Writer) error {
 			verified <- [2]int64{}
 			return
 		}
+		dmx.SetSpans(tel.spanRing())
 		q, err := verifyFastPath(o, reg, dmx)
 		if err != nil {
 			verified <- [2]int64{}
 			return
 		}
-		var authed, padding int64
+		var authed, padding, packets int64
 		count := func(auths []stream.StreamAuthenticated) {
 			for _, a := range auths {
 				if len(a.Payload) > 0 {
@@ -510,12 +549,16 @@ func runDemo(o options, reg *obs.Registry, stdout io.Writer) error {
 			if q != nil {
 				count(dmx.DrainDeferred())
 			}
+			if packets++; packets%sloFeedEvery == 0 {
+				tel.feedSLO(dmx)
+			}
 		}
 		if q != nil {
 			// Settle the tail: verdicts still pending when the feed ends.
 			q.Resolve()
 			count(dmx.DrainDeferred())
 		}
+		tel.feedSLO(dmx)
 		verified <- [2]int64{authed, padding}
 	}()
 
@@ -558,7 +601,7 @@ const helloReadTimeout = 2 * time.Second
 // write carries a deadline so a stalled TCP reader loses its connection
 // instead of pinning the writer goroutine. wrap, when non-nil, decorates
 // the conn (chaos fault injection).
-func serveConn(srv *server.Server, conn net.Conn, reg *obs.Registry, writeTimeout time.Duration, wrap func(net.Conn) net.Conn) {
+func serveConn(srv *server.Server, conn net.Conn, reg *obs.Registry, spans *obs.SpanRing, writeTimeout time.Duration, wrap func(net.Conn) net.Conn) {
 	if wrap != nil {
 		conn = wrap(conn)
 	}
@@ -570,6 +613,7 @@ func serveConn(srv *server.Server, conn net.Conn, reg *obs.Registry, writeTimeou
 	defer srv.Unsubscribe(sub)
 	mw := transport.NewMuxFrameWriter(conn)
 	mw.SetMetrics(reg)
+	mw.SetSpans(spans)
 	write := func(streamID uint64, p *packet.Packet) error {
 		if writeTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
@@ -599,7 +643,7 @@ func serveConn(srv *server.Server, conn net.Conn, reg *obs.Registry, writeTimeou
 
 // acceptLoop serves subscriber conns until the listener closes; the
 // returned WaitGroup tracks the per-conn goroutines.
-func acceptLoop(srv *server.Server, ln net.Listener, reg *obs.Registry, writeTimeout time.Duration, wrap func(net.Conn) net.Conn) *sync.WaitGroup {
+func acceptLoop(srv *server.Server, ln net.Listener, reg *obs.Registry, spans *obs.SpanRing, writeTimeout time.Duration, wrap func(net.Conn) net.Conn) *sync.WaitGroup {
 	var connWG sync.WaitGroup
 	connWG.Add(1)
 	go func() {
@@ -612,15 +656,15 @@ func acceptLoop(srv *server.Server, ln net.Listener, reg *obs.Registry, writeTim
 			connWG.Add(1)
 			go func() {
 				defer connWG.Done()
-				serveConn(srv, conn, reg, writeTimeout, wrap)
+				serveConn(srv, conn, reg, spans, writeTimeout, wrap)
 			}()
 		}
 	}()
 	return &connWG
 }
 
-func runDaemon(o options, reg *obs.Registry, health *obs.Health, stdout io.Writer) error {
-	srv, err := startServer(o, reg)
+func runDaemon(o options, reg *obs.Registry, health *obs.Health, tel *telemetry, stdout io.Writer) error {
+	srv, err := startServer(o, reg, tel)
 	if err != nil {
 		return err
 	}
@@ -634,7 +678,7 @@ func runDaemon(o options, reg *obs.Registry, health *obs.Health, stdout io.Write
 
 	stop := make(chan struct{})
 	pubs := publishAll(srv, o, stop)
-	connWG := acceptLoop(srv, ln, reg, o.writeTimeout, nil)
+	connWG := acceptLoop(srv, ln, reg, tel.spanRing(), o.writeTimeout, nil)
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
@@ -672,6 +716,7 @@ const maxReconnectBackoff = time.Second
 type receiverSession struct {
 	o    options
 	reg  *obs.Registry
+	tel  *telemetry
 	dial func() (net.Conn, error)
 	dmx  *stream.Demux
 	rng  *stats.RNG
@@ -689,7 +734,7 @@ type receiverSession struct {
 	sessions                 int
 }
 
-func newReceiverSession(o options, reg *obs.Registry, addr string) (*receiverSession, error) {
+func newReceiverSession(o options, reg *obs.Registry, tel *telemetry, addr string) (*receiverSession, error) {
 	dmx, err := stream.NewDemux(func(id uint64) (*stream.Receiver, error) {
 		s, err := buildScheme(o.schemeID, o.n, id, crypto.BatchCapable(crypto.NewSignerFromString(o.key)))
 		if err != nil {
@@ -700,6 +745,7 @@ func newReceiverSession(o options, reg *obs.Registry, addr string) (*receiverSes
 	if err != nil {
 		return nil, err
 	}
+	dmx.SetSpans(tel.spanRing())
 	q, err := verifyFastPath(o, reg, dmx)
 	if err != nil {
 		return nil, err
@@ -707,6 +753,7 @@ func newReceiverSession(o options, reg *obs.Registry, addr string) (*receiverSes
 	return &receiverSession{
 		o:       o,
 		reg:     reg,
+		tel:     tel,
 		dial:    func() (net.Conn, error) { return net.Dial("tcp", addr) },
 		dmx:     dmx,
 		rng:     stats.NewRNG(uint64(time.Now().UnixNano())),
@@ -806,6 +853,9 @@ func (rs *receiverSession) session(conn net.Conn, stop <-chan struct{}) error {
 			}
 			auths = append(auths, rs.dmx.DrainDeferred()...)
 		}
+		if rs.packets%sloFeedEvery == 0 {
+			rs.tel.feedSLO(rs.dmx)
+		}
 		if err := rs.handleAuths(auths); err != nil {
 			return err
 		}
@@ -833,6 +883,9 @@ func (rs *receiverSession) handleAuths(auths []stream.StreamAuthenticated) error
 // processes the resulting authentications (end of a session: the wire went
 // quiet, so nothing else will trigger a resolve).
 func (rs *receiverSession) settleDeferred() error {
+	// Sample the SLO at session end so the tail of a dying connection
+	// (packets that will now never authenticate) burns budget promptly.
+	defer rs.tel.feedSLO(rs.dmx)
 	if rs.verifyQ == nil {
 		return nil
 	}
@@ -842,8 +895,8 @@ func (rs *receiverSession) settleDeferred() error {
 	return rs.handleAuths(rs.dmx.DrainDeferred())
 }
 
-func runReceiver(o options, reg *obs.Registry, stdout io.Writer) error {
-	rs, err := newReceiverSession(o, reg, o.connect)
+func runReceiver(o options, reg *obs.Registry, tel *telemetry, stdout io.Writer) error {
+	rs, err := newReceiverSession(o, reg, tel, o.connect)
 	if err != nil {
 		return err
 	}

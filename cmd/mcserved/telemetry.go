@@ -1,0 +1,217 @@
+// Daemon telemetry: the causal span ring, per-stream SLO tracker, and
+// failure flight recorder, wired together behind the -span-buf, -slo-*
+// and -flight flags. One telemetry value is shared by every role a run
+// plays (daemon, receiver, chaos harness), so an in-process soak records
+// both halves of each block's lifecycle into one ring and a single dump
+// carries the full sender→authenticate trace.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"mcauth/internal/obs"
+	"mcauth/internal/stream"
+)
+
+// telemetry bundles the observability substrate one mcserved process
+// shares across its roles. A nil *telemetry is inert: every method is a
+// no-op, so call sites need no guards.
+type telemetry struct {
+	spans  *obs.SpanRing
+	slo    *obs.SLOTracker
+	flight *obs.FlightRecorder
+	reg    *obs.Registry
+
+	// flightPath, when non-empty, is where dump writes the post-mortem.
+	flightPath string
+
+	// prev holds the per-stream receiver totals already folded into the
+	// SLO tracker (feedSLO goroutine only).
+	prev map[uint64]stream.Totals
+
+	// sloRedOnce arms the budget-exhaustion dump: the first red window
+	// dumps, later ones don't spam.
+	sloRedOnce sync.Once
+}
+
+// newTelemetry builds the substrate the options ask for, or nil when
+// every telemetry feature is off.
+func newTelemetry(o options, reg *obs.Registry) *telemetry {
+	if o.spanBuf <= 0 && o.flight == "" && o.sloP99 <= 0 && o.sloMinAuth <= 0 {
+		return nil
+	}
+	t := &telemetry{reg: reg, flightPath: o.flight, prev: make(map[uint64]stream.Totals)}
+	if o.spanBuf > 0 {
+		t.spans = obs.NewSpanRing(o.spanBuf)
+		t.spans.SetEnabled(true)
+	}
+	// The tracker always exists so /slo always answers; without -slo-p99
+	// or -slo-min-auth it reports per-stream attempts and auth fraction
+	// with no objectives (and can never go red).
+	t.slo = obs.NewSLOTracker(obs.SLOConfig{
+		Window:          o.sloWindow,
+		TimeToAuthP99:   o.sloP99,
+		MinAuthFraction: o.sloMinAuth,
+	})
+	t.flight = obs.NewFlightRecorder(obs.FlightConfig{
+		Spans:    t.spans,
+		Registry: reg,
+		SLO:      t.slo,
+	})
+	return t
+}
+
+// spanRing returns the live span ring (nil when tracing is off or t is
+// nil) — safe to hand straight to SetSpans-style hooks, which are
+// themselves nil-tolerant.
+func (t *telemetry) spanRing() *obs.SpanRing {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// bindRegistry late-binds a registry created after setup: chaos and demo
+// build a local one when no -metrics/-pprof was given, and the flight
+// recorder should snapshot it. A no-op once a registry is bound.
+func (t *telemetry) bindRegistry(reg *obs.Registry) {
+	if t == nil || t.reg != nil || reg == nil {
+		return
+	}
+	t.reg = reg
+	t.flight = obs.NewFlightRecorder(obs.FlightConfig{
+		Spans:    t.spans,
+		Registry: reg,
+		SLO:      t.slo,
+	})
+}
+
+// registerHTTP mounts the machine-readable /slo endpoint.
+func (t *telemetry) registerHTTP(mux *http.ServeMux) {
+	if t == nil || t.slo == nil || mux == nil {
+		return
+	}
+	t.slo.Register(mux)
+}
+
+// writeStatus appends the SLO evaluation to a statusz writer.
+func (t *telemetry) writeStatus(w io.Writer) {
+	if t == nil || t.slo == nil {
+		return
+	}
+	_ = t.slo.WriteText(w)
+}
+
+// noteFault records one fault event into the flight ring.
+func (t *telemetry) noteFault(kind, detail string) {
+	if t == nil {
+		return
+	}
+	t.flight.NoteFault(kind, detail)
+}
+
+// dump writes the flight-recorder post-mortem to -flight (or stderr when
+// no file was named), logging where it went.
+func (t *telemetry) dump(reason string) {
+	if t == nil || t.flight == nil {
+		return
+	}
+	if t.flightPath == "" {
+		_ = t.flight.Dump(os.Stderr, reason)
+		return
+	}
+	if err := t.flight.DumpFile(t.flightPath, reason); err != nil {
+		fmt.Fprintf(os.Stderr, "mcserved: flight dump: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mcserved: flight dump (%s) written to %s\n", reason, t.flightPath)
+}
+
+// installSIGUSR1 arms the on-demand dump signal; the returned stop
+// function removes the handler.
+func (t *telemetry) installSIGUSR1() func() {
+	if t == nil {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				t.noteFault("sigusr1", "operator-requested dump")
+				t.dump("sigusr1")
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+// recoverDump is the panic hook: deferred at the top of run, it dumps
+// the flight record before re-panicking so the crash artifact survives.
+func (t *telemetry) recoverDump() {
+	if r := recover(); r != nil {
+		t.noteFault("panic", fmt.Sprint(r))
+		t.dump("panic")
+		panic(r)
+	}
+}
+
+// sloFeedEvery is how many ingested packets pass between SLO samples on
+// the receiver loop.
+const sloFeedEvery = 64
+
+// feedSLO folds each live stream's receiver totals accrued since the
+// last call into the SLO tracker as a delta sample. Attempts are
+// distinct packets (duplicates excluded); every attempted packet not yet
+// authenticated counts as failed — starvation under loss burns budget,
+// exactly the paper's non-authenticable fraction. Must be called from
+// the ingest goroutine (receiver totals are not locked).
+func (t *telemetry) feedSLO(dmx *stream.Demux) {
+	if t == nil || t.slo == nil || dmx == nil {
+		return
+	}
+	for _, id := range dmx.StreamIDs() {
+		r := dmx.Receiver(id)
+		if r == nil {
+			continue
+		}
+		cur := r.Totals()
+		prev := t.prev[id]
+		attempts := int64((cur.Packets - cur.Duplicates) - (prev.Packets - prev.Duplicates))
+		if attempts <= 0 {
+			continue
+		}
+		authed := int64(cur.Authenticated - prev.Authenticated)
+		failed := attempts - authed
+		if failed < 0 {
+			failed = 0
+		}
+		t.slo.Observe(id, obs.SLOSample{
+			Authenticated: authed,
+			Failed:        failed,
+			TimeToAuth:    cur.TimeToAuth.DeltaFrom(prev.TimeToAuth),
+		})
+		t.prev[id] = cur
+	}
+	t.slo.Export(t.reg)
+	t.flight.NoteSnapshot()
+	if t.slo.Red() {
+		t.sloRedOnce.Do(func() {
+			t.noteFault("slo_red", "error budget exhausted")
+			t.dump("slo_budget_exhausted")
+		})
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"mcauth/internal/obs"
 )
 
 // TestMACScratchMatchesHMAC cross-checks the flat-buffer HMAC against the
@@ -333,5 +335,64 @@ func TestSigCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if cache.Len() > 64 {
 		t.Fatalf("cache exceeded bound: %d", cache.Len())
+	}
+}
+
+// TestBatchVerifyQueueSetMetrics checks that lifetime totals and the
+// pending depth are mirrored into registry instruments.
+func TestBatchVerifyQueueSetMetrics(t *testing.T) {
+	signer := NewSignerFromString("bvq-metrics")
+	pub := signer.Public()
+	q, err := NewBatchVerifyQueue(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	q.SetMetrics(reg)
+
+	msg := []byte("metrics message")
+	sig := signer.Sign(msg)
+	for i := 0; i < 3; i++ {
+		if _, err := q.Enqueue(pub, msg, sig, func(bool) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Gauge("verify.pending_signature").Value(); got != 3 {
+		t.Fatalf("pending_signature = %d before resolve, want 3", got)
+	}
+	if got := reg.Counter("verify.deferred_enqueued").Value(); got != 3 {
+		t.Fatalf("deferred_enqueued = %d, want 3", got)
+	}
+	q.Resolve()
+	if got := reg.Gauge("verify.pending_signature").Value(); got != 0 {
+		t.Fatalf("pending_signature = %d after resolve, want 0", got)
+	}
+	if got := reg.Counter("verify.deferred_accepted").Value(); got != 3 {
+		t.Fatalf("deferred_accepted = %d, want 3", got)
+	}
+	if got := reg.Counter("verify.deferred_checks").Value(); got != 1 {
+		t.Fatalf("deferred_checks = %d, want 1 (deduped group)", got)
+	}
+	if got := reg.Counter("verify.deferred_resolves").Value(); got != 1 {
+		t.Fatalf("deferred_resolves = %d, want 1", got)
+	}
+
+	// Late attachment catches up on totals accrued before SetMetrics.
+	q2, _ := NewBatchVerifyQueue(100, nil)
+	q2.Enqueue(pub, msg, sig, func(bool) {})
+	q2.Resolve()
+	reg2 := obs.NewRegistry()
+	q2.SetMetrics(reg2)
+	if got := reg2.Counter("verify.deferred_enqueued").Value(); got != 1 {
+		t.Fatalf("late-attach deferred_enqueued = %d, want 1", got)
+	}
+
+	// Detaching stops exports without disturbing the queue.
+	q.SetMetrics(nil)
+	if _, err := q.Enqueue(pub, msg, sig, func(bool) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("verify.deferred_enqueued").Value(); got != 3 {
+		t.Fatalf("detached registry advanced to %d, want 3", got)
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"mcauth/internal/obs"
 )
 
 // pendingVerify is one enqueued signature check awaiting resolution.
@@ -67,6 +69,23 @@ type BatchVerifyQueue struct {
 	scratch VerifyScratch
 	pending []pendingVerify
 	totals  VerifyTotals
+
+	// m mirrors totals into a registry (nil when unset); exported is the
+	// watermark of totals already pushed, so each export adds deltas.
+	m        *queueMetrics
+	exported VerifyTotals
+}
+
+// queueMetrics holds the registry instruments SetMetrics exports into.
+type queueMetrics struct {
+	enqueued  *obs.Counter
+	resolves  *obs.Counter
+	checks    *obs.Counter
+	cacheHits *obs.Counter
+	fallbacks *obs.Counter
+	accepted  *obs.Counter
+	rejected  *obs.Counter
+	pending   *obs.Gauge
 }
 
 // NewBatchVerifyQueue creates a queue that auto-resolves at maxPending
@@ -83,6 +102,49 @@ func NewBatchVerifyQueue(maxPending int, cache *SigCache) (*BatchVerifyQueue, er
 
 // MaxPending returns the auto-resolve threshold.
 func (q *BatchVerifyQueue) MaxPending() int { return q.max }
+
+// SetMetrics exports the queue's lifetime totals into reg (nil disables):
+// counters verify.deferred_enqueued / _resolves / _checks / _cache_hits /
+// _fallbacks / _accepted / _rejected mirror VerifyTotals, and gauge
+// verify.pending_signature tracks how many checks sit parked awaiting a
+// resolve pass.
+func (q *BatchVerifyQueue) SetMetrics(reg *obs.Registry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if reg == nil {
+		q.m = nil
+		return
+	}
+	q.m = &queueMetrics{
+		enqueued:  reg.Counter("verify.deferred_enqueued"),
+		resolves:  reg.Counter("verify.deferred_resolves"),
+		checks:    reg.Counter("verify.deferred_checks"),
+		cacheHits: reg.Counter("verify.deferred_cache_hits"),
+		fallbacks: reg.Counter("verify.deferred_fallbacks"),
+		accepted:  reg.Counter("verify.deferred_accepted"),
+		rejected:  reg.Counter("verify.deferred_rejected"),
+		pending:   reg.Gauge("verify.pending_signature"),
+	}
+	q.exportLocked()
+}
+
+// exportLocked pushes the totals accrued since the last export into the
+// registry instruments. Caller holds q.mu.
+func (q *BatchVerifyQueue) exportLocked() {
+	if q.m == nil {
+		return
+	}
+	cur, prev := q.totals, q.exported
+	q.m.enqueued.Add(cur.Enqueued - prev.Enqueued)
+	q.m.resolves.Add(cur.Resolves - prev.Resolves)
+	q.m.checks.Add(cur.Checks - prev.Checks)
+	q.m.cacheHits.Add(cur.CacheHits - prev.CacheHits)
+	q.m.fallbacks.Add(cur.Fallbacks - prev.Fallbacks)
+	q.m.accepted.Add(cur.Accepted - prev.Accepted)
+	q.m.rejected.Add(cur.Rejected - prev.Rejected)
+	q.m.pending.Set(int64(len(q.pending)))
+	q.exported = cur
+}
 
 // Cache returns the queue's shared signature cache (nil when caching is
 // off), so synchronous verify paths can share it.
@@ -102,10 +164,12 @@ func (q *BatchVerifyQueue) Enqueue(pub Verifier, content, sig []byte, done func(
 	q.pending = append(q.pending, pendingVerify{pub: pub, content: content, sig: sig, done: done})
 	if len(q.pending) < q.max {
 		n := len(q.pending)
+		q.exportLocked()
 		q.mu.Unlock()
 		return n, nil
 	}
 	items, verdicts := q.resolveLocked()
+	q.exportLocked()
 	q.mu.Unlock()
 	deliverVerdicts(items, verdicts)
 	return 0, nil
@@ -116,6 +180,7 @@ func (q *BatchVerifyQueue) Enqueue(pub Verifier, content, sig []byte, done func(
 func (q *BatchVerifyQueue) Resolve() int {
 	q.mu.Lock()
 	items, verdicts := q.resolveLocked()
+	q.exportLocked()
 	q.mu.Unlock()
 	deliverVerdicts(items, verdicts)
 	return len(items)

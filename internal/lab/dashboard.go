@@ -95,6 +95,31 @@ func RenderMarkdown(w io.Writer, in DashboardInput) error {
 			}
 		}
 
+		if run.Config.SLO != nil {
+			fmt.Fprintf(&b, "\n### SLO objectives — %s\n\n", run.RunID())
+			b.WriteString("Per-cell service objectives from the sweep config; `mclab check` " +
+				"fails the run on any missed objective.\n\n")
+			b.WriteString("| cell | objective | target | actual | state |\n|---|---|---:|---:|---|\n")
+			evaluated := false
+			for _, c := range run.Cells {
+				for _, ob := range run.Config.SLO.EvaluateCell(c) {
+					evaluated = true
+					target, actual := fq(ob.Target), fq(ob.Actual)
+					if ob.Name == "tta_p99" {
+						target, actual = fns(ob.Target), fns(ob.Actual)
+					}
+					state := "ok"
+					if !ob.Met {
+						state = "**missed**"
+					}
+					fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", c.ID, ob.Name, target, actual, state)
+				}
+			}
+			if !evaluated {
+				b.WriteString("| — | — | — | — | no cell produced a gated quantity |\n")
+			}
+		}
+
 		if anyServer(run) {
 			fmt.Fprintf(&b, "\n### Serving tier — %s\n\n", run.RunID())
 			b.WriteString("Batch-signing counts are deterministic; root-hold latency is " +

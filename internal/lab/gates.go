@@ -128,6 +128,10 @@ func (b Baselines) CheckRun(run *RunResult) []error {
 			errs = append(errs, fmt.Errorf("run %s: require_server_resume set and config asks for churn, but no cell produced a churn server result", run.RunID()))
 		}
 	}
+	// SLO objectives ride in the run's own config rather than the
+	// baselines file: the sweep declares its service level, the gate
+	// enforces it.
+	errs = append(errs, CheckSLO(run)...)
 	return errs
 }
 

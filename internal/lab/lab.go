@@ -59,6 +59,25 @@ type Config struct {
 	// Server tunes the serving-tier path (ignored unless "server" is in
 	// Paths).
 	Server ServerConfig `json:"server,omitempty"`
+	// SLO, when set, declares per-cell service objectives the sweep must
+	// meet: a floor on the measured authenticated fraction (the paper's
+	// q_min, netsim path) and a ceiling on the simulated time-to-auth p99.
+	// Objectives are rendered in the dashboard and enforced by
+	// `mclab check`. Nil means no objectives (existing configs and their
+	// artifacts are unchanged).
+	SLO *SLOObjectives `json:"slo,omitempty"`
+}
+
+// SLOObjectives are the sweep-level service objectives. Zero-valued
+// fields are unset: each objective only gates when its target is set and
+// the cell ran the layer that produces the quantity.
+type SLOObjectives struct {
+	// MinAuthFraction is the floor on each cell's measured q_min
+	// (netsim-path authenticated fraction), in (0, 1].
+	MinAuthFraction float64 `json:"min_auth_fraction,omitempty"`
+	// TTAP99NS is the ceiling on each cell's simulated
+	// arrival-to-authentication p99, in nanoseconds.
+	TTAP99NS int64 `json:"tta_p99_ns,omitempty"`
 }
 
 // SchemeConfig selects one construction and its knobs.
@@ -217,6 +236,17 @@ func (c *Config) Normalize() error {
 	}
 	if c.Server.Churn && c.Server.Blocks < 2 {
 		return fmt.Errorf("lab: server churn needs blocks >= 2 (got %d): the handover happens at the halfway block", c.Server.Blocks)
+	}
+	if s := c.SLO; s != nil {
+		if s.MinAuthFraction < 0 || s.MinAuthFraction > 1 {
+			return fmt.Errorf("lab: slo min_auth_fraction %g out of [0,1]", s.MinAuthFraction)
+		}
+		if s.TTAP99NS < 0 {
+			return fmt.Errorf("lab: slo tta_p99_ns %d must be >= 0", s.TTAP99NS)
+		}
+		if s.MinAuthFraction == 0 && s.TTAP99NS == 0 {
+			return fmt.Errorf("lab: slo block set but no objective given (set min_auth_fraction and/or tta_p99_ns)")
+		}
 	}
 	return nil
 }

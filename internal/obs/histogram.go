@@ -65,7 +65,10 @@ func (h *HistogramData) Observe(v int64) {
 	h.Buckets[bucketFor(v)]++
 }
 
-// Merge folds another histogram's observations into h.
+// Merge folds another histogram's observations into h. Counts and sums
+// saturate at the int64 limits instead of wrapping: merging is used to
+// aggregate across long-lived streams and replayed series, where a
+// wrapped negative count would poison every downstream quantile.
 func (h *HistogramData) Merge(o HistogramData) {
 	if o.Count == 0 {
 		return
@@ -76,11 +79,46 @@ func (h *HistogramData) Merge(o HistogramData) {
 	if h.Count == 0 || o.MaxSeen > h.MaxSeen {
 		h.MaxSeen = o.MaxSeen
 	}
-	h.Count += o.Count
-	h.Sum += o.Sum
+	h.Count = satAdd(h.Count, o.Count)
+	h.Sum = satAdd(h.Sum, o.Sum)
 	for i := range h.Buckets {
-		h.Buckets[i] += o.Buckets[i]
+		h.Buckets[i] = satAdd(h.Buckets[i], o.Buckets[i])
 	}
+}
+
+// satAdd adds two int64s, clamping at the representable limits.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if b > 0 && s < a {
+		return math.MaxInt64
+	}
+	if b < 0 && s > a {
+		return math.MinInt64
+	}
+	return s
+}
+
+// DeltaFrom returns the observations h gained since prev, assuming prev is
+// an earlier copy of the same accumulating histogram (bucket counts are
+// monotone between the two). Min/Max of the delta are not recoverable from
+// bucket counts, so the current extrema are kept as a conservative
+// envelope; quantiles of the delta stay clamped to a valid range.
+func (h HistogramData) DeltaFrom(prev HistogramData) HistogramData {
+	d := HistogramData{
+		Count:   h.Count - prev.Count,
+		Sum:     h.Sum - prev.Sum,
+		MinSeen: h.MinSeen,
+		MaxSeen: h.MaxSeen,
+	}
+	if d.Count <= 0 {
+		return HistogramData{}
+	}
+	for i := range d.Buckets {
+		if v := h.Buckets[i] - prev.Buckets[i]; v > 0 {
+			d.Buckets[i] = v
+		}
+	}
+	return d
 }
 
 // Mean returns the arithmetic mean of all observations (0 when empty).

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// lifecycleSpans is one full block lifecycle with fixed timestamps, the
+// fixture both the golden-schema test and the round-trip test use.
+func lifecycleSpans() []Span {
+	base := int64(1_700_000_000_000_000_000)
+	return []Span{
+		{Kind: SpanPush, Stream: 3, Block: 17, TimeNS: base},
+		{Kind: SpanShardEnqueue, Stream: 3, Block: 17, TimeNS: base + 1_000},
+		{Kind: SpanSignAttach, Stream: 3, Block: 17, TimeNS: base + 5_000_000, DurNS: 4_900_000},
+		{Kind: SpanMuxWrite, Stream: 3, Block: 17, Index: 1, TimeNS: base + 5_100_000},
+		{Kind: SpanDecode, Stream: 3, Block: 17, Index: 1, TimeNS: base + 5_400_000},
+		{Kind: SpanDeferredPark, Stream: 3, Block: 17, Index: 9, TimeNS: base + 5_500_000},
+		{Kind: SpanSigResolve, Stream: 3, Block: 17, Index: 9, TimeNS: base + 6_000_000},
+		{Kind: SpanAuthenticate, Stream: 3, Block: 17, Index: 1, TimeNS: base + 6_100_000, DurNS: 700_000},
+		{Kind: SpanReject, Stream: 3, Block: 17, Index: 4, TimeNS: base + 6_200_000, Reason: "digest_mismatch"},
+	}
+}
+
+// TestSpanGoldenSchema pins the span JSONL encoding byte-for-byte. The
+// schema is an interchange format (flight dumps, mcreport, future
+// planner), so a drift here must be a deliberate choice, not an accident.
+// Regenerate with: go test ./internal/obs -run TestSpanGoldenSchema -update
+func TestSpanGoldenSchema(t *testing.T) {
+	r := NewSpanRing(16)
+	r.SetEnabled(true)
+	for _, s := range lifecycleSpans() {
+		r.Record(s)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "spans.golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("span JSONL schema drifted from %s;\nrerun with -update if the change is intended.\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	in := lifecycleSpans()
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", skipped)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d spans, want %d", len(got), len(in))
+	}
+	for i := range got {
+		want := in[i]
+		want.Type = SpanTypeField
+		want.Trace = TraceID(want.Stream, want.Block)
+		if got[i] != want {
+			t.Errorf("span %d = %+v, want %+v", i, got[i], want)
+		}
+		if got[i].Trace != TraceID(want.Stream, want.Block) {
+			t.Errorf("span %d trace = %d, want TraceID(%d,%d)=%d",
+				i, got[i].Trace, want.Stream, want.Block, TraceID(want.Stream, want.Block))
+		}
+	}
+}
+
+func TestReadSpansSkipsForeignLines(t *testing.T) {
+	mixed := strings.Join([]string{
+		`{"type":"flight_meta","reason":"x"}`,
+		`{"type":"span","trace":1,"kind":"push","stream":1,"block":2}`,
+		`not json at all`,
+		`{"type":"authenticated","recv":0}`, // trace event, not a span
+		`{"type":"span","trace":1,"kind":"decode","stream":1,"block":2,"index":3}`,
+		``,
+		`{"type":"span"}`, // span without a kind: damaged
+	}, "\n")
+	spans, skipped, err := ReadSpans(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	if skipped != 4 {
+		t.Fatalf("skipped = %d, want 4", skipped)
+	}
+}
+
+func TestTraceIDDeterministicAndScattering(t *testing.T) {
+	if TraceID(3, 17) != TraceID(3, 17) {
+		t.Fatal("TraceID not deterministic")
+	}
+	seen := make(map[uint64]bool)
+	for stream := uint64(0); stream < 8; stream++ {
+		for block := uint64(0); block < 64; block++ {
+			id := TraceID(stream, block)
+			if seen[id] {
+				t.Fatalf("TraceID collision at stream=%d block=%d", stream, block)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSpanRingBoundedEviction(t *testing.T) {
+	r := NewSpanRing(4)
+	r.SetEnabled(true)
+	for b := uint64(0); b < 10; b++ {
+		r.Record(Span{Kind: SpanPush, Stream: 1, Block: b})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	snap := r.Snapshot()
+	for i, s := range snap {
+		if want := uint64(6 + i); s.Block != want {
+			t.Errorf("snapshot[%d].Block = %d, want %d (oldest-first, newest kept)", i, s.Block, want)
+		}
+	}
+}
+
+func TestSpanRingDisabledRecordsNothing(t *testing.T) {
+	r := NewSpanRing(4)
+	r.Add(SpanPush, 1, 1, 0, 0, "")
+	r.Record(Span{Kind: SpanPush, Stream: 1, Block: 1})
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("disabled ring stored spans: len=%d total=%d", r.Len(), r.Total())
+	}
+	var nilRing *SpanRing
+	nilRing.Record(Span{Kind: SpanPush})
+	nilRing.Add(SpanPush, 1, 1, 0, 0, "")
+	nilRing.SetEnabled(true)
+	if nilRing.Enabled() || nilRing.Len() != 0 || nilRing.Total() != 0 || nilRing.Snapshot() != nil {
+		t.Fatal("nil ring must be inert")
+	}
+	if err := nilRing.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanRingConcurrentRecord(t *testing.T) {
+	r := NewSpanRing(128)
+	r.SetEnabled(true)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Add(SpanDecode, uint64(w), uint64(i), uint32(i), time.Microsecond, "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != workers*per {
+		t.Fatalf("Total = %d, want %d", r.Total(), workers*per)
+	}
+	if r.Len() != 128 {
+		t.Fatalf("Len = %d, want capacity 128", r.Len())
+	}
+}

@@ -198,6 +198,8 @@ type chainedVerifier struct {
 	streamID    uint64
 	batchQ      *crypto.BatchVerifyQueue
 	sink        func([]verifier.Event)
+	spans       *obs.SpanRing
+	spanStream  uint64
 }
 
 var (
@@ -205,6 +207,7 @@ var (
 	_ BufferBounded    = (*chainedVerifier)(nil)
 	_ CacheAware       = (*chainedVerifier)(nil)
 	_ DeferredVerifier = (*chainedVerifier)(nil)
+	_ SpanAware        = (*chainedVerifier)(nil)
 )
 
 func newChainedVerifier(n int, pub crypto.Verifier) (*chainedVerifier, error) {
@@ -259,6 +262,15 @@ func (cv *chainedVerifier) SetBatchVerify(q *crypto.BatchVerifyQueue, sink func(
 	}
 }
 
+// SetSpans implements SpanAware.
+func (cv *chainedVerifier) SetSpans(r *obs.SpanRing, streamID uint64) {
+	cv.spans = r
+	cv.spanStream = streamID
+	if cv.inner != nil {
+		cv.inner.SetSpans(r, streamID)
+	}
+}
+
 // Ingest implements Verifier. The first packet binds the verifier to its
 // block ID.
 func (cv *chainedVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Event, error) {
@@ -282,6 +294,9 @@ func (cv *chainedVerifier) Ingest(p *packet.Packet, at time.Time) ([]verifier.Ev
 		}
 		if cv.batchQ != nil {
 			inner.SetBatchVerify(cv.batchQ, cv.sink)
+		}
+		if cv.spans != nil {
+			inner.SetSpans(cv.spans, cv.spanStream)
 		}
 		cv.inner = inner
 	}

@@ -11,6 +11,7 @@ import (
 
 	"mcauth/internal/crypto"
 	"mcauth/internal/depgraph"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/verifier"
 )
@@ -118,6 +119,19 @@ type CacheAware interface {
 // policy and must resolve on the ingest goroutine.
 type DeferredVerifier interface {
 	SetBatchVerify(q *crypto.BatchVerifyQueue, sink func([]verifier.Event))
+}
+
+// SpanAware is implemented by verifiers that record causal lifecycle spans
+// (deferred_park, sig_resolve, authenticate, reject) into a shared
+// obs.SpanRing — the receive half of the end-to-end block trace whose
+// send half the serving tier records. streamID keys the spans (and their
+// derived trace IDs) to the mux stream the verifier serves, so sender-
+// and receiver-side spans of one block join on TraceID(stream, block)
+// with no wire changes. Layers that own the ring (the stream
+// demultiplexer, the serving daemon) attach it via this interface,
+// mirroring CacheAware.
+type SpanAware interface {
+	SetSpans(r *obs.SpanRing, streamID uint64)
 }
 
 // BufferBounded is implemented by verifiers whose pending-packet buffers

@@ -62,6 +62,12 @@ type Config struct {
 	MaxSubscriberQueue int
 	// Metrics receives server.* instruments (nil disables).
 	Metrics *obs.Registry
+	// Spans, when non-nil, receives causal lifecycle spans for every
+	// stream the server opens: the sender-side push/shard_enqueue/
+	// sign_attach half of the end-to-end trace (receivers record the
+	// other half into their own ring; the two join on the deterministic
+	// obs.TraceID). Nil disables span recording.
+	Spans *obs.SpanRing
 	// Clock defaults to time.Now; tests inject virtual time.
 	Clock func() time.Time
 	// Checkpoint enables crash recovery: streams write-ahead reserve block
@@ -249,6 +255,7 @@ func (s *Server) OpenStream(id uint64, build func(signer crypto.Signer) (scheme.
 		return fmt.Errorf("server: stream %d: %w", id, err)
 	}
 	snd.SetFlushAfter(s.cfg.FlushInterval)
+	snd.SetSpans(s.cfg.Spans, id)
 	st := newStream(s, id, snd)
 	st.reserved = start
 	if s.cfg.RepairBlocks > 0 {
@@ -407,7 +414,17 @@ func (s *Server) enqueueRoot(st *Stream, db *stream.DeferredBlock) {
 	t0 := s.cfg.Clock()
 	pending, err := s.signer.Enqueue(db.Root.Content, func(sig []byte) {
 		db.Root.Attach(sig)
-		s.m.rootHold.Observe(s.cfg.Clock().Sub(t0).Nanoseconds())
+		hold := s.cfg.Clock().Sub(t0)
+		s.m.rootHold.Observe(hold.Nanoseconds())
+		if s.cfg.Spans.Enabled() {
+			s.cfg.Spans.Record(obs.Span{
+				Kind:   obs.SpanSignAttach,
+				Stream: st.id,
+				Block:  db.BlockID,
+				TimeNS: s.cfg.Clock().UnixNano(),
+				DurNS:  hold.Nanoseconds(),
+			})
+		}
 		// Retain for resume only now that the signature is attached: a
 		// replayed root packet without its signature would be useless, and
 		// storing earlier would race Attach against a concurrent ResumeFrom.

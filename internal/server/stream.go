@@ -130,6 +130,14 @@ func (st *Stream) emit(db *stream.DeferredBlock) {
 	st.blocks.Add(1)
 	st.srv.m.blocks.Inc()
 	st.m.blocks.Inc()
+	if spans := st.srv.cfg.Spans; spans.Enabled() {
+		spans.Record(obs.Span{
+			Kind:   obs.SpanShardEnqueue,
+			Stream: st.id,
+			Block:  db.BlockID,
+			TimeNS: st.srv.cfg.Clock().UnixNano(),
+		})
+	}
 	if st.repair != nil {
 		st.repair.Add(db.BlockID, db.Immediate)
 	}

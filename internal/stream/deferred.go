@@ -101,6 +101,7 @@ func (snd *Sender) emitDeferred() (*DeferredBlock, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: block %d: %w", blockID, err)
 	}
+	snd.spanPush(blockID)
 	snd.blockID++
 	snd.pending = nil
 	snd.oldestPending = time.Time{}

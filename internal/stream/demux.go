@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mcauth/internal/crypto"
+	"mcauth/internal/obs"
 	"mcauth/internal/packet"
 	"mcauth/internal/verifier"
 )
@@ -45,6 +46,9 @@ type Demux struct {
 	// from now on (see SetVerifyFastPath).
 	cache  *verifier.SharedCache
 	batchQ *crypto.BatchVerifyQueue
+	// spans, when attached, is handed to every new receiver keyed by its
+	// stream ID (see Receiver.SetSpans).
+	spans *obs.SpanRing
 }
 
 // NewDemux creates a demultiplexer keeping at most maxStreams live
@@ -77,6 +81,12 @@ func NewDemux(newReceiver func(streamID uint64) (*Receiver, error), maxStreams i
 func (d *Demux) SetVerifyFastPath(cache *verifier.SharedCache, q *crypto.BatchVerifyQueue) {
 	d.cache = cache
 	d.batchQ = q
+}
+
+// SetSpans attaches a causal span ring to every stream receiver created
+// from now on, keyed by its transport stream ID (see Receiver.SetSpans).
+func (d *Demux) SetSpans(r *obs.SpanRing) {
+	d.spans = r
 }
 
 // DrainDeferred collects messages authenticated by deferred batch-verify
@@ -149,6 +159,9 @@ func (d *Demux) receiver(streamID uint64) (*Receiver, error) {
 	}
 	if d.batchQ != nil {
 		r.SetBatchVerify(d.batchQ)
+	}
+	if d.spans != nil {
+		r.SetSpans(d.spans, streamID)
 	}
 	d.receivers[streamID] = r
 	d.lastActive[streamID] = d.tick

@@ -31,6 +31,10 @@ type Sender struct {
 	// oldestPending timestamps the first message of the filling block.
 	flushAfter    time.Duration
 	oldestPending time.Time
+	// Causal span tracing (see SetSpans): each emitted block records a
+	// "push" span, the root of its end-to-end trace.
+	spans      *obs.SpanRing
+	spanStream uint64
 }
 
 // NewSender creates a sender starting at the given block ID.
@@ -39,6 +43,28 @@ func NewSender(s scheme.Scheme, startBlock uint64) (*Sender, error) {
 		return nil, errors.New("stream: nil scheme")
 	}
 	return &Sender{s: s, blockID: startBlock}, nil
+}
+
+// SetSpans attaches a causal span ring: every block this sender emits
+// records a "push" span keyed by (streamID, block ID), the root of the
+// block's end-to-end trace (shard enqueue, sign attach, mux write, and the
+// receiver-side spans all derive the same trace ID). nil detaches.
+func (snd *Sender) SetSpans(r *obs.SpanRing, streamID uint64) {
+	snd.spans = r
+	snd.spanStream = streamID
+}
+
+// spanPush records the block-emitted span.
+func (snd *Sender) spanPush(blockID uint64) {
+	if !snd.spans.Enabled() {
+		return
+	}
+	snd.spans.Record(obs.Span{
+		Kind:   obs.SpanPush,
+		Stream: snd.spanStream,
+		Block:  blockID,
+		TimeNS: time.Now().UnixNano(),
+	})
 }
 
 // Push appends one message. When the message completes a block, the
@@ -75,6 +101,7 @@ func (snd *Sender) emit() ([]*packet.Packet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: block %d: %w", snd.blockID, err)
 	}
+	snd.spanPush(snd.blockID)
 	snd.blockID++
 	snd.pending = nil
 	snd.oldestPending = time.Time{}
@@ -139,6 +166,11 @@ type Receiver struct {
 	cache       *verifier.SharedCache
 	cacheStream uint64
 	batchQ      *crypto.BatchVerifyQueue
+	// spans, when attached, records a "decode" span per routed packet and
+	// is handed to every new scheme.SpanAware block verifier, which
+	// records the park/resolve/authenticate/reject tail of the trace.
+	spans      *obs.SpanRing
+	spanStream uint64
 	// lastStats snapshots each live verifier's counters at the last fold
 	// into totals. Deferred verdicts mutate verifier stats outside Ingest
 	// (and possibly in a different block than the packet being ingested),
@@ -201,6 +233,16 @@ func (r *Receiver) SetBatchVerify(q *crypto.BatchVerifyQueue) {
 	r.batchQ = q
 }
 
+// SetSpans attaches a causal span ring: each routed packet records a
+// "decode" span, and block verifiers created from now on that implement
+// scheme.SpanAware record the verification tail of the block's trace.
+// streamID keys the spans to this receiver's stream, matching the
+// sender-side spans of the same blocks.
+func (r *Receiver) SetSpans(ring *obs.SpanRing, streamID uint64) {
+	r.spans = ring
+	r.spanStream = streamID
+}
+
 // DrainDeferred returns (and clears) messages authenticated by deferred
 // batch-verify verdicts since the last Ingest or DrainDeferred call. Call
 // it after resolving the batch-verify queue directly.
@@ -259,6 +301,15 @@ func (r *Receiver) Ingest(p *packet.Packet, at time.Time) ([]Authenticated, erro
 		return nil, errors.New("stream: nil packet")
 	}
 	r.totals.Packets++
+	if r.spans.Enabled() {
+		r.spans.Record(obs.Span{
+			Kind:   obs.SpanDecode,
+			Stream: r.spanStream,
+			Block:  p.BlockID,
+			Index:  p.Index,
+			TimeNS: obs.TimeNS(at),
+		})
+	}
 	if r.closed[p.BlockID] {
 		// The block's state was evicted; late packets are dropped.
 		return nil, nil
@@ -281,6 +332,9 @@ func (r *Receiver) Ingest(p *packet.Packet, at time.Time) ([]Authenticated, erro
 			dv.SetBatchVerify(r.batchQ, func(events []verifier.Event) {
 				r.noteDeferred(blockID, events)
 			})
+		}
+		if sa, ok := v.(scheme.SpanAware); ok && r.spans != nil {
+			sa.SetSpans(r.spans, r.spanStream)
 		}
 		r.verifiers[p.BlockID] = v
 		r.order = append(r.order, p.BlockID)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"mcauth/internal/obs"
 	"mcauth/internal/packet"
@@ -26,9 +27,10 @@ const muxIDSize = 8
 // stream. Like FrameWriter it reuses one internal buffer and is not safe
 // for concurrent use.
 type MuxFrameWriter struct {
-	w   io.Writer
-	m   *wireMetrics
-	buf []byte
+	w     io.Writer
+	m     *wireMetrics
+	spans *obs.SpanRing
+	buf   []byte
 }
 
 // NewMuxFrameWriter wraps w.
@@ -36,6 +38,10 @@ func NewMuxFrameWriter(w io.Writer) *MuxFrameWriter { return &MuxFrameWriter{w: 
 
 // SetMetrics enables transport.* accounting in reg (nil disables).
 func (mw *MuxFrameWriter) SetMetrics(reg *obs.Registry) { mw.m = newWireMetrics(reg) }
+
+// SetSpans records a mux_write span per framed packet into r (nil
+// disables), marking the moment a packet leaves the serving process.
+func (mw *MuxFrameWriter) SetSpans(r *obs.SpanRing) { mw.spans = r }
 
 // WritePacket frames one packet under its stream ID with a single Write.
 func (mw *MuxFrameWriter) WritePacket(streamID uint64, p *packet.Packet) error {
@@ -61,6 +67,15 @@ func (mw *MuxFrameWriter) WritePacket(streamID uint64, p *packet.Packet) error {
 	if mw.m != nil {
 		mw.m.framesWritten.Inc()
 		mw.m.bytesWritten.Add(int64(len(buf)))
+	}
+	if mw.spans.Enabled() {
+		mw.spans.Record(obs.Span{
+			Kind:   obs.SpanMuxWrite,
+			Stream: streamID,
+			Block:  p.BlockID,
+			Index:  p.Index,
+			TimeNS: time.Now().UnixNano(),
+		})
 	}
 	return nil
 }

@@ -153,6 +153,12 @@ type Chained struct {
 
 	tracer obs.Tracer
 	m      *metrics
+
+	// Causal span tracing (see SetSpans). spans is nil-safe and checks an
+	// atomic enable flag before any work, so the disabled cost is one
+	// predictable branch per lifecycle transition.
+	spans      *obs.SpanRing
+	spanStream uint64
 }
 
 var _ obs.Instrumented = (*Chained)(nil)
@@ -215,6 +221,31 @@ func (v *Chained) SetBatchVerify(q *crypto.BatchVerifyQueue, sink func([]Event))
 	if q != nil && v.pendingSig == nil {
 		v.pendingSig = make(map[uint32][]bufferedPacket)
 	}
+}
+
+// SetSpans attaches a causal span ring: deferred parks, signature
+// resolutions, authentications and rejections are recorded as spans keyed
+// by (streamID, block), joining the sender-side spans of the serving tier
+// into one end-to-end trace. nil detaches.
+func (v *Chained) SetSpans(r *obs.SpanRing, streamID uint64) {
+	v.spans = r
+	v.spanStream = streamID
+}
+
+// span records one lifecycle span when the ring is attached and enabled.
+func (v *Chained) span(kind obs.SpanKind, index uint32, at time.Time, dur time.Duration, reason string) {
+	if !v.spans.Enabled() {
+		return
+	}
+	v.spans.Record(obs.Span{
+		Kind:   kind,
+		Stream: v.spanStream,
+		Block:  v.blockID,
+		Index:  index,
+		TimeNS: obs.TimeNS(at),
+		DurNS:  dur.Nanoseconds(),
+		Reason: reason,
+	})
 }
 
 // digestOf computes p's content digest through the shared memo when one
@@ -320,6 +351,7 @@ func (v *Chained) deferSignature(p *packet.Packet, at time.Time) {
 	}
 	v.pendingSig[p.Index] = append(v.pendingSig[p.Index], bufferedPacket{p: p, arrived: at})
 	v.stats.PendingSignature++
+	v.span(obs.SpanDeferredPark, p.Index, at, 0, "")
 	v.emit(obs.Event{
 		Type: obs.EventMsgBuffered, Index: p.Index,
 		Block: p.BlockID, TimeNS: obs.TimeNS(at), Depth: len(v.buffered) + v.stats.PendingSignature,
@@ -339,6 +371,7 @@ func (v *Chained) deferSignature(p *packet.Packet, at time.Time) {
 // instead).
 func (v *Chained) resolveSignature(p *packet.Packet, arrived time.Time, ok bool) {
 	v.unparkPending(p)
+	v.span(obs.SpanSigResolve, p.Index, arrived, 0, "")
 	if v.authentic[p.Index] {
 		// Another copy of the signature packet (or a cascade) got there
 		// first.
@@ -377,6 +410,7 @@ func (v *Chained) unparkPending(p *packet.Packet) {
 func (v *Chained) reject(p *packet.Packet, at time.Time, reason string) {
 	v.stats.Rejected++
 	v.m.countRejected()
+	v.span(obs.SpanReject, p.Index, at, 0, reason)
 	v.emit(obs.Event{
 		Type: obs.EventRejected, Index: p.Index,
 		Block: p.BlockID, TimeNS: obs.TimeNS(at), Reason: reason,
@@ -400,6 +434,7 @@ func (v *Chained) authenticate(p *packet.Packet, arrived, at time.Time) {
 		v.m.authenticated.Inc()
 		v.m.timeToAuth.Observe(latency.Nanoseconds())
 	}
+	v.span(obs.SpanAuthenticate, p.Index, at, latency, "")
 	v.emit(obs.Event{
 		Type: obs.EventAuthenticated, Index: p.Index, Block: p.BlockID,
 		TimeNS: obs.TimeNS(at), LatencyNS: latency.Nanoseconds(),

@@ -120,6 +120,25 @@ test -s "$labdir/dashboard.html"
 "$labdir/mclab" run examples/lab/churn.json -out "$labdir/churn" -workers 4 -stamp ci >/dev/null
 "$labdir/mclab" check -out "$labdir/churn"
 
+# Overlay tier: the relay fan-out path. The relay control-frame decoder
+# (resume hellos + MCRQ repair requests share one wire) gets a fuzz smoke;
+# a 10^5-receiver run through a 3-level tree with a correlated lossy edge
+# must produce byte-identical summaries at -workers 1, 2 and 8; and the
+# overlay lab sweep must pass the require_overlay_gain gate — relays
+# serving signature repairs must measurably raise the downstream
+# authenticated fraction over passive forwarding.
+go test -fuzz=FuzzRelayFrame -fuzztime=10s -run='^$' ./internal/transport
+go build -o "$labdir/mcsim" ./cmd/mcsim
+for w in 1 2 8; do
+	"$labdir/mcsim" -overlay -scheme emss -n 8 -p 0.1 -receivers 100000 \
+		-depth 2 -fanout 4 -edgep 0.5 -relays -workers "$w" \
+		-summary "$labdir/overlay-w$w.json" >/dev/null
+done
+diff "$labdir/overlay-w1.json" "$labdir/overlay-w2.json"
+diff "$labdir/overlay-w1.json" "$labdir/overlay-w8.json"
+"$labdir/mclab" run examples/lab/overlay.json -out "$labdir/overlay" -workers 4 -stamp ci >/dev/null
+"$labdir/mclab" check -out "$labdir/overlay"
+
 # Coverage tier: per-package statement coverage from a quick -short pass
 # and the aggregate figure. Informational only — no threshold is enforced.
 go test -short -count=1 -coverprofile="$diagdir/cover.out" ./...

@@ -19,7 +19,19 @@
 // The demo and daemon sign with a key derived from -key; receivers derive
 // the same verification key, so a quickstart needs no key exchange.
 //
-// A fourth mode exercises the resilience machinery end to end:
+// A fourth mode places the daemon behind a fan-out tier:
+//
+//	mcserved -relay -connect host:7700 -listen :7701
+//	    relay: subscribe upstream like a receiver, retain -repair blocks
+//	    per stream, and re-serve the feed downstream — live forwarding,
+//	    resume-hello catch-up, and MCRQ signature repairs all answered
+//	    from the relay's local store, absorbing recovery traffic one hop
+//	    from the edge. Relays hold no keys and verify nothing; a
+//	    tampering relay only produces packets receivers reject. Relays
+//	    chain: a relay's -connect may point at another relay. See
+//	    relay.go.
+//
+// A fifth mode exercises the resilience machinery end to end:
 //
 //	mcserved -chaos -cycles 5 -conn-reset 0.02 -conn-stall 0.01
 //	    chaos self-test: run daemon + reconnecting receiver in-process,
@@ -72,6 +84,7 @@ type options struct {
 	listen  string
 	connect string
 	chaos   bool
+	relay   bool
 
 	streams  int
 	schemeID string
@@ -126,6 +139,7 @@ func parseOptions(args []string) (options, error) {
 	fs.StringVar(&o.listen, "listen", "", "serve receivers on this TCP address (e.g. :7700)")
 	fs.StringVar(&o.connect, "connect", "", "act as a receiver: connect to a daemon and verify its streams")
 	fs.BoolVar(&o.chaos, "chaos", false, "run the chaos self-test: kill/restart the daemon across -cycles with conn faults injected, assert recovery invariants")
+	fs.BoolVar(&o.relay, "relay", false, "run as a fan-out relay: subscribe to -connect, retain -repair blocks per stream, and re-serve the feed (live + resume catch-up + MCRQ repairs) on -listen")
 	fs.IntVar(&o.streams, "streams", 64, "number of concurrent authenticated streams")
 	fs.StringVar(&o.schemeID, "scheme", "mixed", "per-stream scheme: rohatgi|emss|augchain|authtree|signeach|mixed")
 	fs.IntVar(&o.n, "n", 8, "block size (payloads per block)")
@@ -165,8 +179,17 @@ func parseOptions(args []string) (options, error) {
 			modes++
 		}
 	}
-	if modes != 1 {
-		return options{}, errors.New("pick exactly one of -demo, -listen, -connect, -chaos")
+	if o.relay {
+		// A relay is both a subscriber and a server: it needs -connect
+		// (upstream) and -listen (downstream) together.
+		if o.demo || o.chaos {
+			return options{}, errors.New("-relay cannot combine with -demo or -chaos")
+		}
+		if o.connect == "" || o.listen == "" {
+			return options{}, errors.New("-relay needs both -connect (upstream feed) and -listen (downstream address)")
+		}
+	} else if modes != 1 {
+		return options{}, errors.New("pick exactly one of -demo, -listen, -connect, -chaos (or -relay with -connect and -listen)")
 	}
 	if o.streams < 1 {
 		return options{}, fmt.Errorf("streams %d must be >= 1", o.streams)
@@ -262,6 +285,8 @@ func run(args []string, stdout io.Writer) error {
 	stopUSR1 := tel.installSIGUSR1()
 	defer stopUSR1()
 	switch {
+	case o.relay:
+		err = runRelay(o, reg, tel, stdout)
 	case o.connect != "":
 		err = runReceiver(o, reg, tel, stdout)
 	case o.listen != "":

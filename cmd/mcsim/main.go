@@ -57,6 +57,15 @@ type options struct {
 	chaosRate  float64
 	chaosSeeds int
 
+	overlay    bool
+	depth      int
+	fanout     int
+	edgeP      float64
+	lossyEdges int
+	relays     bool
+	repairRTT  time.Duration
+	summary    string
+
 	trace      string
 	metrics    string
 	report     string
@@ -91,6 +100,14 @@ func parseOptions(args []string) (options, error) {
 	fs.IntVar(&o.b, "b", 3, "augmented chain b")
 	fs.IntVar(&o.lag, "lag", 4, "TESLA disclosure lag (intervals)")
 	fs.IntVar(&o.latejoin, "latejoin", 0, "number of receivers joining mid-block")
+	fs.BoolVar(&o.overlay, "overlay", false, "deliver through a relay fan-out tree (see -depth/-fanout/-edgep/-relays) instead of the flat topology")
+	fs.IntVar(&o.depth, "depth", 2, "overlay tree depth (levels of relays below the source)")
+	fs.IntVar(&o.fanout, "fanout", 4, "overlay tree fanout per node")
+	fs.Float64Var(&o.edgeP, "edgep", 0, "i.i.d. loss rate on the lossy mid-tree edges (0 = all edges lossless)")
+	fs.IntVar(&o.lossyEdges, "lossyedges", 1, "how many first-level tree edges lose packets at -edgep")
+	fs.BoolVar(&o.relays, "relays", false, "relays serve NACK signature repairs from local retention")
+	fs.DurationVar(&o.repairRTT, "repair-rtt", 40*time.Millisecond, "one NACK repair round trip to the serving relay")
+	fs.StringVar(&o.summary, "summary", "", "write a deterministic JSON summary of the overlay run to this file (byte-identical at any -workers)")
 	fs.BoolVar(&o.chaos, "chaos", false, "run the fault-injection soak: every scheme x every fault preset x -chaosseeds seeds")
 	fs.Float64Var(&o.chaosRate, "chaosrate", 0.02, "per-packet fault injection rate for -chaos")
 	fs.IntVar(&o.chaosSeeds, "chaosseeds", 3, "seeds per scheme/preset cell for -chaos")
@@ -201,6 +218,25 @@ func buildScheme(o options, signer crypto.Signer) (scheme.Scheme, []uint32, floa
 	}
 }
 
+// reliableIndices is the per-scheme signature-wire convention: trailing
+// signature for the chained constructions, leading for the rest.
+func reliableIndices(o options) []uint32 {
+	if o.scheme == "emss" || o.scheme == "augchain" {
+		return []uint32{uint32(o.n)}
+	}
+	return []uint32{1}
+}
+
+// buildLossModel maps -p/-burst to the last-hop loss process.
+func buildLossModel(o options) (loss.Model, error) {
+	if o.burst > 1 {
+		pBadToGood := 1 / float64(o.burst)
+		pGoodToBad := o.p * pBadToGood / (1 - o.p)
+		return loss.NewGilbertElliott(pGoodToBad, pBadToGood, 0, 1)
+	}
+	return loss.NewBernoulli(o.p)
+}
+
 // setupObservability opens every requested output up front so an
 // unwritable path fails the run immediately with a clear error instead of
 // silently discarding the data after the simulation has burned CPU.
@@ -289,6 +325,12 @@ func run(args []string) error {
 	if o.chaos {
 		return runChaos(o)
 	}
+	if o.overlay {
+		return runOverlay(o)
+	}
+	if o.summary != "" {
+		return fmt.Errorf("-summary needs -overlay")
+	}
 	tracer, reg, finishObs, err := setupObservability(o)
 	if err != nil {
 		return err
@@ -312,14 +354,7 @@ func run(args []string) error {
 		return err
 	}
 
-	var lossModel loss.Model
-	if o.burst > 1 {
-		pBadToGood := 1 / float64(o.burst)
-		pGoodToBad := o.p * pBadToGood / (1 - o.p)
-		lossModel, err = loss.NewGilbertElliott(pGoodToBad, pBadToGood, 0, 1)
-	} else {
-		lossModel, err = loss.NewBernoulli(o.p)
-	}
+	lossModel, err := buildLossModel(o)
 	if err != nil {
 		return err
 	}
@@ -334,10 +369,7 @@ func run(args []string) error {
 	}
 	// The signature / bootstrap packet is delivered reliably, matching
 	// the paper's standing assumption.
-	reliable := []uint32{1}
-	if o.scheme == "emss" || o.scheme == "augchain" {
-		reliable = []uint32{uint32(o.n)}
-	}
+	reliable := reliableIndices(o)
 	simCfg := netsim.Config{
 		Receivers:       o.receivers,
 		Loss:            lossModel,

@@ -120,6 +120,25 @@ func RenderMarkdown(w io.Writer, in DashboardInput) error {
 			}
 		}
 
+		if anyOverlay(run) {
+			fmt.Fprintf(&b, "\n### Overlay fan-out — %s\n\n", run.RunID())
+			b.WriteString("Downstream authenticated fraction through the relay tree, relays " +
+				"passive vs serving signature repairs. Under the correlated lossy edge the " +
+				"analytic i.i.d. bound does not apply; the gain column is what " +
+				"`require_overlay_gain` gates.\n\n")
+			b.WriteString("| cell | tree | edge loss | auth (off) | auth (on) | gain | upstream repairs | receiver repairs |\n")
+			b.WriteString("|---|---|---|---:|---:|---:|---:|---:|\n")
+			for _, c := range run.Cells {
+				if c.Overlay == nil {
+					continue
+				}
+				o := c.Overlay
+				fmt.Fprintf(&b, "| %s | d=%d f=%d | %d edge(s) @ %.2f | %s | %s | %+.4f | %d | %d |\n",
+					c.ID, o.Depth, o.Fanout, o.LossyEdges, o.EdgeP,
+					fq(o.AuthOff), fq(o.AuthOn), o.Gain, o.UpstreamRepaired, o.ReceiverRepairs)
+			}
+		}
+
 		if anyServer(run) {
 			fmt.Fprintf(&b, "\n### Serving tier — %s\n\n", run.RunID())
 			b.WriteString("Batch-signing counts are deterministic; root-hold latency is " +
@@ -185,6 +204,15 @@ func RenderMarkdown(w io.Writer, in DashboardInput) error {
 func anyMeasured(run *RunResult) bool {
 	for _, c := range run.Cells {
 		if c.HasMeasured {
+			return true
+		}
+	}
+	return false
+}
+
+func anyOverlay(run *RunResult) bool {
+	for _, c := range run.Cells {
+		if c.Overlay != nil {
 			return true
 		}
 	}

@@ -37,6 +37,17 @@ type Baselines struct {
 	// published message. Cells without a churn server result pass
 	// vacuously, so the gate composes with non-churn sweeps.
 	RequireServerResume bool `json:"require_server_resume,omitempty"`
+	// RequireOverlayGain gates the relay fan-out path: every repairable
+	// overlay cell (a signature class to repair, a lossy tree edge to
+	// lose it on) must show relays-on raising the downstream
+	// authenticated fraction over relays-off by at least this much, with
+	// at least one upstream repair actually served (a zero-repair
+	// scenario is vacuous, not passing). Cells without a repairable
+	// overlay result pass vacuously. This is the gate that encodes the
+	// overlay tier's reason to exist: under correlated tree-edge loss the
+	// analytic i.i.d. bound says nothing, so the sweep gates on the
+	// measured simulation delta instead.
+	RequireOverlayGain float64 `json:"require_overlay_gain,omitempty"`
 }
 
 // ReadBaselines loads a committed baselines file.
@@ -59,6 +70,9 @@ func ReadBaselines(path string) (Baselines, error) {
 		if ceil < 0 {
 			return Baselines{}, fmt.Errorf("lab: baselines %s: alloc ceiling for %s is negative", path, name)
 		}
+	}
+	if b.RequireOverlayGain < 0 || b.RequireOverlayGain > 1 {
+		return Baselines{}, fmt.Errorf("lab: baselines %s: require_overlay_gain %g out of [0,1]", path, b.RequireOverlayGain)
 	}
 	for i, bd := range b.Bounds {
 		if bd.MCTol < 0 || bd.NetsimTol < 0 || bd.MinQMin < 0 || bd.MinQMin > 1 {
@@ -106,6 +120,15 @@ func (b Baselines) CheckRun(run *RunResult) []error {
 		}
 		params := cellParams(run.Config.Trials, c.Receivers)
 		errs = append(errs, b.Bounds.Check(r, params, c.HasAnalytic, c.HasMonteCarlo, c.HasMeasured)...)
+		if b.RequireOverlayGain > 0 && c.Overlay != nil && c.Overlay.Repairable {
+			if c.Overlay.UpstreamRepaired == 0 {
+				errs = append(errs, fmt.Errorf("%s: overlay cell served no upstream repairs — the lossy-edge scenario is vacuous (the seeded edge never dropped a signature wire)", c.ID))
+			}
+			if c.Overlay.Gain < b.RequireOverlayGain {
+				errs = append(errs, fmt.Errorf("%s: overlay repair gain %.4f below required floor %.4f (auth on=%.4f off=%.4f)",
+					c.ID, c.Overlay.Gain, b.RequireOverlayGain, c.Overlay.AuthOn, c.Overlay.AuthOff))
+			}
+		}
 		if b.RequireServerResume && c.Server != nil && c.Server.Churned {
 			if c.Server.ResumeCatchup <= 0 {
 				errs = append(errs, fmt.Errorf("%s: churn cell replayed no resume catch-up packets", c.ID))
@@ -126,6 +149,18 @@ func (b Baselines) CheckRun(run *RunResult) []error {
 		}
 		if !churned {
 			errs = append(errs, fmt.Errorf("run %s: require_server_resume set and config asks for churn, but no cell produced a churn server result", run.RunID()))
+		}
+	}
+	if b.RequireOverlayGain > 0 && run.Config.HasPath(PathOverlay) {
+		repairable := false
+		for _, c := range run.Cells {
+			if c.Overlay != nil && c.Overlay.Repairable {
+				repairable = true
+				break
+			}
+		}
+		if !repairable {
+			errs = append(errs, fmt.Errorf("run %s: require_overlay_gain set and config asks for the overlay path, but no cell produced a repairable overlay result", run.RunID()))
 		}
 	}
 	// SLO objectives ride in the run's own config rather than the

@@ -59,6 +59,9 @@ type Config struct {
 	// Server tunes the serving-tier path (ignored unless "server" is in
 	// Paths).
 	Server ServerConfig `json:"server,omitempty"`
+	// Overlay tunes the relay fan-out path (ignored unless "overlay" is
+	// in Paths). Nil with the overlay path selected gets the defaults.
+	Overlay *OverlayConfig `json:"overlay,omitempty"`
 	// SLO, when set, declares per-cell service objectives the sweep must
 	// meet: a floor on the measured authenticated fraction (the paper's
 	// q_min, netsim path) and a ceiling on the simulated time-to-auth p99.
@@ -124,12 +127,40 @@ type ServerConfig struct {
 	Churn bool `json:"churn,omitempty"`
 }
 
+// OverlayConfig tunes the relay fan-out path: each cell re-runs its
+// netsim configuration through netsim.RunOverlay on a uniform multicast
+// tree, twice — relays off (passive forwarding) and relays on (NACK
+// signature repairs served from relay retention) — and records the
+// downstream authenticated fraction of both. The cell's loss model is the
+// per-receiver last hop; tree edges are lossless except the first
+// LossyEdges mid-tree edges, which drop packets i.i.d. at EdgeP, shared
+// by their whole subtree. That shared-fate loss is exactly what the
+// analytic closed forms cannot express (they assume i.i.d. per-receiver
+// loss), so overlay cells are gated on the measured repair gain —
+// relays-on minus relays-off — not on agreement with the formula.
+type OverlayConfig struct {
+	// Depth and Fanout shape the uniform relay tree (defaults 2 and 4:
+	// a 3-level source → mid → leaf topology with 16 leaf relays).
+	Depth  int `json:"depth,omitempty"`
+	Fanout int `json:"fanout,omitempty"`
+	// EdgeP is the i.i.d. drop rate on each lossy mid-tree edge.
+	EdgeP float64 `json:"edge_p,omitempty"`
+	// LossyEdges is how many tree edges lose packets at EdgeP — edges
+	// 1..LossyEdges, i.e. the edges feeding the first mid-tree relays,
+	// each severing a clean 1/Fanout subtree (default 1 when EdgeP > 0).
+	LossyEdges int `json:"lossy_edges,omitempty"`
+	// RepairRTTMS is the NACK repair round trip in milliseconds
+	// (default 40).
+	RepairRTTMS int `json:"repair_rtt_ms,omitempty"`
+}
+
 // Path names.
 const (
 	PathAnalytic   = "analytic"
 	PathMonteCarlo = "montecarlo"
 	PathNetsim     = "netsim"
 	PathServer     = "server"
+	PathOverlay    = "overlay"
 )
 
 var knownSchemes = map[string]bool{
@@ -217,9 +248,42 @@ func (c *Config) Normalize() error {
 	}
 	for _, p := range c.Paths {
 		switch p {
-		case PathAnalytic, PathMonteCarlo, PathNetsim, PathServer:
+		case PathAnalytic, PathMonteCarlo, PathNetsim, PathServer, PathOverlay:
 		default:
 			return fmt.Errorf("lab: unknown path %q", p)
+		}
+	}
+	if c.HasPath(PathOverlay) {
+		if c.Overlay == nil {
+			c.Overlay = &OverlayConfig{}
+		}
+		o := c.Overlay
+		if o.Depth == 0 {
+			o.Depth = 2
+		}
+		if o.Fanout == 0 {
+			o.Fanout = 4
+		}
+		if o.LossyEdges == 0 && o.EdgeP > 0 {
+			o.LossyEdges = 1
+		}
+		if o.RepairRTTMS == 0 {
+			o.RepairRTTMS = 40
+		}
+		if o.Depth < 1 || o.Fanout < 1 {
+			return fmt.Errorf("lab: overlay depth %d / fanout %d must be >= 1", o.Depth, o.Fanout)
+		}
+		if o.EdgeP < 0 || o.EdgeP >= 1 {
+			return fmt.Errorf("lab: overlay edge_p %g out of [0,1)", o.EdgeP)
+		}
+		if o.LossyEdges < 0 || o.LossyEdges > o.Fanout {
+			return fmt.Errorf("lab: overlay lossy_edges %d out of [0,%d] (only the first-level edges can be lossy)", o.LossyEdges, o.Fanout)
+		}
+		if o.LossyEdges > 0 && o.Depth < 2 {
+			return fmt.Errorf("lab: overlay lossy_edges needs depth >= 2 (a depth-1 tree has no mid-tree edge)")
+		}
+		if o.RepairRTTMS < 0 {
+			return fmt.Errorf("lab: overlay repair_rtt_ms %d must be >= 0", o.RepairRTTMS)
 		}
 	}
 	if c.Server.Streams == 0 {

@@ -89,10 +89,10 @@ func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
 		}
 		dirs[i] = dir
 	}
-	compareTrees(t, dirs[0], dirs[1])
+	compareTrees(t, dirs[0], dirs[1], 4) // config, cells, metrics, ≥1 report
 }
 
-func compareTrees(t *testing.T, a, b string) {
+func compareTrees(t *testing.T, a, b string, min int) {
 	t.Helper()
 	seen := 0
 	err := filepath.Walk(a, func(path string, info os.FileInfo, err error) error {
@@ -120,8 +120,8 @@ func compareTrees(t *testing.T, a, b string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seen < 4 { // config, cells, metrics, ≥1 report
-		t.Errorf("only %d artifacts compared, expected at least 4", seen)
+	if seen < min {
+		t.Errorf("only %d artifacts compared, expected at least %d", seen, min)
 	}
 }
 
@@ -226,6 +226,164 @@ func TestRunServerPath(t *testing.T) {
 	}
 	if h := sm[run.Cells[0].ID].Histograms["server.root_hold_ns"]; h.Count == 0 {
 		t.Errorf("root-hold histogram missing from server_metrics.json: %+v", sm)
+	}
+}
+
+// TestOverlayConfigNormalize pins the overlay knob defaults and the
+// rejection of inconsistent tree shapes.
+func TestOverlayConfigNormalize(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Name:    "ov",
+			Schemes: []SchemeConfig{{ID: "emss"}},
+			Loss:    []LossConfig{{Model: "bernoulli", P: 0.1}},
+			Paths:   []string{PathOverlay},
+		}
+	}
+	c := base()
+	c.Overlay = &OverlayConfig{EdgeP: 0.4}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	o := c.Overlay
+	if o.Depth != 2 || o.Fanout != 4 || o.LossyEdges != 1 || o.RepairRTTMS != 40 {
+		t.Errorf("overlay defaults not applied: %+v", o)
+	}
+	// Nil overlay block with the path selected gets full defaults.
+	c2 := base()
+	if err := c2.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Overlay == nil || c2.Overlay.Depth != 2 || c2.Overlay.LossyEdges != 0 {
+		t.Errorf("nil overlay block not defaulted: %+v", c2.Overlay)
+	}
+
+	for name, ov := range map[string]*OverlayConfig{
+		"edge_p out of range":        {EdgeP: 1.0},
+		"negative rtt":               {RepairRTTMS: -1},
+		"lossy edges beyond fanout":  {EdgeP: 0.5, Fanout: 2, LossyEdges: 3},
+		"lossy edge on depth-1 tree": {EdgeP: 0.5, Depth: 1},
+		"negative fanout":            {Fanout: -2},
+	} {
+		bad := base()
+		bad.Overlay = ov
+		if err := bad.Normalize(); err == nil {
+			t.Errorf("%s: invalid overlay config accepted: %+v", name, ov)
+		}
+	}
+}
+
+// TestRunOverlayPath drives one cell through the relay fan-out path. The
+// seed matches examples/lab/overlay.json's first cell, whose seeded lossy
+// edge deterministically drops a signature wire — so the relays-on run
+// must show upstream repairs and a strictly positive gain. Artifacts stay
+// byte-identical across worker counts.
+func TestRunOverlayPath(t *testing.T) {
+	cfg := Config{
+		Name:       "ovrun",
+		Seed:       3,
+		Trials:     50,
+		Receivers:  []int{48},
+		BlockSizes: []int{12},
+		Schemes:    []SchemeConfig{{ID: "emss"}},
+		Loss:       []LossConfig{{Model: "bernoulli", P: 0.1}},
+		Paths:      []string{PathOverlay},
+		Overlay:    &OverlayConfig{Depth: 2, Fanout: 4, EdgeP: 0.5, LossyEdges: 2},
+	}
+	base := t.TempDir()
+	var dirs [2]string
+	var run *RunResult
+	for i, workers := range []int{1, 4} {
+		r, dir, err := Run(cfg, workers, filepath.Join(base, fmt.Sprintf("w%d", workers)), "20260101T000000Z")
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, dirs[i] = r, dir
+	}
+	compareTrees(t, dirs[0], dirs[1], 2) // config.json + cells.json: no netsim path, so no metrics/reports
+
+	o := run.Cells[0].Overlay
+	if o == nil {
+		t.Fatal("overlay result missing")
+	}
+	if !o.Repairable {
+		t.Fatalf("lossy-edge emss cell not marked repairable: %+v", o)
+	}
+	if o.AuthOff <= 0 || o.AuthOff > 1 || o.AuthOn <= 0 || o.AuthOn > 1 {
+		t.Errorf("auth fractions out of (0,1]: %+v", o)
+	}
+	if o.AuthOn < o.AuthOff {
+		t.Errorf("relays-on lowered authentication: on=%v off=%v (repairs only add material)", o.AuthOn, o.AuthOff)
+	}
+	if o.UpstreamRepaired == 0 {
+		t.Error("seeded lossy edge produced no upstream repairs; the scenario went vacuous")
+	}
+	if o.Gain <= 0 {
+		t.Errorf("gain %v not positive despite upstream repairs", o.Gain)
+	}
+	if len(o.Flagged) != 0 {
+		t.Errorf("withholding audit flagged honest relays: %v", o.Flagged)
+	}
+
+	// The dashboard renders the overlay section for this run.
+	var md strings.Builder
+	if err := RenderMarkdown(&md, DashboardInput{Runs: []*RunResult{run}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "### Overlay fan-out") {
+		t.Error("dashboard missing overlay section")
+	}
+}
+
+// TestOverlayGate pins the require_overlay_gain semantics on synthetic
+// runs: a gain below the floor fails, a vacuous zero-repair scenario
+// fails, non-repairable cells pass, and a sweep that asks for the overlay
+// path but produces no repairable cell fails at run level.
+func TestOverlayGate(t *testing.T) {
+	mkRun := func(o *OverlayCellResult, overlayPath bool) *RunResult {
+		cfg := Config{Name: "g", Paths: []string{PathNetsim}}
+		if overlayPath {
+			cfg.Paths = append(cfg.Paths, PathOverlay)
+		}
+		return &RunResult{
+			Name: "g", Stamp: "s", Config: cfg,
+			Cells: []CellResult{{ID: "cell", Overlay: o}},
+		}
+	}
+	b := Baselines{RequireOverlayGain: 0.05}
+	healthy := &OverlayCellResult{Repairable: true, Gain: 0.08, UpstreamRepaired: 2, AuthOff: 0.4, AuthOn: 0.48}
+	if errs := b.CheckRun(mkRun(healthy, true)); len(errs) != 0 {
+		t.Errorf("healthy overlay cell gated: %v", errs)
+	}
+	low := &OverlayCellResult{Repairable: true, Gain: 0.01, UpstreamRepaired: 2}
+	if errs := b.CheckRun(mkRun(low, true)); len(errs) != 1 || !strings.Contains(errs[0].Error(), "below required floor") {
+		t.Errorf("below-floor gain not gated: %v", errs)
+	}
+	vacuous := &OverlayCellResult{Repairable: true, Gain: 0.5, UpstreamRepaired: 0}
+	if errs := b.CheckRun(mkRun(vacuous, true)); len(errs) != 1 || !strings.Contains(errs[0].Error(), "vacuous") {
+		t.Errorf("vacuous scenario not gated: %v", errs)
+	}
+	inert := &OverlayCellResult{Repairable: false, Gain: 0}
+	if errs := b.CheckRun(mkRun(inert, false)); len(errs) != 0 {
+		t.Errorf("non-repairable cell gated: %v", errs)
+	}
+	// Overlay path requested, gate armed, but nothing repairable: the run
+	// itself fails rather than passing on vacuous cells.
+	if errs := b.CheckRun(mkRun(inert, true)); len(errs) != 1 || !strings.Contains(errs[0].Error(), "no cell produced a repairable overlay result") {
+		t.Errorf("repairable-coverage check missing: %v", errs)
+	}
+	// The gate disarms at zero.
+	if errs := (Baselines{}).CheckRun(mkRun(low, true)); len(errs) != 0 {
+		t.Errorf("disarmed gate fired: %v", errs)
+	}
+
+	// File validation rejects an out-of-range floor.
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, []byte(`{"require_overlay_gain":-0.1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaselines(path); err == nil {
+		t.Error("negative require_overlay_gain accepted")
 	}
 }
 

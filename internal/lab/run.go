@@ -77,6 +77,39 @@ type ServerResult struct {
 	ResumeCatchup int64 `json:"resume_catchup,omitempty"`
 }
 
+// OverlayCellResult is the deterministic summary of one cell's relay
+// fan-out path: the same netsim configuration pushed through
+// netsim.RunOverlay twice on the same seeded tree — relays off and relays
+// on — so the gain column isolates what relay-served signature repairs
+// buy under the configured correlated edge loss.
+type OverlayCellResult struct {
+	Depth      int     `json:"depth"`
+	Fanout     int     `json:"fanout"`
+	EdgeP      float64 `json:"edge_p"`
+	LossyEdges int     `json:"lossy_edges"`
+	// AuthOff and AuthOn are the downstream authenticated fractions
+	// (authenticated packets over receivers × wire positions) with relays
+	// passive and with relays serving repairs.
+	AuthOff float64 `json:"auth_off"`
+	AuthOn  float64 `json:"auth_on"`
+	// Gain is AuthOn - AuthOff, the quantity require_overlay_gain gates.
+	Gain float64 `json:"gain"`
+	// UpstreamRepaired counts signature wires relays recovered from their
+	// parents; ReceiverRepairs counts last-hop repairs served to
+	// receivers (both from the relays-on run). Zero upstream repairs
+	// under a lossy edge means the seeded edge never dropped a signature
+	// wire and the scenario is vacuous — the gate rejects that too.
+	UpstreamRepaired int `json:"upstream_repaired"`
+	ReceiverRepairs  int `json:"receiver_repairs"`
+	// Flagged lists relays the withholding audit flagged (none expected:
+	// the lab scenario has no adversary).
+	Flagged []int `json:"flagged,omitempty"`
+	// Repairable reports whether the scenario can show a repair gain at
+	// all: the scheme has a signature class to repair and the tree has a
+	// lossy edge to lose it on. The gain gate skips non-repairable cells.
+	Repairable bool `json:"repairable"`
+}
+
 // CellResult is one cell's outcome across the evaluation layers. Absent
 // layers (path not requested, or no closed form for the loss model) keep
 // their Has* flag false; the value fields then hold zero, never NaN.
@@ -116,7 +149,8 @@ type CellResult struct {
 	// Causes is the diagnose root-cause tally (netsim path only).
 	Causes map[string]int `json:"causes,omitempty"`
 
-	Server *ServerResult `json:"server,omitempty"`
+	Server  *ServerResult      `json:"server,omitempty"`
+	Overlay *OverlayCellResult `json:"overlay,omitempty"`
 }
 
 // RunResult is everything one sweep writes to its result directory.
@@ -447,6 +481,14 @@ func runCell(cfg Config, c Cell, seed uint64) (cellArtifacts, error) {
 		arts.metrics = reg.Snapshot()
 	}
 
+	if cfg.HasPath(PathOverlay) {
+		or, err := runOverlayCell(cfg, c, cc, seed, lossModel)
+		if err != nil {
+			return cellArtifacts{}, fmt.Errorf("%s: overlay: %w", c.ID(), err)
+		}
+		res.Overlay = or
+	}
+
 	if cfg.HasPath(PathServer) && c.Scheme.ID != "tesla" {
 		sr, snap, err := runServerCell(cfg, c, cc)
 		if err != nil {
@@ -458,6 +500,86 @@ func runCell(cfg Config, c Cell, seed uint64) (cellArtifacts, error) {
 
 	arts.result = res
 	return arts, nil
+}
+
+// overlayTree builds the cell's seeded relay tree: lossless edges, the
+// cell's loss model on the last hop, and Bernoulli(EdgeP) on the first
+// LossyEdges mid-tree edges. Called once per overlay run — edge patterns
+// are a pure function of the tree seed, so the relays-off and relays-on
+// runs see identical loss.
+func overlayTree(ov *OverlayConfig, seed uint64, leaf loss.Model) (*loss.TreeModel, error) {
+	tree, err := loss.NewUniformTree(seed^0x6f7665726c6179, ov.Depth, ov.Fanout, nil, leaf)
+	if err != nil {
+		return nil, err
+	}
+	if ov.EdgeP > 0 {
+		for e := 1; e <= ov.LossyEdges; e++ {
+			edge, err := loss.NewBernoulli(ov.EdgeP)
+			if err != nil {
+				return nil, err
+			}
+			if err := tree.SetEdge(e, edge); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tree, nil
+}
+
+// runOverlayCell runs the cell's netsim configuration through the relay
+// tree twice — relays off, then relays on — and summarizes the repair
+// gain. Both runs share the seed, tree and receiver RNG schedule, so the
+// only difference is whether relays serve signature repairs.
+func runOverlayCell(cfg Config, c Cell, cc cellCase, seed uint64, lossModel loss.Model) (*OverlayCellResult, error) {
+	ov := cfg.Overlay
+	simCfg := netsim.Config{
+		Receivers:       c.Receivers,
+		Delay:           cc.delay,
+		SendInterval:    cc.sendInterval,
+		Start:           time.Unix(0, 0),
+		Seed:            seed ^ 0x66616e6f7574, // decorrelate from the flat netsim path
+		ReliableIndices: cc.reliableIndices,
+		Workers:         1,
+	}
+	out := &OverlayCellResult{
+		Depth:      ov.Depth,
+		Fanout:     ov.Fanout,
+		EdgeP:      ov.EdgeP,
+		LossyEdges: ov.LossyEdges,
+		Repairable: len(cc.reliableIndices) > 0 && ov.LossyEdges > 0 && ov.EdgeP > 0,
+	}
+	payloads := schemetest.Payloads(cc.scheme.BlockSize())
+	authFraction := func(relays bool) (*netsim.OverlayResult, float64, error) {
+		tree, err := overlayTree(ov, seed, lossModel)
+		if err != nil {
+			return nil, 0, err
+		}
+		ocfg := netsim.OverlayConfig{
+			Tree:      tree,
+			Relays:    relays,
+			RepairRTT: time.Duration(ov.RepairRTTMS) * time.Millisecond,
+		}
+		res, err := netsim.RunOverlay(cc.scheme, simCfg, ocfg, 1, payloads)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, float64(res.TotalAuthenticated()) / float64(c.Receivers*res.WireCount), nil
+	}
+	_, off, err := authFraction(false)
+	if err != nil {
+		return nil, err
+	}
+	on, onFrac, err := authFraction(true)
+	if err != nil {
+		return nil, err
+	}
+	out.AuthOff, out.AuthOn, out.Gain = off, onFrac, onFrac-off
+	for _, rep := range on.Relays {
+		out.UpstreamRepaired += rep.UpstreamRepaired
+	}
+	out.ReceiverRepairs = on.TotalRepaired()
+	out.Flagged = on.Flagged
+	return out, nil
 }
 
 // runServerCell pushes the cell's scheme through the batch-signing serving

@@ -149,6 +149,11 @@ type ReceiverReport struct {
 	// AuthLatencies holds, for each authenticated packet, the time from
 	// its arrival to its authentication (the measured receiver delay).
 	AuthLatencies []time.Duration
+	// Repaired counts packets this receiver lost on its last hop but
+	// recovered via a NACK signature repair served by its local relay.
+	// Always zero for flat (non-overlay) runs and overlay runs with
+	// relays off.
+	Repaired int
 	// Adversarial-channel tallies, populated only when Config.Faults is
 	// enabled. Corrupted/Truncated count mutated genuine deliveries,
 	// Duplicated counts extra copies, ForgedInjected counts fabricated
@@ -221,12 +226,22 @@ func newRunMetrics(reg *obs.Registry, faultsOn bool) *runMetrics {
 	return m
 }
 
-// Run authenticates one block with the scheme and simulates its multicast
-// to every receiver.
-func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+// blockPlan is the per-run sender-side state shared by every receiver:
+// the authenticated wire sequence, its timing, the reliability set, and
+// the cached instruments. Built once by prepareBlock for both the flat
+// Run and the overlay RunOverlay entry points.
+type blockPlan struct {
+	pkts      []*packet.Packet
+	reliable  map[uint32]bool
+	sendTimes []time.Time
+	wires     [][]byte // encoded wire images; only for faulted runs
+	metrics   *runMetrics
+}
+
+// prepareBlock authenticates the block and derives the sender-side plan.
+// adversarial forces registration of the forgery counters even without a
+// wire-fault injector (the overlay's forged-repair path needs them).
+func prepareBlock(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte, adversarial bool) (*blockPlan, error) {
 	if s == nil {
 		return nil, fmt.Errorf("netsim: nil scheme")
 	}
@@ -283,7 +298,7 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 		}
 	}
 
-	metrics := newRunMetrics(cfg.Metrics, faultsOn)
+	metrics := newRunMetrics(cfg.Metrics, faultsOn || adversarial)
 	if cfg.Tracer != nil {
 		// One run_meta record leads the trace so offline tooling (mcreport)
 		// can interpret it without re-supplying the run's flags: scheme
@@ -308,11 +323,20 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 	if metrics != nil {
 		metrics.sent.Add(int64(len(pkts)))
 	}
+	return &blockPlan{
+		pkts:      pkts,
+		reliable:  reliable,
+		sendTimes: sendTimes,
+		wires:     wires,
+		metrics:   metrics,
+	}, nil
+}
 
-	// All RNG use of root happens here, before the receiver goroutines
-	// start: Split derives every receiver's independent stream and Intn
-	// draws the late-join positions, so the concurrent phase never
-	// touches shared RNG state.
+// receiverStreams derives every receiver's RNG stream and join position
+// from the run seed. All root RNG use happens here, before the receiver
+// goroutines start, so the concurrent phase never touches shared RNG
+// state — and results cannot depend on the worker count.
+func receiverStreams(cfg Config, wireCount int) ([]*stats.RNG, []int) {
 	root := stats.NewRNG(cfg.Seed)
 	rngs := make([]*stats.RNG, cfg.Receivers)
 	for r := range rngs {
@@ -321,17 +345,30 @@ func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Resul
 	joinAt := make([]int, cfg.Receivers)
 	for r := range joinAt {
 		joinAt[r] = 1
-		if r >= cfg.Receivers-cfg.LateJoiners && len(pkts) > 1 {
-			joinAt[r] = 2 + root.Intn(len(pkts)-1)
+		if r >= cfg.Receivers-cfg.LateJoiners && wireCount > 1 {
+			joinAt[r] = 2 + root.Intn(wireCount-1)
 		}
 	}
+	return rngs, joinAt
+}
 
+// Run authenticates one block with the scheme and simulates its multicast
+// to every receiver.
+func Run(s scheme.Scheme, cfg Config, blockID uint64, payloads [][]byte) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := prepareBlock(s, cfg, blockID, payloads, false)
+	if err != nil {
+		return nil, err
+	}
+	rngs, joinAt := receiverStreams(cfg, len(plan.pkts))
 	result := &Result{
-		WireCount:   len(pkts),
+		WireCount:   len(plan.pkts),
 		PerReceiver: make([]ReceiverReport, cfg.Receivers),
 	}
 	err = parallel.ForEach(cfg.Workers, rngs, func(r int, rng *stats.RNG) error {
-		report, err := runReceiver(s, cfg, r, pkts, wires, sendTimes, reliable, joinAt[r], rng, metrics)
+		report, err := runReceiver(s, cfg, r, plan, joinAt[r], rng, cfg.Loss, nil)
 		if err != nil {
 			return err
 		}
@@ -353,18 +390,35 @@ type arrival struct {
 	kind fault.Kind
 }
 
+// repairPlan is a receiver's view of its serving leaf relay: which wires
+// the relay serves at all (mask — loss upstream of the relay is absolute,
+// even for ReliableIndices packets: the never-lost assumption only models
+// last-hop reliability, it cannot conjure bytes the relay never had),
+// which lost wire positions a NACK signature repair can recover, how much
+// upstream repair lateness each wire already carries, the last-hop repair
+// round trip, and — for the adversarial forged-repair scenario — a
+// poisoned twin served instead of the genuine packet. nil means no relay
+// (the flat topology).
+type repairPlan struct {
+	mask       []bool           // 1-based wire set the relay serves; nil = everything
+	available  []bool           // by 0-based wire position: repairable from the relay store; nil = relays off
+	extraDelay []time.Duration  // per-wire lateness inherited from upstream repairs
+	rtt        time.Duration    // one NACK round trip to the local relay
+	forged     []*packet.Packet // non-nil: the relay store is poisoned; forged[w] replaces repairs of wire w
+}
+
 func runReceiver(
 	s scheme.Scheme,
 	cfg Config,
 	recv int,
-	pkts []*packet.Packet,
-	wires [][]byte,
-	sendTimes []time.Time,
-	reliable map[uint32]bool,
+	plan *blockPlan,
 	joinAt int,
 	rng *stats.RNG,
-	metrics *runMetrics,
+	lossModel loss.Model,
+	rp *repairPlan,
 ) (ReceiverReport, error) {
+	pkts, wires, sendTimes := plan.pkts, plan.wires, plan.sendTimes
+	reliable, metrics := plan.reliable, plan.metrics
 	maxIndex := uint32(0)
 	for _, p := range pkts {
 		if p.Index > maxIndex {
@@ -447,6 +501,9 @@ func runReceiver(
 		}
 	}
 	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
+	// The overlay's forged-repair path injects adversarial deliveries with
+	// no wire-fault injector, and needs the same ingest tolerance.
+	adversarial := faultsOn || (rp != nil && rp.forged != nil)
 	var inj *fault.Injector
 	if faultsOn {
 		in, err := fault.NewInjector(*cfg.Faults, rng.Split())
@@ -455,18 +512,43 @@ func runReceiver(
 		}
 		inj = in
 	}
-	received := cfg.Loss.Sample(rng, len(pkts))
+	received := lossModel.Sample(rng, len(pkts))
 	var arrivals []arrival
 	for w, p := range pkts {
 		if w+1 < joinAt {
 			drop(w, p, "late_join")
 			continue
 		}
+		if rp != nil && rp.mask != nil && !rp.mask[w+1] {
+			// The serving relay never had this wire: nothing arrives and
+			// nothing can be repaired from its store.
+			drop(w, p, "loss")
+			continue
+		}
 		if !received[w+1] && !reliable[p.Index] {
+			if rp != nil && rp.available != nil && rp.available[w] {
+				// Lost on the last hop, but the local relay holds the
+				// signature packet: one NACK round trip later the repair
+				// arrives — or, from a poisoned store, a forged twin the
+				// verifier must refuse.
+				at := sendTimes[w].Add(cfg.Delay.Sample(rng)).Add(rp.extraDelay[w] + rp.rtt)
+				if rp.forged != nil && rp.forged[w] != nil {
+					fp := rp.forged[w]
+					noteFault(w, fp, at, fault.KindForged)
+					arrivals = append(arrivals, arrival{wire: w, at: at, p: fp, kind: fault.KindForged})
+					continue
+				}
+				report.Repaired++
+				arrivals = append(arrivals, arrival{wire: w, at: at, p: p})
+				continue
+			}
 			drop(w, p, "loss")
 			continue
 		}
 		at := sendTimes[w].Add(cfg.Delay.Sample(rng))
+		if rp != nil {
+			at = at.Add(rp.extraDelay[w])
+		}
 		if inj == nil {
 			arrivals = append(arrivals, arrival{wire: w, at: at, p: p})
 			continue
@@ -553,7 +635,7 @@ func runReceiver(
 		}
 		events, err := v.Ingest(p, a.at)
 		if err != nil {
-			if !faultsOn {
+			if !adversarial {
 				return ReceiverReport{}, fmt.Errorf("netsim: ingest wire %d: %w", a.wire+1, err)
 			}
 			// Under an adversarial channel a refused delivery (index out
@@ -569,7 +651,7 @@ func runReceiver(
 			forgedRejected(a.wire, p, a.at)
 		}
 		for _, e := range events {
-			if faultsOn && fault.IsForgedPayload(e.Payload) {
+			if adversarial && fault.IsForgedPayload(e.Payload) {
 				// Security invariant violation: a fabricated packet made it
 				// through verification. Surfaced in the report (and asserted
 				// zero by the chaos soak), never silently counted as a win.
@@ -663,6 +745,16 @@ func (r *Result) TotalAuthenticated() int {
 	total := 0
 	for _, rep := range r.PerReceiver {
 		total += rep.Stats.Authenticated
+	}
+	return total
+}
+
+// TotalRepaired sums the relay-served last-hop signature repairs across
+// receivers; always zero for flat runs.
+func (r *Result) TotalRepaired() int {
+	total := 0
+	for i := range r.PerReceiver {
+		total += r.PerReceiver[i].Repaired
 	}
 	return total
 }

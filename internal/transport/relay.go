@@ -1,0 +1,111 @@
+// Relay control plane: a relay re-serves an upstream subscription to its
+// own downstream subscribers and absorbs signature repairs near the edge
+// (MABS-style batch amortization: the signer signs once, the relays fan
+// out and answer recovery traffic). Downstream clients speak the same mux
+// framing for data; on the control side they send one resume hello at
+// connect and, while live, repair requests for blocks whose signature
+// class went missing. Both control frames share a 4-byte magic so one
+// reader can dispatch them from the same connection.
+
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Repair-request wire format:
+//
+//	[4B magic "MCRQ"][1B version][8B stream ID][8B block ID][4B index]
+//
+// Index follows the NACK convention: NACKSigRequest (0) asks for the
+// block's signature class, a nonzero index for that specific packet.
+const (
+	repairMagic    = "MCRQ"
+	repairVersion  = 1
+	repairTailSize = 1 + 8 + 8 + 4
+)
+
+// RepairRequest asks a relay to re-serve authentication material for one
+// block of one stream.
+type RepairRequest struct {
+	StreamID uint64
+	BlockID  uint64
+	// Index is NACKSigRequest for the signature class, or a specific
+	// packet index.
+	Index uint32
+}
+
+// WriteRepairRequest sends one repair request. Callers multiplexing it
+// onto a live session connection must serialize it against their other
+// writes.
+func WriteRepairRequest(w io.Writer, req RepairRequest) error {
+	var buf [4 + repairTailSize]byte
+	copy(buf[:], repairMagic)
+	buf[4] = repairVersion
+	binary.BigEndian.PutUint64(buf[5:], req.StreamID)
+	binary.BigEndian.PutUint64(buf[13:], req.BlockID)
+	binary.BigEndian.PutUint32(buf[21:], req.Index)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("transport: write repair request: %w", err)
+	}
+	return nil
+}
+
+// readRepairTail parses everything after the repair magic.
+func readRepairTail(r io.Reader) (RepairRequest, error) {
+	var tail [repairTailSize]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return RepairRequest{}, fmt.Errorf("transport: read repair request: %w", err)
+	}
+	if tail[0] != repairVersion {
+		return RepairRequest{}, fmt.Errorf("transport: repair request version %d, want %d", tail[0], repairVersion)
+	}
+	return RepairRequest{
+		StreamID: binary.BigEndian.Uint64(tail[1:]),
+		BlockID:  binary.BigEndian.Uint64(tail[9:]),
+		Index:    binary.BigEndian.Uint32(tail[17:]),
+	}, nil
+}
+
+// ControlFrame is one parsed control-plane frame: exactly one of Hello
+// and Repair is set.
+type ControlFrame struct {
+	// Hello is the resume hello, when the frame is one. Non-nil even for
+	// an empty hello (a live-only subscriber), so callers can distinguish
+	// "hello with no points" from "not a hello".
+	Hello []ResumePoint
+	// IsHello marks the frame as a hello; an empty points slice is valid.
+	IsHello bool
+	// Repair is the repair request, when IsHello is false.
+	Repair RepairRequest
+}
+
+// ReadControlFrame reads one control frame — a resume hello or a repair
+// request — from r. Anything else (wrong magic, bad version, truncation)
+// is an error; like ReadHello, callers should bound the read with a
+// deadline. The attacker-facing bound is the hello's maxHelloPoints: no
+// control frame can demand more than ~64 KiB of allocation.
+func ReadControlFrame(r io.Reader) (*ControlFrame, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("transport: read control frame: %w", err)
+	}
+	switch string(magic[:]) {
+	case helloMagic:
+		points, err := readHelloTail(r)
+		if err != nil {
+			return nil, err
+		}
+		return &ControlFrame{Hello: points, IsHello: true}, nil
+	case repairMagic:
+		req, err := readRepairTail(r)
+		if err != nil {
+			return nil, err
+		}
+		return &ControlFrame{Repair: req}, nil
+	default:
+		return nil, fmt.Errorf("transport: control frame magic %q, want %q or %q", magic[:], helloMagic, repairMagic)
+	}
+}

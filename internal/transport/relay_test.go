@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// TestControlFrameRoundTrip: hellos and repair requests written by this
+// package parse back identically through the control dispatcher.
+func TestControlFrameRoundTrip(t *testing.T) {
+	points := []ResumePoint{{StreamID: 7, From: 3}, {StreamID: 9, From: 0}}
+	req := RepairRequest{StreamID: 5, BlockID: 42, Index: NACKSigRequest}
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRepairRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHello(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := ReadControlFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.IsHello || !reflect.DeepEqual(cf.Hello, points) {
+		t.Fatalf("first frame = %+v, want hello %v", cf, points)
+	}
+	cf, err = ReadControlFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.IsHello || cf.Repair != req {
+		t.Fatalf("second frame = %+v, want repair %v", cf, req)
+	}
+	cf, err = ReadControlFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.IsHello || len(cf.Hello) != 0 {
+		t.Fatalf("third frame = %+v, want empty hello", cf)
+	}
+	if _, err := ReadControlFrame(&buf); err == nil {
+		t.Fatal("want error at stream end")
+	}
+}
+
+// TestControlFrameHelloCompatible: a hello written by WriteHello must
+// parse identically through ReadHello and ReadControlFrame — the relay
+// dispatcher cannot fork the session-resume wire format.
+func TestControlFrameHelloCompatible(t *testing.T) {
+	points := []ResumePoint{{StreamID: 1, From: 11}}
+	var a, b bytes.Buffer
+	if err := WriteHello(&a, points); err != nil {
+		t.Fatal(err)
+	}
+	b.Write(a.Bytes())
+	direct, err := ReadHello(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := ReadControlFrame(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cf.IsHello || !reflect.DeepEqual(cf.Hello, direct) {
+		t.Fatalf("dispatcher parse %+v != direct parse %v", cf, direct)
+	}
+}
+
+// TestControlFrameRejects pins the error cases: foreign magic, bad
+// versions, truncation, oversized hello counts.
+func TestControlFrameRejects(t *testing.T) {
+	var helloBuf bytes.Buffer
+	if err := WriteHello(&helloBuf, []ResumePoint{{StreamID: 1, From: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	hello := helloBuf.Bytes()
+	var repairBuf bytes.Buffer
+	if err := WriteRepairRequest(&repairBuf, RepairRequest{StreamID: 1, BlockID: 2, Index: 3}); err != nil {
+		t.Fatal(err)
+	}
+	repair := repairBuf.Bytes()
+
+	badVersionHello := append([]byte(nil), hello...)
+	badVersionHello[4] = 99
+	badVersionRepair := append([]byte(nil), repair...)
+	badVersionRepair[4] = 99
+	hugeCount := append([]byte(nil), hello[:helloHdrSize]...)
+	binary.BigEndian.PutUint16(hugeCount[5:], maxHelloPoints+1)
+
+	cases := [][]byte{
+		[]byte("MCXX"),         // unknown magic
+		hello[:3],              // truncated magic
+		hello[:helloHdrSize+3], // truncated points
+		repair[:10],            // truncated repair tail
+		badVersionHello,
+		badVersionRepair,
+		hugeCount,
+	}
+	for i, c := range cases {
+		if _, err := ReadControlFrame(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+// FuzzRelayFrame feeds arbitrary byte streams to the relay control-frame
+// dispatcher: it must never panic, any malformed frame must error, and an
+// attacker-controlled hello count must not force a large allocation. It
+// seeds the corpus with valid hello/repair sequences and the corruption
+// shapes that bit the other decoders (truncations, torn seams, huge
+// counts).
+func FuzzRelayFrame(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteHello(&valid, []ResumePoint{{StreamID: 1, From: 0}, {StreamID: 2, From: 9}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteRepairRequest(&valid, RepairRequest{StreamID: 1, BlockID: 7, Index: NACKSigRequest}); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteRepairRequest(&valid, RepairRequest{StreamID: 2, BlockID: 8, Index: 5}); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteHello(&valid, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("MCHI"))
+	f.Add([]byte("MCRQ"))
+	f.Add([]byte("MCXXjunk"))
+	// A hello header claiming the maximum point count with nothing behind
+	// it, and one point over the cap.
+	maxed := make([]byte, helloHdrSize)
+	copy(maxed, helloMagic)
+	maxed[4] = helloVersion
+	binary.BigEndian.PutUint16(maxed[5:], maxHelloPoints)
+	f.Add(maxed)
+	over := append([]byte(nil), maxed...)
+	binary.BigEndian.PutUint16(over[5:], maxHelloPoints+1)
+	f.Add(over)
+	// Truncated mid-frame, and a torn seam: a valid stream cut and
+	// restarted mid-frame, as an injected partial write produces.
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	torn := append([]byte{}, valid.Bytes()[:valid.Len()/3]...)
+	torn = append(torn, valid.Bytes()...)
+	f.Add(torn)
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		for i := 0; i < 64; i++ {
+			cf, err := ReadControlFrame(r)
+			if err != nil {
+				return // any error ends the stream; it must just not panic
+			}
+			if cf == nil {
+				t.Fatal("nil frame with nil error")
+			}
+			if cf.IsHello {
+				if len(cf.Hello) > maxHelloPoints {
+					t.Fatalf("hello with %d points exceeds the parse bound", len(cf.Hello))
+				}
+				// A parsed hello must re-encode: dispatcher output is
+				// always a well-formed structure.
+				if err := WriteHello(io.Discard, cf.Hello); err != nil {
+					t.Fatalf("parsed hello does not re-encode: %v", err)
+				}
+			} else if err := WriteRepairRequest(io.Discard, cf.Repair); err != nil {
+				t.Fatalf("parsed repair request does not re-encode: %v", err)
+			}
+		}
+	})
+}
